@@ -1,0 +1,117 @@
+// Command psbsim runs one benchmark under one prefetcher configuration
+// and prints the statistics block.
+//
+// Usage:
+//
+//	psbsim -bench health -scheme ConfAlloc-Priority -insts 500000
+//	psbsim -bench all -scheme all        # full cross product
+//	psbsim -list                         # show benchmarks and schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "health", "benchmark name, or 'all'")
+		scheme    = flag.String("scheme", "ConfAlloc-Priority", "prefetcher scheme, or 'all'")
+		insts     = flag.Uint64("insts", 500_000, "instruction budget")
+		seed      = flag.Int64("seed", 1, "workload layout seed")
+		l1Size    = flag.Int("l1-size", 32<<10, "L1 data cache bytes")
+		l1Ways    = flag.Int("l1-ways", 4, "L1 data cache associativity")
+		noDis     = flag.Bool("nodis", false, "disable perfect store sets (NoDis)")
+		list      = flag.Bool("list", false, "list benchmarks and schemes")
+		verbose   = flag.Bool("v", false, "print the full statistics block")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, w := range workload.All() {
+			fmt.Printf("  %-10s %s\n", w.Name, w.Description)
+		}
+		fmt.Println("schemes:")
+		for _, v := range core.Variants() {
+			fmt.Printf("  %s\n", v)
+		}
+		return
+	}
+
+	cfg := sim.Default()
+	cfg.MaxInsts = *insts
+	cfg.Seed = *seed
+	cfg.Mem.L1D.SizeBytes = *l1Size
+	cfg.Mem.L1D.Ways = *l1Ways
+	if *noDis {
+		cfg.CPU.Disambiguation = cpu.DisNone
+	}
+
+	var benches []workload.Workload
+	if *benchName == "all" {
+		benches = workload.All()
+	} else {
+		w, err := workload.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		benches = []workload.Workload{w}
+	}
+
+	var schemes []core.Variant
+	if *scheme == "all" {
+		schemes = core.Variants()
+	} else {
+		v, err := variantByName(*scheme)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		schemes = []core.Variant{v}
+	}
+
+	for _, w := range benches {
+		for _, v := range schemes {
+			r := sim.Run(w, v, cfg)
+			fmt.Println(r.Summary())
+			if *verbose {
+				printDetail(r)
+			}
+		}
+	}
+}
+
+func variantByName(name string) (core.Variant, error) {
+	for _, v := range core.Variants() {
+		if strings.EqualFold(v.String(), name) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (try -list)", name)
+}
+
+func printDetail(r sim.Result) {
+	c := r.CPU
+	fmt.Printf("  cycles=%d committed=%d loads=%d stores=%d\n",
+		c.Cycles, c.Committed, c.Loads, c.Stores)
+	fmt.Printf("  D: accesses=%d misses=%d (%.2f%%)  SB ready/pending=%d/%d  forwards=%d\n",
+		c.DAccesses, c.DMisses, c.DMissRate()*100, c.SBHitsReady, c.SBHitsPending, c.Forwards)
+	fmt.Printf("  branches=%d mispredicts=%d  trains=%d  TLB MR=%.3f%%\n",
+		c.Branches, c.Mispredicts, c.TrainEvents, r.TLBMissRate*100)
+	s := r.SB
+	fmt.Printf("  SB: allocReq=%d alloc=%d denied=%d pred=%d dropped=%d issued=%d used=%d acc=%.1f%%\n",
+		s.AllocationRequests, s.Allocations, s.AllocationsDenied,
+		s.Predictions, s.PredictionsDropped, s.PrefetchesIssued, s.PrefetchesUsed,
+		s.Accuracy()*100)
+	fmt.Printf("  L1I MR=%.3f%%  L2 MR=%.1f%%  buses: L1L2=%.1f%% mem=%.1f%%\n",
+		r.L1I.MissRate()*100, r.L2.MissRate()*100, r.L1L2Util*100, r.MemBusUtil*100)
+}

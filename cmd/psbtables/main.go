@@ -1,0 +1,146 @@
+// Command psbtables regenerates the paper's evaluation artifacts:
+// Table 2 and Figures 4-11, plus the repository's ablation studies.
+//
+// Usage:
+//
+//	psbtables -all                 # every table and figure
+//	psbtables -table 2             # just Table 2
+//	psbtables -fig 5 -fig 6        # selected figures
+//	psbtables -ablations           # the DESIGN.md ablation studies
+//	psbtables -insts 1000000       # larger instruction budget
+//	psbtables -csv                 # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+
+func (l *intList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var figs intList
+	var tables intList
+	var (
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies")
+		extensions = flag.Bool("extensions", false, "run the extension studies (prior-work comparison, Markov order, per-buffer TLB)")
+		insts      = flag.Uint64("insts", 500_000, "instruction budget per run")
+		seed       = flag.Int64("seed", 1, "workload layout seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Var(&figs, "fig", "figure number to regenerate (repeatable: 4..11)")
+	flag.Var(&tables, "table", "table number to regenerate (repeatable: 2)")
+	flag.Parse()
+
+	cfg := sim.Default()
+	cfg.MaxInsts = *insts
+	cfg.Seed = *seed
+
+	if *all {
+		tables = intList{2}
+		figs = intList{4, 5, 6, 7, 8, 9, 10, 11}
+	}
+	if len(tables) == 0 && len(figs) == 0 && !*ablations && !*extensions {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -fig N, -ablations or -extensions")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Println(t.Title)
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	needMatrix := len(tables) > 0
+	for _, f := range figs {
+		if f >= 5 && f <= 9 {
+			needMatrix = true
+		}
+	}
+	var m *experiments.Matrix
+	if needMatrix {
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d schemes at %d instructions each...\n",
+			6, len(experiments.Schemes()), cfg.MaxInsts)
+		m = experiments.RunMatrix(cfg)
+	}
+
+	for _, tn := range tables {
+		switch tn {
+		case 2:
+			emit(experiments.Table2(m))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %d (the paper's Table 1 is prose; see workload docs)\n", tn)
+		}
+	}
+	for _, f := range figs {
+		switch f {
+		case 4:
+			emit(experiments.Fig4(cfg))
+		case 5:
+			emit(experiments.Fig5(m))
+		case 6:
+			emit(experiments.Fig6(m))
+		case 7:
+			emit(experiments.Fig7(m))
+		case 8:
+			emit(experiments.Fig8(m))
+		case 9:
+			emit(experiments.Fig9(m))
+		case 10:
+			emit(experiments.Fig10(cfg))
+		case 11:
+			emit(experiments.Fig11(cfg))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", f)
+		}
+	}
+
+	if *ablations {
+		fmt.Fprintln(os.Stderr, "running ablations...")
+		for _, t := range []*stats.Table{
+			experiments.AblationMarkovDelta(cfg),
+			experiments.AblationAllocation(cfg),
+			experiments.AblationScheduler(cfg),
+			experiments.AblationGeometry(cfg),
+			experiments.AblationMarkovSize(cfg),
+			experiments.AblationOverlap(cfg),
+		} {
+			emit(t)
+		}
+	}
+
+	if *extensions {
+		fmt.Fprintln(os.Stderr, "running extensions...")
+		for _, t := range []*stats.Table{
+			experiments.PriorWork(cfg),
+			experiments.PredictorShootout(cfg),
+			experiments.AblationMarkovOrder(cfg),
+			experiments.AblationStreamTLB(cfg),
+			experiments.AblationUnrolling(cfg),
+		} {
+			emit(t)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command psbtrace characterizes a benchmark's miss stream: it runs
+// the functional simulator, filters the reference stream through a
+// standalone L1 model, and reports the properties that determine how
+// prefetchable the program is — miss rate, the block-delta mix
+// (stride vs pointer), the Markov working set, and oracle
+// predictability. It is the analysis companion to the timing tools.
+//
+// Usage:
+//
+//	psbtrace -bench health -insts 500000
+//	psbtrace -bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "health", "benchmark name, or 'all'")
+		insts     = flag.Uint64("insts", 500_000, "instructions to trace")
+		seed      = flag.Int64("seed", 1, "workload layout seed")
+		topN      = flag.Int("top", 8, "block deltas to list")
+	)
+	flag.Parse()
+
+	var benches []workload.Workload
+	if *benchName == "all" {
+		benches = workload.All()
+	} else {
+		w, err := workload.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		benches = []workload.Workload{w}
+	}
+	for _, w := range benches {
+		analyze(w, *insts, *seed, *topN)
+	}
+}
+
+func analyze(w workload.Workload, insts uint64, seed int64, topN int) {
+	m := w.Build(seed)
+	l1 := mem.NewCache(mem.DefaultConfig().L1D)
+	hist := predict.NewDeltaHistogram(1<<16, 5)
+
+	var loads, stores, misses uint64
+	deltas := make(map[int64]uint64)
+	missBlocks := make(map[uint64]struct{})
+	missPCs := make(map[uint64]struct{})
+	var lastMissBlk uint64
+	haveLast := false
+
+	for i := uint64(0); i < insts; i++ {
+		d, err := m.Step()
+		if err != nil {
+			break
+		}
+		if !d.Op.IsMem() {
+			continue
+		}
+		if d.IsLoad() {
+			loads++
+		} else {
+			stores++
+		}
+		if l1.Access(d.EffAddr) {
+			continue
+		}
+		l1.Insert(d.EffAddr)
+		misses++
+		blk := d.EffAddr >> 5
+		missBlocks[blk] = struct{}{}
+		if d.IsLoad() {
+			missPCs[d.PC] = struct{}{}
+			hist.Observe(d.EffAddr)
+			if haveLast {
+				deltas[int64(blk)-int64(lastMissBlk)]++
+			}
+			lastMissBlk = blk
+			haveLast = true
+		}
+	}
+
+	fmt.Printf("=== %s (%d instructions) ===\n", w.Name, insts)
+	fmt.Printf("loads %d (%.1f%%)  stores %d (%.1f%%)  L1 misses %d (%.1f%% of refs)\n",
+		loads, pct(loads, insts), stores, pct(stores, insts),
+		misses, pct(misses, loads+stores))
+	fmt.Printf("miss working set: %d blocks (%.0f KB)  missing load PCs: %d\n",
+		len(missBlocks), float64(len(missBlocks))*32/1024, len(missPCs))
+	fmt.Printf("Markov-oracle predictability: 8b %.1f%%  16b %.1f%%  full %.1f%%\n",
+		hist.PercentPredictable(8)*100, hist.PercentPredictable(16)*100,
+		hist.PercentPredictable(64)*100)
+
+	type dc struct {
+		delta int64
+		count uint64
+	}
+	var sorted []dc
+	var total uint64
+	for d, c := range deltas {
+		sorted = append(sorted, dc{d, c})
+		total += c
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].count > sorted[j].count })
+	fmt.Printf("top miss-stream block deltas:\n")
+	for i, e := range sorted {
+		if i >= topN {
+			break
+		}
+		fmt.Printf("  %+6d blocks: %5.1f%%\n", e.delta, pct(e.count, total))
+	}
+	covered := uint64(0)
+	for i, e := range sorted {
+		if i >= topN {
+			break
+		}
+		covered += e.count
+	}
+	fmt.Printf("  (top %d deltas cover %.1f%% — higher means stride-friendlier)\n\n",
+		topN, pct(covered, total))
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

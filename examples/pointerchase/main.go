@@ -1,0 +1,49 @@
+// Pointerchase: a study of how every prefetcher configuration handles
+// linked-data traversal as the structure grows, reproducing the
+// paper's central claim — stream buffers directed by a
+// stride-filtered Markov predictor follow pointer chains that
+// fixed-stride buffers cannot.
+//
+//	go run ./examples/pointerchase
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := sim.Default()
+	cfg.MaxInsts = 150_000
+
+	fmt.Println("serial pointer chase: IPC by prefetcher and list size")
+	fmt.Printf("%-10s", "nodes")
+	for _, v := range core.Variants() {
+		fmt.Printf("  %-18s", v)
+	}
+	fmt.Println()
+
+	for _, nodes := range []int{250, 1000, 1500, 3000} {
+		nodes := nodes
+		w := workload.Workload{
+			Name: fmt.Sprintf("chase-%d", nodes),
+			Build: func(seed int64) *vm.Machine {
+				return workload.BuildPointerChase(nodes, seed)
+			},
+		}
+		fmt.Printf("%-10d", nodes)
+		for _, v := range core.Variants() {
+			r := sim.Run(w, v, cfg)
+			fmt.Printf("  %-18.3f", r.IPC())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("250 nodes fit the L1 (all schemes equal); beyond it the Markov-")
+	fmt.Println("directed schemes pull ahead; around 2K+ nodes the chain outgrows")
+	fmt.Println("the 2K-entry Markov table and the PSB advantage shrinks again.")
+}

@@ -1,0 +1,49 @@
+// Strided: demonstrates that on regular array code, predictor-directed
+// stream buffers match (and do not beat) classic PC-stride stream
+// buffers — the paper's turb3d observation — across several strides.
+//
+//	go run ./examples/strided
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := sim.Default()
+	cfg.MaxInsts = 150_000
+
+	schemes := []core.Variant{core.None, core.Sequential, core.PCStride, core.PSBConfPriority}
+
+	fmt.Println("strided array sweep (4096 blocks): IPC by stride and prefetcher")
+	fmt.Printf("%-14s", "stride")
+	for _, v := range schemes {
+		fmt.Printf("  %-18s", v)
+	}
+	fmt.Println()
+
+	for _, stride := range []int{32, 64, 128, 256} {
+		stride := stride
+		w := workload.Workload{
+			Name: fmt.Sprintf("stride-%d", stride),
+			Build: func(seed int64) *vm.Machine {
+				return workload.BuildStrideSweep(4096, stride, seed)
+			},
+		}
+		fmt.Printf("%-14d", stride)
+		for _, v := range schemes {
+			r := sim.Run(w, v, cfg)
+			fmt.Printf("  %-18.3f", r.IPC())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Sequential (next-block) buffers fall behind as the stride grows;")
+	fmt.Println("PC-stride and predictor-directed buffers stay equivalent: the SFM")
+	fmt.Println("predictor's stride filter handles what its Markov table need not.")
+}

@@ -1,0 +1,384 @@
+// Package asm provides a programmatic assembler for the guest ISA.
+//
+// Workloads build guest programs through a Builder: emit instructions
+// with one method call each, create and bind labels for control flow,
+// and call Build to resolve branch offsets. The Builder is how the
+// repository's synthetic benchmarks (internal/workload) are written.
+package asm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Label identifies a position in the instruction stream. Create with
+// Builder.NewLabel, place with Builder.Bind, and reference from branch
+// and jump emitters. A label may be referenced before it is bound.
+type Label struct {
+	id    int
+	name  string
+	bound bool
+	pos   int // instruction index once bound
+}
+
+// Name returns the label's diagnostic name.
+func (l *Label) Name() string { return l.name }
+
+type fixup struct {
+	instIdx int
+	label   *Label
+}
+
+// Builder assembles a guest program.
+//
+// The zero value is not usable; call New.
+type Builder struct {
+	prog   []isa.Instr
+	labels []*Label
+	fixups []fixup
+	errs   []error
+}
+
+// New returns an empty Builder.
+func New() *Builder { return &Builder{} }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.prog) }
+
+// PC returns the byte address the next emitted instruction will occupy,
+// assuming the program is loaded at base address 0.
+func (b *Builder) PC() uint64 { return uint64(len(b.prog)) * isa.InstBytes }
+
+func (b *Builder) emit(in isa.Instr) {
+	b.prog = append(b.prog, in)
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// NewLabel creates an unbound label. The name is used only in error
+// messages and disassembly.
+func (b *Builder) NewLabel(name string) *Label {
+	l := &Label{id: len(b.labels), name: name}
+	b.labels = append(b.labels, l)
+	return l
+}
+
+// Bind places the label at the current position. A label may be bound
+// only once.
+func (b *Builder) Bind(l *Label) {
+	if l.bound {
+		b.errf("asm: label %q bound twice", l.name)
+		return
+	}
+	l.bound = true
+	l.pos = len(b.prog)
+}
+
+// Here creates a label already bound at the current position.
+func (b *Builder) Here(name string) *Label {
+	l := b.NewLabel(name)
+	b.Bind(l)
+	return l
+}
+
+func (b *Builder) emitLabelled(in isa.Instr, l *Label) {
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.prog), label: l})
+	b.emit(in)
+}
+
+func checkInt(b *Builder, what string, r isa.Reg) {
+	if r == isa.RegNone || r.IsFP() {
+		b.errf("asm: %s requires an integer register, got %s", what, r)
+	}
+}
+
+func checkFP(b *Builder, what string, r isa.Reg) {
+	if !r.IsFP() {
+		b.errf("asm: %s requires an FP register, got %s", what, r)
+	}
+}
+
+// --- Integer ALU, register-register ---
+
+func (b *Builder) rrr(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	checkInt(b, op.String(), rd)
+	checkInt(b, op.String(), rs1)
+	checkInt(b, op.String(), rs2)
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) { b.rrr(isa.ADD, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SUB, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) { b.rrr(isa.AND, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.rrr(isa.OR, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) { b.rrr(isa.XOR, rd, rs1, rs2) }
+
+// Shl emits rd = rs1 << (rs2 & 63).
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SHL, rd, rs1, rs2) }
+
+// Shr emits rd = rs1 >> (rs2 & 63) (logical).
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SHR, rd, rs1, rs2) }
+
+// Slt emits rd = 1 if rs1 < rs2 (signed) else 0.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) { b.rrr(isa.SLT, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) { b.rrr(isa.MUL, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2 (signed; division by zero yields 0).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) { b.rrr(isa.DIV, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2 (signed; modulo by zero yields 0).
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) { b.rrr(isa.REM, rd, rs1, rs2) }
+
+// --- Integer ALU, register-immediate ---
+
+func (b *Builder) rri(op isa.Op, rd, rs1 isa.Reg, imm int32) {
+	checkInt(b, op.String(), rd)
+	checkInt(b, op.String(), rs1)
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int32) { b.rri(isa.ADDI, rd, rs1, imm) }
+
+// Andi emits rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int32) { b.rri(isa.ANDI, rd, rs1, imm) }
+
+// Ori emits rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int32) { b.rri(isa.ORI, rd, rs1, imm) }
+
+// Xori emits rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int32) { b.rri(isa.XORI, rd, rs1, imm) }
+
+// Shli emits rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 isa.Reg, imm int32) { b.rri(isa.SHLI, rd, rs1, imm) }
+
+// Shri emits rd = rs1 >> imm (logical).
+func (b *Builder) Shri(rd, rs1 isa.Reg, imm int32) { b.rri(isa.SHRI, rd, rs1, imm) }
+
+// Slti emits rd = 1 if rs1 < imm (signed) else 0.
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int32) { b.rri(isa.SLTI, rd, rs1, imm) }
+
+// Lui emits rd = sign-extended imm << 16.
+func (b *Builder) Lui(rd isa.Reg, imm int32) {
+	checkInt(b, "lui", rd)
+	b.emit(isa.Instr{Op: isa.LUI, Rd: rd, Imm: imm})
+}
+
+// Mov emits a register copy (rd = rs).
+func (b *Builder) Mov(rd, rs isa.Reg) { b.Addi(rd, rs, 0) }
+
+// Li loads a 64-bit constant into rd using the shortest LUI/ORI/SHLI
+// sequence. Small constants take one instruction.
+func (b *Builder) Li(rd isa.Reg, v int64) {
+	checkInt(b, "li", rd)
+	if v >= -(1<<31) && v < 1<<31 {
+		v32 := int32(v)
+		if v32 >= -(1<<15) && v32 < 1<<15 {
+			b.Addi(rd, isa.R0, v32)
+			return
+		}
+		// LUI places the top bits; ORI fills the low 16.
+		b.Lui(rd, v32>>16)
+		if low := v32 & 0xFFFF; low != 0 {
+			b.Ori(rd, rd, low)
+		}
+		return
+	}
+	// General 64-bit constant: build 16 bits at a time.
+	b.Li(rd, v>>48)
+	for shift := 32; shift >= 0; shift -= 16 {
+		b.Shli(rd, rd, 16)
+		if chunk := int32(v>>shift) & 0xFFFF; chunk != 0 {
+			b.Ori(rd, rd, chunk)
+		}
+	}
+}
+
+// --- Memory ---
+
+func (b *Builder) load(op isa.Op, rd, base isa.Reg, off int32) {
+	if op == isa.FLD {
+		checkFP(b, op.String(), rd)
+	} else {
+		checkInt(b, op.String(), rd)
+	}
+	checkInt(b, op.String()+" base", base)
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: base, Imm: off})
+}
+
+func (b *Builder) store(op isa.Op, rs, base isa.Reg, off int32) {
+	if op == isa.FST {
+		checkFP(b, op.String(), rs)
+	} else {
+		checkInt(b, op.String(), rs)
+	}
+	checkInt(b, op.String()+" base", base)
+	b.emit(isa.Instr{Op: op, Rs1: base, Rs2: rs, Imm: off})
+}
+
+// Ld emits rd = mem64[base+off].
+func (b *Builder) Ld(rd, base isa.Reg, off int32) { b.load(isa.LD, rd, base, off) }
+
+// Lw emits rd = mem32[base+off] (zero-extended).
+func (b *Builder) Lw(rd, base isa.Reg, off int32) { b.load(isa.LW, rd, base, off) }
+
+// Lb emits rd = mem8[base+off] (zero-extended).
+func (b *Builder) Lb(rd, base isa.Reg, off int32) { b.load(isa.LB, rd, base, off) }
+
+// Fld emits fd = memFloat64[base+off].
+func (b *Builder) Fld(fd, base isa.Reg, off int32) { b.load(isa.FLD, fd, base, off) }
+
+// St emits mem64[base+off] = rs.
+func (b *Builder) St(rs, base isa.Reg, off int32) { b.store(isa.ST, rs, base, off) }
+
+// Sw emits mem32[base+off] = rs.
+func (b *Builder) Sw(rs, base isa.Reg, off int32) { b.store(isa.SW, rs, base, off) }
+
+// Sb emits mem8[base+off] = rs.
+func (b *Builder) Sb(rs, base isa.Reg, off int32) { b.store(isa.SB, rs, base, off) }
+
+// Fst emits memFloat64[base+off] = fs.
+func (b *Builder) Fst(fs, base isa.Reg, off int32) { b.store(isa.FST, fs, base, off) }
+
+// --- Floating point ---
+
+func (b *Builder) fff(op isa.Op, fd, fs1, fs2 isa.Reg) {
+	checkFP(b, op.String(), fd)
+	checkFP(b, op.String(), fs1)
+	checkFP(b, op.String(), fs2)
+	b.emit(isa.Instr{Op: op, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// Fadd emits fd = fs1 + fs2.
+func (b *Builder) Fadd(fd, fs1, fs2 isa.Reg) { b.fff(isa.FADD, fd, fs1, fs2) }
+
+// Fsub emits fd = fs1 - fs2.
+func (b *Builder) Fsub(fd, fs1, fs2 isa.Reg) { b.fff(isa.FSUB, fd, fs1, fs2) }
+
+// Fmul emits fd = fs1 * fs2.
+func (b *Builder) Fmul(fd, fs1, fs2 isa.Reg) { b.fff(isa.FMUL, fd, fs1, fs2) }
+
+// Fdiv emits fd = fs1 / fs2.
+func (b *Builder) Fdiv(fd, fs1, fs2 isa.Reg) { b.fff(isa.FDIV, fd, fs1, fs2) }
+
+// Fitof emits fd = float64(rs).
+func (b *Builder) Fitof(fd, rs isa.Reg) {
+	checkFP(b, "fitof", fd)
+	checkInt(b, "fitof", rs)
+	b.emit(isa.Instr{Op: isa.FITOF, Rd: fd, Rs1: rs})
+}
+
+// Fftoi emits rd = int64(fs).
+func (b *Builder) Fftoi(rd, fs isa.Reg) {
+	checkInt(b, "fftoi", rd)
+	checkFP(b, "fftoi", fs)
+	b.emit(isa.Instr{Op: isa.FFTOI, Rd: rd, Rs1: fs})
+}
+
+// --- Control flow ---
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 isa.Reg, l *Label) {
+	checkInt(b, op.String(), rs1)
+	checkInt(b, op.String(), rs2)
+	b.emitLabelled(isa.Instr{Op: op, Rs1: rs1, Rs2: rs2}, l)
+}
+
+// Beq emits a branch to l if rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, l *Label) { b.branch(isa.BEQ, rs1, rs2, l) }
+
+// Bne emits a branch to l if rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, l *Label) { b.branch(isa.BNE, rs1, rs2, l) }
+
+// Blt emits a branch to l if rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 isa.Reg, l *Label) { b.branch(isa.BLT, rs1, rs2, l) }
+
+// Bge emits a branch to l if rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 isa.Reg, l *Label) { b.branch(isa.BGE, rs1, rs2, l) }
+
+// Beqz emits a branch to l if rs == 0.
+func (b *Builder) Beqz(rs isa.Reg, l *Label) { b.Beq(rs, isa.R0, l) }
+
+// Bnez emits a branch to l if rs != 0.
+func (b *Builder) Bnez(rs isa.Reg, l *Label) { b.Bne(rs, isa.R0, l) }
+
+// Jmp emits an unconditional jump to l.
+func (b *Builder) Jmp(l *Label) {
+	b.emitLabelled(isa.Instr{Op: isa.JMP}, l)
+}
+
+// Call emits a JAL to l, placing the return address in RLR.
+func (b *Builder) Call(l *Label) {
+	b.emitLabelled(isa.Instr{Op: isa.JAL, Rd: isa.RLR}, l)
+}
+
+// Ret emits a return through RLR.
+func (b *Builder) Ret() {
+	b.emit(isa.Instr{Op: isa.JALR, Rd: isa.R0, Rs1: isa.RLR})
+}
+
+// Jalr emits an indirect jump through rs, linking into rd.
+func (b *Builder) Jalr(rd, rs isa.Reg) {
+	checkInt(b, "jalr", rd)
+	checkInt(b, "jalr", rs)
+	b.emit(isa.Instr{Op: isa.JALR, Rd: rd, Rs1: rs})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Instr{Op: isa.NOP}) }
+
+// Halt emits the program-terminating instruction.
+func (b *Builder) Halt() { b.emit(isa.Instr{Op: isa.HALT}) }
+
+// Build resolves all label references and returns the program. It
+// returns an error if any label is unbound, any branch offset is out of
+// range, or any emitter recorded a register-class error.
+func (b *Builder) Build() ([]isa.Instr, error) {
+	errs := append([]error(nil), b.errs...)
+	for _, f := range b.fixups {
+		if !f.label.bound {
+			errs = append(errs, fmt.Errorf("asm: unbound label %q referenced at instruction %d",
+				f.label.name, f.instIdx))
+			continue
+		}
+		// Branch offsets are instruction counts relative to the
+		// *next* PC, matching hardware PC-relative addressing.
+		off := int64(f.label.pos) - int64(f.instIdx) - 1
+		if off < -(1<<30) || off >= 1<<30 {
+			errs = append(errs, fmt.Errorf("asm: branch to %q out of range (%d instructions)",
+				f.label.name, off))
+			continue
+		}
+		b.prog[f.instIdx].Imm = int32(off)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	out := make([]isa.Instr, len(b.prog))
+	copy(out, b.prog)
+	return out, nil
+}
+
+// MustBuild is Build but panics on error; for use in tests and
+// statically-correct workload constructors.
+func (b *Builder) MustBuild() []isa.Instr {
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

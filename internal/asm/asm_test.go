@@ -1,0 +1,168 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestForwardAndBackwardBranches(t *testing.T) {
+	b := New()
+	top := b.Here("top")           // index 0
+	end := b.NewLabel("end")       // forward
+	b.Beq(isa.R(1), isa.R(2), end) // index 0... wait, Here was before any emit
+	b.Addi(isa.R(1), isa.R(1), 1)  // index 1
+	b.Jmp(top)                     // index 2
+	b.Bind(end)                    //
+	b.Halt()                       // index 3
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beq at index 0 targets index 3: offset = 3 - 0 - 1 = 2.
+	if prog[0].Imm != 2 {
+		t.Errorf("forward branch offset = %d, want 2", prog[0].Imm)
+	}
+	// jmp at index 2 targets index 0: offset = 0 - 2 - 1 = -3.
+	if prog[2].Imm != -3 {
+		t.Errorf("backward jump offset = %d, want -3", prog[2].Imm)
+	}
+}
+
+func TestUnboundLabelError(t *testing.T) {
+	b := New()
+	l := b.NewLabel("nowhere")
+	b.Jmp(l)
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted a program with an unbound label")
+	}
+}
+
+func TestDoubleBindError(t *testing.T) {
+	b := New()
+	l := b.Here("once")
+	b.Bind(l)
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted a doubly-bound label")
+	}
+}
+
+func TestRegisterClassChecks(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Add(isa.F(0), isa.R(1), isa.R(2)) },
+		func(b *Builder) { b.Fadd(isa.R(0), isa.F(1), isa.F(2)) },
+		func(b *Builder) { b.Ld(isa.F(0), isa.R(1), 0) },
+		func(b *Builder) { b.Fld(isa.R(0), isa.R(1), 0) },
+		func(b *Builder) { b.Ld(isa.R(0), isa.F(1), 0) },
+		func(b *Builder) { b.St(isa.F(0), isa.R(1), 0) },
+		func(b *Builder) { b.Fst(isa.R(0), isa.R(1), 0) },
+		func(b *Builder) { b.Addi(isa.RegNone, isa.R(1), 0) },
+	}
+	for i, emit := range cases {
+		b := New()
+		emit(b)
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: Build accepted a register-class violation", i)
+		}
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on bad program")
+		}
+	}()
+	b := New()
+	b.Jmp(b.NewLabel("unbound"))
+	b.MustBuild()
+}
+
+func TestLiSmall(t *testing.T) {
+	b := New()
+	b.Li(isa.R(1), 42)
+	b.Halt()
+	prog := b.MustBuild()
+	if len(prog) != 2 || prog[0].Op != isa.ADDI || prog[0].Imm != 42 {
+		t.Errorf("Li(42) = %v, want single addi", prog[:len(prog)-1])
+	}
+}
+
+func TestLiNegativeSmall(t *testing.T) {
+	b := New()
+	b.Li(isa.R(1), -5)
+	b.Halt()
+	prog := b.MustBuild()
+	if len(prog) != 2 || prog[0].Op != isa.ADDI || prog[0].Imm != -5 {
+		t.Errorf("Li(-5) = %v, want single addi", prog[:len(prog)-1])
+	}
+}
+
+func TestPCAndLen(t *testing.T) {
+	b := New()
+	if b.PC() != 0 || b.Len() != 0 {
+		t.Fatal("new builder not empty")
+	}
+	b.Nop()
+	b.Nop()
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	if b.PC() != 2*isa.InstBytes {
+		t.Errorf("PC = %d, want %d", b.PC(), 2*isa.InstBytes)
+	}
+}
+
+func TestRetEncodesJALRThroughLR(t *testing.T) {
+	b := New()
+	b.Ret()
+	prog := b.MustBuild()
+	want := isa.Instr{Op: isa.JALR, Rd: isa.R0, Rs1: isa.RLR}
+	if prog[0] != want {
+		t.Errorf("Ret() = %v, want %v", prog[0], want)
+	}
+}
+
+func TestCallLinksRLR(t *testing.T) {
+	b := New()
+	fn := b.NewLabel("fn")
+	b.Call(fn)
+	b.Halt()
+	b.Bind(fn)
+	b.Ret()
+	prog := b.MustBuild()
+	if prog[0].Op != isa.JAL || prog[0].Rd != isa.RLR {
+		t.Errorf("Call = %v, want jal rlr", prog[0])
+	}
+	if prog[0].Imm != 1 { // target index 2, from index 0: 2-0-1
+		t.Errorf("Call offset = %d, want 1", prog[0].Imm)
+	}
+}
+
+func TestBuildIsolation(t *testing.T) {
+	// Build must return a copy: later emits must not alias the result.
+	b := New()
+	b.Nop()
+	first, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Halt()
+	second, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 || len(second) != 2 {
+		t.Errorf("lengths = %d,%d want 1,2", len(first), len(second))
+	}
+}
+
+func TestLabelName(t *testing.T) {
+	b := New()
+	l := b.NewLabel("loop_head")
+	if l.Name() != "loop_head" {
+		t.Errorf("Name = %q", l.Name())
+	}
+}

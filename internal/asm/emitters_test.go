@@ -1,0 +1,167 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestEveryEmitter drives each Builder emitter once and checks the
+// exact instruction it produces.
+func TestEveryEmitter(t *testing.T) {
+	r1, r2, r3 := isa.R(1), isa.R(2), isa.R(3)
+	f1, f2, f3 := isa.F(1), isa.F(2), isa.F(3)
+
+	cases := []struct {
+		name string
+		emit func(b *Builder)
+		want isa.Instr
+	}{
+		{"add", func(b *Builder) { b.Add(r1, r2, r3) },
+			isa.Instr{Op: isa.ADD, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"sub", func(b *Builder) { b.Sub(r1, r2, r3) },
+			isa.Instr{Op: isa.SUB, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"and", func(b *Builder) { b.And(r1, r2, r3) },
+			isa.Instr{Op: isa.AND, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"or", func(b *Builder) { b.Or(r1, r2, r3) },
+			isa.Instr{Op: isa.OR, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"xor", func(b *Builder) { b.Xor(r1, r2, r3) },
+			isa.Instr{Op: isa.XOR, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"shl", func(b *Builder) { b.Shl(r1, r2, r3) },
+			isa.Instr{Op: isa.SHL, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"shr", func(b *Builder) { b.Shr(r1, r2, r3) },
+			isa.Instr{Op: isa.SHR, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"slt", func(b *Builder) { b.Slt(r1, r2, r3) },
+			isa.Instr{Op: isa.SLT, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"mul", func(b *Builder) { b.Mul(r1, r2, r3) },
+			isa.Instr{Op: isa.MUL, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"div", func(b *Builder) { b.Div(r1, r2, r3) },
+			isa.Instr{Op: isa.DIV, Rd: r1, Rs1: r2, Rs2: r3}},
+		{"rem", func(b *Builder) { b.Rem(r1, r2, r3) },
+			isa.Instr{Op: isa.REM, Rd: r1, Rs1: r2, Rs2: r3}},
+
+		{"addi", func(b *Builder) { b.Addi(r1, r2, 5) },
+			isa.Instr{Op: isa.ADDI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"andi", func(b *Builder) { b.Andi(r1, r2, 5) },
+			isa.Instr{Op: isa.ANDI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"ori", func(b *Builder) { b.Ori(r1, r2, 5) },
+			isa.Instr{Op: isa.ORI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"xori", func(b *Builder) { b.Xori(r1, r2, 5) },
+			isa.Instr{Op: isa.XORI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"shli", func(b *Builder) { b.Shli(r1, r2, 5) },
+			isa.Instr{Op: isa.SHLI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"shri", func(b *Builder) { b.Shri(r1, r2, 5) },
+			isa.Instr{Op: isa.SHRI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"slti", func(b *Builder) { b.Slti(r1, r2, 5) },
+			isa.Instr{Op: isa.SLTI, Rd: r1, Rs1: r2, Imm: 5}},
+		{"lui", func(b *Builder) { b.Lui(r1, 5) },
+			isa.Instr{Op: isa.LUI, Rd: r1, Imm: 5}},
+		{"mov", func(b *Builder) { b.Mov(r1, r2) },
+			isa.Instr{Op: isa.ADDI, Rd: r1, Rs1: r2, Imm: 0}},
+
+		{"ld", func(b *Builder) { b.Ld(r1, r2, 8) },
+			isa.Instr{Op: isa.LD, Rd: r1, Rs1: r2, Imm: 8}},
+		{"lw", func(b *Builder) { b.Lw(r1, r2, 8) },
+			isa.Instr{Op: isa.LW, Rd: r1, Rs1: r2, Imm: 8}},
+		{"lb", func(b *Builder) { b.Lb(r1, r2, 8) },
+			isa.Instr{Op: isa.LB, Rd: r1, Rs1: r2, Imm: 8}},
+		{"fld", func(b *Builder) { b.Fld(f1, r2, 8) },
+			isa.Instr{Op: isa.FLD, Rd: f1, Rs1: r2, Imm: 8}},
+		{"st", func(b *Builder) { b.St(r1, r2, 8) },
+			isa.Instr{Op: isa.ST, Rs1: r2, Rs2: r1, Imm: 8}},
+		{"sw", func(b *Builder) { b.Sw(r1, r2, 8) },
+			isa.Instr{Op: isa.SW, Rs1: r2, Rs2: r1, Imm: 8}},
+		{"sb", func(b *Builder) { b.Sb(r1, r2, 8) },
+			isa.Instr{Op: isa.SB, Rs1: r2, Rs2: r1, Imm: 8}},
+		{"fst", func(b *Builder) { b.Fst(f1, r2, 8) },
+			isa.Instr{Op: isa.FST, Rs1: r2, Rs2: f1, Imm: 8}},
+
+		{"fadd", func(b *Builder) { b.Fadd(f1, f2, f3) },
+			isa.Instr{Op: isa.FADD, Rd: f1, Rs1: f2, Rs2: f3}},
+		{"fsub", func(b *Builder) { b.Fsub(f1, f2, f3) },
+			isa.Instr{Op: isa.FSUB, Rd: f1, Rs1: f2, Rs2: f3}},
+		{"fmul", func(b *Builder) { b.Fmul(f1, f2, f3) },
+			isa.Instr{Op: isa.FMUL, Rd: f1, Rs1: f2, Rs2: f3}},
+		{"fdiv", func(b *Builder) { b.Fdiv(f1, f2, f3) },
+			isa.Instr{Op: isa.FDIV, Rd: f1, Rs1: f2, Rs2: f3}},
+		{"fitof", func(b *Builder) { b.Fitof(f1, r2) },
+			isa.Instr{Op: isa.FITOF, Rd: f1, Rs1: r2}},
+		{"fftoi", func(b *Builder) { b.Fftoi(r1, f2) },
+			isa.Instr{Op: isa.FFTOI, Rd: r1, Rs1: f2}},
+
+		{"jalr", func(b *Builder) { b.Jalr(r1, r2) },
+			isa.Instr{Op: isa.JALR, Rd: r1, Rs1: r2}},
+		{"nop", func(b *Builder) { b.Nop() }, isa.Instr{Op: isa.NOP}},
+		{"halt", func(b *Builder) { b.Halt() }, isa.Instr{Op: isa.HALT}},
+	}
+	for _, c := range cases {
+		b := New()
+		c.emit(b)
+		prog, err := b.Build()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(prog) != 1 || prog[0] != c.want {
+			t.Errorf("%s: emitted %+v, want %+v", c.name, prog, c.want)
+		}
+	}
+}
+
+// TestBranchEmitters checks each branch/jump family member resolves
+// its label.
+func TestBranchEmitters(t *testing.T) {
+	r1, r2 := isa.R(1), isa.R(2)
+	cases := []struct {
+		name string
+		emit func(b *Builder, l *Label)
+		op   isa.Op
+	}{
+		{"beq", func(b *Builder, l *Label) { b.Beq(r1, r2, l) }, isa.BEQ},
+		{"bne", func(b *Builder, l *Label) { b.Bne(r1, r2, l) }, isa.BNE},
+		{"blt", func(b *Builder, l *Label) { b.Blt(r1, r2, l) }, isa.BLT},
+		{"bge", func(b *Builder, l *Label) { b.Bge(r1, r2, l) }, isa.BGE},
+		{"beqz", func(b *Builder, l *Label) { b.Beqz(r1, l) }, isa.BEQ},
+		{"bnez", func(b *Builder, l *Label) { b.Bnez(r1, l) }, isa.BNE},
+		{"jmp", func(b *Builder, l *Label) { b.Jmp(l) }, isa.JMP},
+		{"call", func(b *Builder, l *Label) { b.Call(l) }, isa.JAL},
+	}
+	for _, c := range cases {
+		b := New()
+		l := b.NewLabel("target")
+		c.emit(b, l)
+		b.Nop()
+		b.Bind(l)
+		b.Halt()
+		prog, err := b.Build()
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if prog[0].Op != c.op {
+			t.Errorf("%s: op = %v, want %v", c.name, prog[0].Op, c.op)
+		}
+		if prog[0].Imm != 1 { // target at index 2, from index 0
+			t.Errorf("%s: offset = %d, want 1", c.name, prog[0].Imm)
+		}
+	}
+}
+
+// TestLiBoundaryEncodings pins the instruction counts of Li's three
+// encoding strategies.
+func TestLiBoundaryEncodings(t *testing.T) {
+	count := func(v int64) int {
+		b := New()
+		b.Li(isa.R(1), v)
+		return b.Len()
+	}
+	if n := count(100); n != 1 {
+		t.Errorf("small constant uses %d instructions, want 1", n)
+	}
+	if n := count(1 << 20); n > 2 {
+		t.Errorf("32-bit constant uses %d instructions, want <= 2", n)
+	}
+	if n := count(1 << 40); n > 8 {
+		t.Errorf("64-bit constant uses %d instructions, want <= 8", n)
+	}
+}

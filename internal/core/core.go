@@ -1,0 +1,187 @@
+// Package core is the repository's primary contribution: Predictor-
+// Directed Stream Buffers (PSB), the prefetcher of Sherwood, Sair &
+// Calder (MICRO-33, 2000).
+//
+// A PSB is a bank of stream buffers whose prefetch stream is generated
+// by an address predictor — here the Stride-Filtered Markov (SFM)
+// predictor — instead of a fixed per-allocation stride. Each buffer
+// carries private prediction state (load PC, last predicted address,
+// stride, confidence); a single shared prediction port re-indexes the
+// predictor each cycle to extend one buffer's stream; allocation and
+// scheduling may be guided by confidence counters.
+//
+// The package exposes the paper's five evaluated configurations as
+// Variants and a constructor for arbitrary predictor/policy
+// combinations (any address predictor can direct the stream buffer).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/demand"
+	"repro/internal/predict"
+	"repro/internal/sbuf"
+)
+
+// Variant names a prefetcher configuration from the paper's
+// evaluation (§6).
+type Variant int
+
+const (
+	// None disables prefetching (the baseline machine of Table 2).
+	None Variant = iota
+	// Sequential is Jouppi's original next-block stream buffer.
+	Sequential
+	// PCStride is the best prior approach: Farkas et al.'s PC-indexed
+	// stride stream buffers with a two-miss allocation filter.
+	PCStride
+	// PSB2MissRR is a predictor-directed stream buffer with the
+	// two-miss allocation filter and round-robin scheduling.
+	PSB2MissRR
+	// PSB2MissPriority uses the two-miss filter with priority-counter
+	// scheduling.
+	PSB2MissPriority
+	// PSBConfRR uses confidence-guided allocation with round-robin
+	// scheduling.
+	PSBConfRR
+	// PSBConfPriority is the paper's best configuration: confidence
+	// allocation and priority scheduling.
+	PSBConfPriority
+
+	// NextLine is Smith's demand-triggered next-line prefetcher
+	// (prior work, §3.2), provided as an additional comparator.
+	NextLine
+	// MarkovPrefetch is the Joseph & Grunwald demand-based Markov
+	// prefetcher with accuracy adaptivity (prior work, §3.2).
+	MarkovPrefetch
+	// MinDeltaStride directs stream buffers with Palacharla & Kessler's
+	// address-indexed minimum-delta stride detection (prior work,
+	// §3.3.2) — the scheme the paper found uniformly outperformed by
+	// PC-stride.
+	MinDeltaStride
+
+	numVariants
+)
+
+var variantNames = [numVariants]string{
+	None:             "Base",
+	Sequential:       "Sequential",
+	PCStride:         "PC-stride",
+	PSB2MissRR:       "2Miss-RR",
+	PSB2MissPriority: "2Miss-Priority",
+	PSBConfRR:        "ConfAlloc-RR",
+	PSBConfPriority:  "ConfAlloc-Priority",
+	NextLine:         "NextLine",
+	MarkovPrefetch:   "MarkovPF",
+	MinDeltaStride:   "MinDelta",
+}
+
+// String returns the paper's name for the configuration.
+func (v Variant) String() string {
+	if v >= 0 && int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants lists every configuration, in the paper's presentation
+// order, followed by the prior-work comparators.
+func Variants() []Variant {
+	return []Variant{None, Sequential, PCStride,
+		PSB2MissRR, PSB2MissPriority, PSBConfRR, PSBConfPriority,
+		NextLine, MarkovPrefetch, MinDeltaStride}
+}
+
+// PaperVariants lists the five prefetching schemes of Figures 5-9
+// (PC-stride and the four PSB policy combinations).
+func PaperVariants() []Variant {
+	return []Variant{PCStride, PSB2MissRR, PSB2MissPriority, PSBConfRR, PSBConfPriority}
+}
+
+// IsPSB reports whether the variant is predictor-directed.
+func (v Variant) IsPSB() bool {
+	return v == PSB2MissRR || v == PSB2MissPriority || v == PSBConfRR || v == PSBConfPriority
+}
+
+// Options bundles the tunables of a PSB build.
+type Options struct {
+	Buffers sbuf.Config
+	SFM     predict.SFMConfig
+}
+
+// DefaultOptions returns the paper's parameters (8 buffers x 4
+// entries; 256-entry stride table; 2K-entry 16-bit differential
+// Markov table).
+func DefaultOptions() Options {
+	return Options{Buffers: sbuf.DefaultConfig(), SFM: predict.DefaultSFMConfig()}
+}
+
+// policies fills the allocation/scheduling fields of a buffer config
+// for the given variant.
+func policies(v Variant, cfg sbuf.Config) sbuf.Config {
+	switch v {
+	case Sequential:
+		cfg.Alloc = sbuf.AllocAlways
+		cfg.Sched = sbuf.SchedRoundRobin
+	case PCStride, MinDeltaStride:
+		cfg.Alloc = sbuf.AllocTwoMiss
+		cfg.Sched = sbuf.SchedRoundRobin
+	case PSB2MissRR:
+		cfg.Alloc = sbuf.AllocTwoMiss
+		cfg.Sched = sbuf.SchedRoundRobin
+	case PSB2MissPriority:
+		cfg.Alloc = sbuf.AllocTwoMiss
+		cfg.Sched = sbuf.SchedPriority
+	case PSBConfRR:
+		cfg.Alloc = sbuf.AllocConfidence
+		cfg.Sched = sbuf.SchedRoundRobin
+	case PSBConfPriority:
+		cfg.Alloc = sbuf.AllocConfidence
+		cfg.Sched = sbuf.SchedPriority
+	}
+	return cfg
+}
+
+// New builds the prefetcher for a paper variant with default options,
+// issuing prefetches through fetch.
+func New(v Variant, fetch sbuf.Fetcher) sbuf.Prefetcher {
+	return NewWithOptions(v, DefaultOptions(), fetch)
+}
+
+// NewWithOptions builds the prefetcher for a paper variant with
+// explicit options.
+func NewWithOptions(v Variant, opts Options, fetch sbuf.Fetcher) sbuf.Prefetcher {
+	cfg := policies(v, opts.Buffers)
+	switch v {
+	case None:
+		return sbuf.Null{}
+	case Sequential:
+		return sbuf.NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), fetch)
+	case PCStride:
+		return sbuf.NewEngine(cfg, predict.NewPCStride(opts.SFM), fetch)
+	case PSB2MissRR, PSB2MissPriority, PSBConfRR, PSBConfPriority:
+		return sbuf.NewEngine(cfg, predict.NewSFM(opts.SFM), fetch)
+	case MinDeltaStride:
+		mdc := predict.DefaultMinDeltaConfig()
+		mdc.BlockBytes = cfg.BlockBytes
+		return sbuf.NewEngine(cfg, predict.NewMinDelta(mdc), fetch)
+	case NextLine:
+		return demand.NewNLP(cfg.BlockBytes, cfg.NumBuffers*cfg.EntriesPerBuffer, fetch)
+	case MarkovPrefetch:
+		mc := demand.DefaultMarkovConfig()
+		mc.BlockBytes = cfg.BlockBytes
+		mc.TableEntries = opts.SFM.MarkovEntries
+		mc.BufEntries = cfg.NumBuffers * cfg.EntriesPerBuffer
+		return demand.NewMarkov(mc, fetch)
+	default:
+		panic(fmt.Sprintf("core: unknown variant %d", int(v)))
+	}
+}
+
+// NewCustom builds a predictor-directed stream buffer around any
+// address predictor — the paper's "any address predictor can be used
+// to guide the predicted prefetch stream" claim, exercised by
+// examples/custompredictor.
+func NewCustom(pred predict.Predictor, cfg sbuf.Config, fetch sbuf.Fetcher) *sbuf.Engine {
+	return sbuf.NewEngine(cfg, pred, fetch)
+}

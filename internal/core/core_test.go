@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/sbuf"
+)
+
+type nopFetch struct{}
+
+func (nopFetch) Prefetch(cycle, addr uint64) (uint64, bool) { return cycle + 1, true }
+func (nopFetch) BusFreeAt(cycle uint64) bool                { return true }
+func (nopFetch) L1Resident(addr uint64) bool                { return false }
+
+func TestVariantNames(t *testing.T) {
+	want := map[Variant]string{
+		None:             "Base",
+		Sequential:       "Sequential",
+		PCStride:         "PC-stride",
+		PSB2MissRR:       "2Miss-RR",
+		PSB2MissPriority: "2Miss-Priority",
+		PSBConfRR:        "ConfAlloc-RR",
+		PSBConfPriority:  "ConfAlloc-Priority",
+	}
+	for v, name := range want {
+		if v.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), name)
+		}
+	}
+	if Variant(99).String() != "variant(99)" {
+		t.Errorf("unknown variant string = %q", Variant(99).String())
+	}
+}
+
+func TestVariantsListsComplete(t *testing.T) {
+	if len(Variants()) != int(numVariants) {
+		t.Errorf("Variants() has %d entries, want %d", len(Variants()), numVariants)
+	}
+	if len(PaperVariants()) != 5 {
+		t.Errorf("PaperVariants() has %d entries, want 5", len(PaperVariants()))
+	}
+	for _, v := range PaperVariants() {
+		if v == None || v == Sequential {
+			t.Errorf("PaperVariants contains %v", v)
+		}
+	}
+}
+
+func TestIsPSB(t *testing.T) {
+	psb := map[Variant]bool{
+		None: false, Sequential: false, PCStride: false,
+		PSB2MissRR: true, PSB2MissPriority: true, PSBConfRR: true, PSBConfPriority: true,
+	}
+	for v, want := range psb {
+		if v.IsPSB() != want {
+			t.Errorf("%v.IsPSB() = %v, want %v", v, v.IsPSB(), want)
+		}
+	}
+}
+
+func TestNewBuildsEveryVariant(t *testing.T) {
+	for _, v := range Variants() {
+		p := New(v, nopFetch{})
+		if p == nil {
+			t.Fatalf("New(%v) returned nil", v)
+		}
+		// Exercise the interface without crashing.
+		p.Train(0x40, 0x1000)
+		p.AllocationRequest(0, 0x40, 0x1000)
+		p.Tick(1)
+		p.Lookup(2, 0x1000)
+		_ = p.Stats()
+	}
+}
+
+func TestNoneIsNull(t *testing.T) {
+	p := New(None, nopFetch{})
+	if _, ok := p.(sbuf.Null); !ok {
+		t.Errorf("New(None) = %T, want sbuf.Null", p)
+	}
+}
+
+func TestPoliciesMapping(t *testing.T) {
+	cases := []struct {
+		v     Variant
+		alloc sbuf.AllocPolicy
+		sched sbuf.SchedPolicy
+	}{
+		{Sequential, sbuf.AllocAlways, sbuf.SchedRoundRobin},
+		{PCStride, sbuf.AllocTwoMiss, sbuf.SchedRoundRobin},
+		{PSB2MissRR, sbuf.AllocTwoMiss, sbuf.SchedRoundRobin},
+		{PSB2MissPriority, sbuf.AllocTwoMiss, sbuf.SchedPriority},
+		{PSBConfRR, sbuf.AllocConfidence, sbuf.SchedRoundRobin},
+		{PSBConfPriority, sbuf.AllocConfidence, sbuf.SchedPriority},
+	}
+	for _, c := range cases {
+		cfg := policies(c.v, sbuf.DefaultConfig())
+		if cfg.Alloc != c.alloc || cfg.Sched != c.sched {
+			t.Errorf("%v policies = (%v,%v), want (%v,%v)",
+				c.v, cfg.Alloc, cfg.Sched, c.alloc, c.sched)
+		}
+	}
+}
+
+func TestNewCustomAcceptsAnyPredictor(t *testing.T) {
+	e := NewCustom(predict.NewSequential(32), sbuf.DefaultConfig(), nopFetch{})
+	e.AllocationRequest(0, 0x40, 0x1000)
+	e.Tick(1)
+	if e.Stats().PrefetchesIssued == 0 {
+		t.Error("custom engine issued no prefetches")
+	}
+}
+
+func TestNewUnknownVariantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted an unknown variant")
+		}
+	}()
+	New(Variant(42), nopFetch{})
+}

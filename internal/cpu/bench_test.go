@@ -1,0 +1,45 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sbuf"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// BenchmarkCoreThroughput measures end-to-end simulated instructions
+// per second of the timing core on the health benchmark (no
+// prefetching).
+func BenchmarkCoreThroughput(b *testing.B) {
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		w, err := workload.ByName("health")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := New(DefaultConfig(), mem.New(mem.DefaultConfig()), sbuf.Null{},
+			MachineSource{M: w.Build(1)})
+		st := c.Run(50_000)
+		committed += st.Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkGsharePredict measures front-end prediction cost.
+func BenchmarkGsharePredict(b *testing.B) {
+	g := NewGshare(DefaultGshareConfig())
+	d := vm.DynInst{PC: 0x1000, Op: isa.BEQ, Taken: true, NextPC: 0x1100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Taken = i%3 == 0
+		if d.Taken {
+			d.NextPC = 0x1100
+		} else {
+			d.NextPC = d.PC + 4
+		}
+		g.Predict(&d)
+	}
+}

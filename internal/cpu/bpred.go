@@ -1,0 +1,207 @@
+package cpu
+
+import (
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// GshareConfig sizes the branch direction predictor and its companion
+// target structures.
+type GshareConfig struct {
+	HistoryBits int // global history register width
+	TableBits   int // log2 of the 2-bit counter table
+	BTBEntries  int // branch target buffer entries (4-way)
+	BTBWays     int
+	RASEntries  int // return address stack depth
+}
+
+// DefaultGshareConfig matches the McFarling gshare front end of the
+// paper's baseline.
+func DefaultGshareConfig() GshareConfig {
+	return GshareConfig{HistoryBits: 12, TableBits: 12, BTBEntries: 512, BTBWays: 4, RASEntries: 16}
+}
+
+type btbEntry struct {
+	pc      uint64
+	target  uint64
+	valid   bool
+	lastUse uint64
+}
+
+// Gshare is a McFarling gshare direction predictor with a BTB and a
+// return-address stack. It is consulted (and, in this trace-driven
+// front end, immediately trained with the true outcome) at fetch.
+type Gshare struct {
+	cfg      GshareConfig
+	history  uint64
+	counters []uint8 // 2-bit saturating
+	btb      []btbEntry
+	ras      []uint64
+	rasTop   int
+	clock    uint64
+
+	// Statistics.
+	Branches    uint64 // conditional branches predicted
+	DirWrong    uint64 // direction mispredictions
+	TargetWrong uint64 // target mispredictions (BTB/RAS)
+}
+
+// NewGshare builds the predictor.
+func NewGshare(cfg GshareConfig) *Gshare {
+	if cfg.TableBits <= 0 || cfg.BTBEntries <= 0 || cfg.BTBWays <= 0 ||
+		cfg.BTBEntries%cfg.BTBWays != 0 || cfg.RASEntries <= 0 {
+		panic("cpu: bad gshare geometry")
+	}
+	g := &Gshare{
+		cfg:      cfg,
+		counters: make([]uint8, 1<<cfg.TableBits),
+		btb:      make([]btbEntry, cfg.BTBEntries),
+		ras:      make([]uint64, cfg.RASEntries),
+	}
+	// Weakly taken.
+	for i := range g.counters {
+		g.counters[i] = 2
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) int {
+	h := g.history & (1<<uint(g.cfg.HistoryBits) - 1)
+	return int(((pc >> 2) ^ h) & uint64(len(g.counters)-1))
+}
+
+func (g *Gshare) btbSet(pc uint64) []btbEntry {
+	sets := g.cfg.BTBEntries / g.cfg.BTBWays
+	idx := int((pc >> 2) % uint64(sets))
+	return g.btb[idx*g.cfg.BTBWays : (idx+1)*g.cfg.BTBWays]
+}
+
+func (g *Gshare) btbLookup(pc uint64) (uint64, bool) {
+	for i := range g.btbSet(pc) {
+		e := &g.btbSet(pc)[i]
+		if e.valid && e.pc == pc {
+			g.clock++
+			e.lastUse = g.clock
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+func (g *Gshare) btbInsert(pc, target uint64) {
+	g.clock++
+	set := g.btbSet(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			set[i].target = target
+			set[i].lastUse = g.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{pc: pc, target: target, valid: true, lastUse: g.clock}
+}
+
+func (g *Gshare) rasPush(addr uint64) {
+	g.ras[g.rasTop] = addr
+	g.rasTop = (g.rasTop + 1) % len(g.ras)
+}
+
+func (g *Gshare) rasPop() uint64 {
+	g.rasTop = (g.rasTop - 1 + len(g.ras)) % len(g.ras)
+	return g.ras[g.rasTop]
+}
+
+// Predict processes one fetched control-transfer instruction: it
+// produces a prediction, immediately trains on the true outcome in d,
+// and reports whether the fetch stream was mispredicted (direction or
+// target).
+func (g *Gshare) Predict(d *vm.DynInst) (mispredict bool) {
+	fallthrough_ := d.PC + isa.InstBytes
+	switch {
+	case d.Op.IsBranch():
+		g.Branches++
+		idx := g.index(d.PC)
+		predTaken := g.counters[idx] >= 2
+		// Train the counter and history with the true outcome.
+		if d.Taken {
+			if g.counters[idx] < 3 {
+				g.counters[idx]++
+			}
+		} else if g.counters[idx] > 0 {
+			g.counters[idx]--
+		}
+		g.history = g.history<<1 | boolBit(d.Taken)
+
+		if predTaken != d.Taken {
+			g.DirWrong++
+			return true
+		}
+		if !d.Taken {
+			return false
+		}
+		// Predicted taken: need the target from the BTB.
+		target, ok := g.btbLookup(d.PC)
+		g.btbInsert(d.PC, d.NextPC)
+		if !ok || target != d.NextPC {
+			g.TargetWrong++
+			return true
+		}
+		return false
+
+	case d.Op == isa.JMP:
+		target, ok := g.btbLookup(d.PC)
+		g.btbInsert(d.PC, d.NextPC)
+		if !ok || target != d.NextPC {
+			g.TargetWrong++
+			return true
+		}
+		return false
+
+	case d.Op == isa.JAL:
+		g.rasPush(fallthrough_)
+		target, ok := g.btbLookup(d.PC)
+		g.btbInsert(d.PC, d.NextPC)
+		if !ok || target != d.NextPC {
+			g.TargetWrong++
+			return true
+		}
+		return false
+
+	case d.Op == isa.JALR:
+		if d.Rd == isa.RLR {
+			// Indirect call through a register: push the return
+			// address, predict via BTB.
+			g.rasPush(fallthrough_)
+			target, ok := g.btbLookup(d.PC)
+			g.btbInsert(d.PC, d.NextPC)
+			if !ok || target != d.NextPC {
+				g.TargetWrong++
+				return true
+			}
+			return false
+		}
+		// Return: predict through the RAS.
+		if g.rasPop() != d.NextPC {
+			g.TargetWrong++
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// Mispredicts returns the total mispredictions of either kind.
+func (g *Gshare) Mispredicts() uint64 { return g.DirWrong + g.TargetWrong }
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

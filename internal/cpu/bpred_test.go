@@ -1,0 +1,165 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func branch(pc uint64, taken bool, target uint64) *vm.DynInst {
+	d := &vm.DynInst{PC: pc, Op: isa.BEQ, Taken: taken}
+	if taken {
+		d.NextPC = target
+	} else {
+		d.NextPC = pc + isa.InstBytes
+	}
+	return d
+}
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	// Always-taken branch: after warm-up, no direction mispredicts.
+	for i := 0; i < 100; i++ {
+		g.Predict(branch(0x1000, true, 0x2000))
+	}
+	before := g.DirWrong
+	for i := 0; i < 100; i++ {
+		g.Predict(branch(0x1000, true, 0x2000))
+	}
+	if g.DirWrong != before {
+		t.Errorf("trained always-taken branch still mispredicting (%d new)", g.DirWrong-before)
+	}
+}
+
+func TestGshareLearnsAlternating(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	// A strict T/N alternation is captured by global history.
+	for i := 0; i < 200; i++ {
+		g.Predict(branch(0x1000, i%2 == 0, 0x2000))
+	}
+	before := g.Mispredicts()
+	for i := 0; i < 200; i++ {
+		g.Predict(branch(0x1000, i%2 == 0, 0x2000))
+	}
+	rate := float64(g.Mispredicts()-before) / 200
+	if rate > 0.05 {
+		t.Errorf("alternating pattern misprediction rate = %.2f, want < 0.05", rate)
+	}
+}
+
+func TestGshareRandomIsHard(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	r := rand.New(rand.NewSource(3))
+	wrong := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if g.Predict(branch(0x1000, r.Intn(2) == 0, 0x2000)) {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / n; rate < 0.25 {
+		t.Errorf("random branches predicted too well: %.2f wrong", rate)
+	}
+}
+
+func TestBTBFirstEncounterMispredicts(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	d := &vm.DynInst{PC: 0x1000, Op: isa.JMP, Taken: true, NextPC: 0x5000}
+	if !g.Predict(d) {
+		t.Error("first jump encounter should mispredict (BTB cold)")
+	}
+	if g.Predict(d) {
+		t.Error("second jump encounter should hit the BTB")
+	}
+}
+
+func TestBTBTracksChangedTarget(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	d := &vm.DynInst{PC: 0x1000, Op: isa.JMP, Taken: true, NextPC: 0x5000}
+	g.Predict(d)
+	g.Predict(d)
+	d.NextPC = 0x7000 // target changes (e.g. indirect-like behaviour)
+	if !g.Predict(d) {
+		t.Error("changed target not detected")
+	}
+	if g.Predict(d) {
+		t.Error("new target not learned")
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	call := &vm.DynInst{PC: 0x1000, Op: isa.JAL, Rd: isa.RLR, Taken: true, NextPC: 0x4000}
+	ret := &vm.DynInst{PC: 0x4100, Op: isa.JALR, Rd: isa.R0, Rs1: isa.RLR, Taken: true,
+		NextPC: 0x1004}
+	g.Predict(call) // cold BTB mispredict is fine; pushes RAS
+	if g.Predict(ret) {
+		t.Error("return mispredicted despite RAS")
+	}
+}
+
+func TestRASNestedCalls(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	// call A -> call B -> ret B -> ret A
+	g.Predict(&vm.DynInst{PC: 0x1000, Op: isa.JAL, Rd: isa.RLR, Taken: true, NextPC: 0x4000})
+	g.Predict(&vm.DynInst{PC: 0x4000, Op: isa.JAL, Rd: isa.RLR, Taken: true, NextPC: 0x8000})
+	if g.Predict(&vm.DynInst{PC: 0x8004, Op: isa.JALR, Rd: isa.R0, Rs1: isa.RLR, Taken: true, NextPC: 0x4004}) {
+		t.Error("inner return mispredicted")
+	}
+	if g.Predict(&vm.DynInst{PC: 0x4008, Op: isa.JALR, Rd: isa.R0, Rs1: isa.RLR, Taken: true, NextPC: 0x1004}) {
+		t.Error("outer return mispredicted")
+	}
+}
+
+func TestIndirectCallUsesBTBAndPushesRAS(t *testing.T) {
+	g := NewGshare(DefaultGshareConfig())
+	// jalr with link: an indirect call through a register.
+	icall := &vm.DynInst{PC: 0x1000, Op: isa.JALR, Rd: isa.RLR, Rs1: isa.R(5), Taken: true, NextPC: 0x9000}
+	g.Predict(icall) // cold
+	if g.Predict(icall) {
+		t.Error("repeated indirect call target not learned")
+	}
+	ret := &vm.DynInst{PC: 0x9004, Op: isa.JALR, Rd: isa.R0, Rs1: isa.RLR, Taken: true, NextPC: 0x1004}
+	if g.Predict(ret) {
+		t.Error("return after indirect call mispredicted")
+	}
+}
+
+func TestGshareGeometryValidation(t *testing.T) {
+	bad := []GshareConfig{
+		{HistoryBits: 12, TableBits: 0, BTBEntries: 512, BTBWays: 4, RASEntries: 8},
+		{HistoryBits: 12, TableBits: 12, BTBEntries: 510, BTBWays: 4, RASEntries: 8},
+		{HistoryBits: 12, TableBits: 12, BTBEntries: 512, BTBWays: 4, RASEntries: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d accepted", i)
+				}
+			}()
+			NewGshare(cfg)
+		}()
+	}
+}
+
+func TestBTBCapacityEviction(t *testing.T) {
+	cfg := DefaultGshareConfig()
+	cfg.BTBEntries = 8
+	cfg.BTBWays = 2
+	g := NewGshare(cfg)
+	// More distinct jumps than BTB entries: old ones get evicted and
+	// mispredict again.
+	for pc := uint64(0); pc < 64; pc += 4 {
+		g.Predict(&vm.DynInst{PC: pc, Op: isa.JMP, Taken: true, NextPC: pc + 0x1000})
+	}
+	wrongBefore := g.TargetWrong
+	for pc := uint64(0); pc < 64; pc += 4 {
+		g.Predict(&vm.DynInst{PC: pc, Op: isa.JMP, Taken: true, NextPC: pc + 0x1000})
+	}
+	if g.TargetWrong == wrongBefore {
+		t.Error("no target mispredicts despite BTB thrashing")
+	}
+}

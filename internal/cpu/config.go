@@ -1,0 +1,155 @@
+// Package cpu is the cycle-level timing model of the paper's baseline
+// processor (§5.1): an 8-wide dynamically-scheduled core with a
+// 128-entry reorder buffer, a 64-entry load/store queue, a gshare
+// front end (two predictions per cycle, 8-cycle minimum misprediction
+// penalty), the paper's functional-unit mix and latencies, and
+// perfect-store-set memory disambiguation.
+//
+// The model is trace-driven over the committed-path dynamic
+// instruction stream from internal/vm, with fetch following the
+// branch predictor: a mispredicted control transfer stalls the front
+// end until the branch resolves plus the refill penalty. Wrong-path
+// memory references are not injected (see DESIGN.md); the prefetcher
+// under study is driven by the commit-order miss stream, exactly as
+// the paper's predictor is trained at write-back.
+package cpu
+
+import "repro/internal/isa"
+
+// Disambiguation selects the load/store-queue ordering policy of
+// Figure 11.
+type Disambiguation int
+
+const (
+	// DisPerfect is perfect store sets: a load waits only for older
+	// stores that actually write bytes the load reads, and forwards
+	// from them.
+	DisPerfect Disambiguation = iota
+	// DisNone makes every load wait until all older stores have
+	// issued.
+	DisNone
+)
+
+// String names the policy.
+func (d Disambiguation) String() string {
+	if d == DisNone {
+		return "NoDis"
+	}
+	return "Dis"
+}
+
+// Config parameterizes the core. DefaultConfig matches the paper.
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle
+	DecodeWidth int // dispatched into the ROB per cycle
+	IssueWidth  int // issued to functional units per cycle
+	CommitWidth int // retired per cycle
+
+	ROBSize int
+	LSQSize int
+
+	BranchPredPerCycle int    // gshare predictions per cycle
+	MispredictPenalty  uint64 // minimum front-end refill after resolve
+
+	FetchQueueSize int
+
+	L1HitLatency        uint64 // load-to-use latency on an L1D hit
+	StoreForwardLatency uint64 // store-to-load forward latency
+
+	Disambiguation Disambiguation
+
+	Gshare GshareConfig
+
+	// FUCount[class] is the number of functional units per class;
+	// FULatency[class] their latency; FUPipelined[class] whether a
+	// unit can accept a new operation every cycle.
+	FUCount     [isa.NumClasses]int
+	FULatency   [isa.NumClasses]uint64
+	FUPipelined [isa.NumClasses]bool
+}
+
+// DefaultConfig returns the paper's baseline core: 8-wide, 128-entry
+// ROB, 64-entry LSQ, 8 int ALUs (1 cycle), 2 int MUL/DIV (3/12,
+// divides unpipelined), 4 load/store ports, 2 FP adders (2), 2 FP
+// MUL/DIV (4/12, divides unpipelined), 2-cycle store forwarding,
+// perfect store sets.
+func DefaultConfig() Config {
+	c := Config{
+		FetchWidth:          8,
+		DecodeWidth:         8,
+		IssueWidth:          8,
+		CommitWidth:         8,
+		ROBSize:             128,
+		LSQSize:             64,
+		BranchPredPerCycle:  2,
+		MispredictPenalty:   8,
+		FetchQueueSize:      32,
+		L1HitLatency:        1,
+		StoreForwardLatency: 2,
+		Disambiguation:      DisPerfect,
+		Gshare:              DefaultGshareConfig(),
+	}
+	c.FUCount[isa.ClassIntALU] = 8
+	c.FULatency[isa.ClassIntALU] = 1
+	c.FUPipelined[isa.ClassIntALU] = true
+
+	// The paper's two integer MULT/DIV units are modeled as separate
+	// pools sharing the count; see fuPool mapping in cpu.go.
+	c.FUCount[isa.ClassIntMul] = 2
+	c.FULatency[isa.ClassIntMul] = 3
+	c.FUPipelined[isa.ClassIntMul] = true
+	c.FUCount[isa.ClassIntDiv] = 2
+	c.FULatency[isa.ClassIntDiv] = 12
+	c.FUPipelined[isa.ClassIntDiv] = false
+
+	c.FUCount[isa.ClassLoad] = 4
+	c.FULatency[isa.ClassLoad] = 1 // port occupancy; memory adds the rest
+	c.FUPipelined[isa.ClassLoad] = true
+	c.FUCount[isa.ClassStore] = 4
+	c.FULatency[isa.ClassStore] = 1
+	c.FUPipelined[isa.ClassStore] = true
+
+	c.FUCount[isa.ClassBranch] = 8 // branches execute on the int ALUs
+	c.FULatency[isa.ClassBranch] = 1
+	c.FUPipelined[isa.ClassBranch] = true
+
+	c.FUCount[isa.ClassFPAdd] = 2
+	c.FULatency[isa.ClassFPAdd] = 2
+	c.FUPipelined[isa.ClassFPAdd] = true
+	c.FUCount[isa.ClassFPMul] = 2
+	c.FULatency[isa.ClassFPMul] = 4
+	c.FUPipelined[isa.ClassFPMul] = true
+	c.FUCount[isa.ClassFPDiv] = 2
+	c.FULatency[isa.ClassFPDiv] = 12
+	c.FUPipelined[isa.ClassFPDiv] = false
+
+	c.FUCount[isa.ClassNop] = 8
+	c.FULatency[isa.ClassNop] = 1
+	c.FUPipelined[isa.ClassNop] = true
+	return c
+}
+
+// fuPool models a group of functional units, each busy until a given
+// cycle. Pools may be shared between opcode classes (the paper's two
+// integer MULT/DIV units serve both MUL and DIV): the per-issue
+// occupancy is 1 cycle for pipelined operations and the full latency
+// for unpipelined ones, passed by the caller.
+type fuPool struct {
+	busyUntil []uint64
+}
+
+func newFUPool(count int) *fuPool {
+	return &fuPool{busyUntil: make([]uint64, count)}
+}
+
+// tryIssue reserves a unit at cycle for occupancy cycles, reporting
+// success.
+func (p *fuPool) tryIssue(cycle, occupancy uint64) bool {
+	for i := range p.busyUntil {
+		if p.busyUntil[i] <= cycle {
+			p.busyUntil[i] = cycle + occupancy
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,627 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/predict"
+	"repro/internal/sbuf"
+	"repro/internal/vm"
+)
+
+// Source supplies the committed-path dynamic instruction stream
+// (normally a vm.Machine adapter; tests use synthetic slices).
+type Source interface {
+	// Next returns the next dynamic instruction, or ok == false when
+	// the program has halted.
+	Next() (vm.DynInst, bool)
+}
+
+// SliceSource serves instructions from a slice (testing convenience).
+type SliceSource struct {
+	Insts []vm.DynInst
+	pos   int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (vm.DynInst, bool) {
+	if s.pos >= len(s.Insts) {
+		return vm.DynInst{}, false
+	}
+	d := s.Insts[s.pos]
+	s.pos++
+	return d, true
+}
+
+// MachineSource adapts a vm.Machine to Source.
+type MachineSource struct{ M *vm.Machine }
+
+// Next implements Source.
+func (s MachineSource) Next() (vm.DynInst, bool) {
+	d, err := s.M.Step()
+	if err != nil {
+		return vm.DynInst{}, false
+	}
+	return d, true
+}
+
+// Stats are the core's cumulative counters. Miss accounting follows
+// the paper: an access to a block not (yet) usable from the L1 counts
+// as a miss — in-flight fills and pending stream-buffer hits are
+// misses; L1 hits and ready stream-buffer hits are hits.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	Loads  uint64
+	Stores uint64
+
+	DAccesses     uint64
+	DMisses       uint64
+	SBHitsReady   uint64
+	SBHitsPending uint64
+
+	LoadLatencySum uint64 // issue-to-completion, summed over loads
+
+	Forwards uint64 // store-to-load forwards
+
+	Branches    uint64
+	Mispredicts uint64
+
+	TrainEvents uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// DMissRate returns the paper-definition L1D miss rate.
+func (s Stats) DMissRate() float64 {
+	if s.DAccesses == 0 {
+		return 0
+	}
+	return float64(s.DMisses) / float64(s.DAccesses)
+}
+
+// AvgLoadLatency returns the mean load latency in cycles.
+func (s Stats) AvgLoadLatency() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadLatencySum) / float64(s.Loads)
+}
+
+// PctLoads returns loads as a fraction of committed instructions.
+func (s Stats) PctLoads() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Loads) / float64(s.Committed)
+}
+
+// PctStores returns stores as a fraction of committed instructions.
+func (s Stats) PctStores() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Stores) / float64(s.Committed)
+}
+
+const noDep = -1
+
+type robEntry struct {
+	d   vm.DynInst
+	seq uint64
+
+	dispatched uint64
+	issued     bool
+	completeAt uint64
+
+	dep    [2]int
+	depSeq [2]uint64
+
+	isLoad, isStore bool
+	mispredicted    bool
+
+	trainMiss bool // load missed the L1 tag array (trains the predictor)
+	forwarded bool
+}
+
+type fetchItem struct {
+	d           vm.DynInst
+	mispredict  bool
+	availableAt uint64
+}
+
+// CPU is the timing core.
+type CPU struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	pf   sbuf.Prefetcher
+	src  Source
+	bp   *Gshare
+
+	hist *predict.DeltaHistogram // optional Figure-4 instrumentation
+
+	rob      []robEntry
+	robHead  int
+	robCount int
+	lsqCount int
+	seq      uint64
+
+	lastWriter    [isa.NumRegs]int
+	lastWriterSeq [isa.NumRegs]uint64
+
+	fetchQ       []fetchItem
+	pending      *vm.DynInst // one-instruction lookahead into src
+	srcDone      bool
+	fetchResume  uint64 // no fetch before this cycle
+	fetchBlocked bool   // waiting on a mispredicted CTI to issue
+	lastIBlock   uint64
+
+	pools [isa.NumClasses]*fuPool
+
+	cycle uint64
+	stats Stats
+}
+
+// New builds a core over the hierarchy, prefetcher and instruction
+// source.
+func New(cfg Config, hier *mem.Hierarchy, pf sbuf.Prefetcher, src Source) *CPU {
+	if pf == nil {
+		pf = sbuf.Null{}
+	}
+	c := &CPU{
+		cfg:        cfg,
+		hier:       hier,
+		pf:         pf,
+		src:        src,
+		bp:         NewGshare(cfg.Gshare),
+		rob:        make([]robEntry, cfg.ROBSize),
+		fetchQ:     make([]fetchItem, 0, cfg.FetchQueueSize),
+		lastIBlock: math.MaxUint64,
+	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = noDep
+	}
+	// Build FU pools; divides share their multiplier's units and
+	// branches execute on the integer ALUs, as in the paper.
+	c.pools[isa.ClassNop] = newFUPool(cfg.FUCount[isa.ClassNop])
+	c.pools[isa.ClassIntALU] = newFUPool(cfg.FUCount[isa.ClassIntALU])
+	c.pools[isa.ClassBranch] = c.pools[isa.ClassIntALU]
+	c.pools[isa.ClassIntMul] = newFUPool(cfg.FUCount[isa.ClassIntMul])
+	c.pools[isa.ClassIntDiv] = c.pools[isa.ClassIntMul]
+	c.pools[isa.ClassLoad] = newFUPool(cfg.FUCount[isa.ClassLoad])
+	c.pools[isa.ClassStore] = c.pools[isa.ClassLoad]
+	c.pools[isa.ClassFPAdd] = newFUPool(cfg.FUCount[isa.ClassFPAdd])
+	c.pools[isa.ClassFPMul] = newFUPool(cfg.FUCount[isa.ClassFPMul])
+	c.pools[isa.ClassFPDiv] = c.pools[isa.ClassFPMul]
+	return c
+}
+
+// SetDeltaHistogram attaches Figure-4 instrumentation: every committed
+// training miss is also observed by h.
+func (c *CPU) SetDeltaHistogram(h *predict.DeltaHistogram) { c.hist = h }
+
+// Stats returns the current counters.
+func (c *CPU) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.cycle
+	s.Branches = c.bp.Branches
+	s.Mispredicts = c.bp.Mispredicts()
+	return s
+}
+
+// Hierarchy returns the memory system (for bus-utilization reporting).
+func (c *CPU) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Prefetcher returns the prefetcher under study.
+func (c *CPU) Prefetcher() sbuf.Prefetcher { return c.pf }
+
+// depReady reports whether the dependency (idx,seq) has produced its
+// value by cycle.
+func (c *CPU) depReady(idx int, seq, cycle uint64) bool {
+	if idx == noDep {
+		return true
+	}
+	e := &c.rob[idx]
+	if e.seq != seq {
+		// The producer committed and its slot was recycled; the value
+		// is architectural.
+		return true
+	}
+	return e.issued && e.completeAt <= cycle
+}
+
+// Run simulates until maxInsts instructions commit or the program
+// ends, returning the final statistics.
+func (c *CPU) Run(maxInsts uint64) Stats {
+	idleCycles := 0
+	lastCommitted := uint64(0)
+	for {
+		if c.stats.Committed >= maxInsts && maxInsts > 0 {
+			break
+		}
+		if c.srcDone && c.pending == nil && c.robCount == 0 && len(c.fetchQ) == 0 {
+			break
+		}
+		c.cycle++
+		c.pf.Tick(c.cycle)
+		c.commit()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+
+		if c.stats.Committed == lastCommitted {
+			idleCycles++
+			if idleCycles > 1_000_000 {
+				panic(fmt.Sprintf("cpu: no commit for %d cycles at cycle %d (rob=%d, fq=%d)",
+					idleCycles, c.cycle, c.robCount, len(c.fetchQ)))
+			}
+		} else {
+			idleCycles = 0
+			lastCommitted = c.stats.Committed
+		}
+	}
+	return c.Stats()
+}
+
+// fetch brings instructions from the source into the fetch queue,
+// following the branch predictor: a mispredicted control transfer
+// blocks further fetch until it issues (resolve) plus the refill
+// penalty; an I-cache miss blocks fetch until the line arrives.
+func (c *CPU) fetch() {
+	if c.fetchBlocked || c.cycle < c.fetchResume {
+		return
+	}
+	budget := c.cfg.FetchWidth
+	branches := c.cfg.BranchPredPerCycle
+	for budget > 0 && len(c.fetchQ) < c.cfg.FetchQueueSize {
+		d, ok := c.peek()
+		if !ok {
+			return
+		}
+		// Instruction cache: one access per new block touched.
+		if blk := c.hier.L1I.BlockAddr(d.PC); blk != c.lastIBlock {
+			res := c.hier.AccessI(c.cycle, d.PC)
+			c.lastIBlock = blk
+			if !res.Hit {
+				c.fetchResume = res.Ready
+				return
+			}
+		}
+		if d.IsCTI() && branches == 0 {
+			return // out of branch-prediction bandwidth this cycle
+		}
+		c.consume()
+		item := fetchItem{d: d, availableAt: c.cycle + 1}
+		if d.IsCTI() {
+			branches--
+			item.mispredict = c.bp.Predict(&d)
+		}
+		c.fetchQ = append(c.fetchQ, item)
+		budget--
+		if item.mispredict {
+			c.fetchBlocked = true
+			return
+		}
+		if d.Taken {
+			// The fetch group cannot run past a taken control
+			// transfer within a cycle.
+			c.lastIBlock = math.MaxUint64
+			return
+		}
+	}
+}
+
+func (c *CPU) peek() (vm.DynInst, bool) {
+	if c.pending != nil {
+		return *c.pending, true
+	}
+	if c.srcDone {
+		return vm.DynInst{}, false
+	}
+	d, ok := c.src.Next()
+	if !ok {
+		c.srcDone = true
+		return vm.DynInst{}, false
+	}
+	c.pending = &d
+	return d, true
+}
+
+func (c *CPU) consume() { c.pending = nil }
+
+// dispatch moves instructions from the fetch queue into the reorder
+// buffer, renaming their register dependencies.
+func (c *CPU) dispatch() {
+	width := c.cfg.DecodeWidth
+	for width > 0 && len(c.fetchQ) > 0 {
+		item := c.fetchQ[0]
+		if item.availableAt > c.cycle {
+			return
+		}
+		if c.robCount >= c.cfg.ROBSize {
+			return
+		}
+		isMem := item.d.Op.IsMem()
+		if isMem && c.lsqCount >= c.cfg.LSQSize {
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+		width--
+
+		idx := (c.robHead + c.robCount) % len(c.rob)
+		c.robCount++
+		if isMem {
+			c.lsqCount++
+		}
+		c.seq++
+		e := &c.rob[idx]
+		*e = robEntry{
+			d:            item.d,
+			seq:          c.seq,
+			dispatched:   c.cycle,
+			dep:          [2]int{noDep, noDep},
+			isLoad:       item.d.IsLoad(),
+			isStore:      item.d.IsStore(),
+			mispredicted: item.mispredict,
+		}
+		for i, src := range []isa.Reg{item.d.Rs1, item.d.Rs2} {
+			if src == isa.RegNone || src == isa.R0 {
+				continue
+			}
+			if w := c.lastWriter[src]; w != noDep {
+				e.dep[i] = w
+				e.depSeq[i] = c.lastWriterSeq[src]
+			}
+		}
+		if rd := item.d.Rd; rd != isa.RegNone && rd != isa.R0 {
+			c.lastWriter[rd] = idx
+			c.lastWriterSeq[rd] = c.seq
+		}
+	}
+}
+
+// issue wakes up and selects ready instructions, oldest first.
+func (c *CPU) issue() {
+	budget := c.cfg.IssueWidth
+	for i := 0; i < c.robCount && budget > 0; i++ {
+		idx := (c.robHead + i) % len(c.rob)
+		e := &c.rob[idx]
+		if e.issued {
+			continue
+		}
+		if e.dispatched >= c.cycle {
+			break // this and everything younger dispatched too recently
+		}
+		if !c.depReady(e.dep[0], e.depSeq[0], c.cycle) ||
+			!c.depReady(e.dep[1], e.depSeq[1], c.cycle) {
+			continue
+		}
+		switch {
+		case e.isLoad:
+			if !c.issueLoad(idx, e) {
+				continue
+			}
+		case e.isStore:
+			if !c.issueStore(e) {
+				continue
+			}
+		default:
+			class := isa.ClassOf(e.d.Op)
+			occ := uint64(1)
+			if !c.cfg.FUPipelined[class] {
+				occ = c.cfg.FULatency[class]
+			}
+			if !c.pools[class].tryIssue(c.cycle, occ) {
+				continue
+			}
+			e.issued = true
+			e.completeAt = c.cycle + c.cfg.FULatency[class]
+		}
+		budget--
+		if e.mispredicted {
+			// The front end redirects when the CTI resolves, then
+			// pays the refill penalty.
+			c.fetchBlocked = false
+			c.fetchResume = e.completeAt + c.cfg.MispredictPenalty
+			c.lastIBlock = math.MaxUint64
+		}
+	}
+}
+
+// olderStoreConflict scans stores older than the entry at robOffset.
+// It returns the youngest conflicting store (overlapping address) and
+// whether any older store has not yet issued (for DisNone and for
+// unresolved conflicts).
+func (c *CPU) olderStores(pos int, e *robEntry) (conflict *robEntry, anyUnissued bool) {
+	lo, hi := e.d.EffAddr, e.d.EffAddr+uint64(e.d.MemSize)
+	for i := pos - 1; i >= 0; i-- {
+		idx := (c.robHead + i) % len(c.rob)
+		s := &c.rob[idx]
+		if !s.isStore {
+			continue
+		}
+		if !s.issued {
+			anyUnissued = true
+		}
+		sLo, sHi := s.d.EffAddr, s.d.EffAddr+uint64(s.d.MemSize)
+		if lo < sHi && sLo < hi && conflict == nil {
+			conflict = s
+		}
+	}
+	return conflict, anyUnissued
+}
+
+// issueLoad attempts to issue the load at ROB slot idx; it reports
+// whether the load issued this cycle.
+func (c *CPU) issueLoad(idx int, e *robEntry) bool {
+	// Position of idx relative to robHead.
+	pos := (idx - c.robHead + len(c.rob)) % len(c.rob)
+	conflict, anyUnissued := c.olderStores(pos, e)
+
+	switch c.cfg.Disambiguation {
+	case DisNone:
+		if anyUnissued {
+			return false
+		}
+	case DisPerfect:
+		if conflict != nil && !conflict.issued {
+			return false // wait for the producing store
+		}
+	}
+
+	if !c.pools[isa.ClassLoad].tryIssue(c.cycle, 1) {
+		return false
+	}
+	e.issued = true
+
+	if c.cfg.Disambiguation == DisPerfect && conflict != nil {
+		// Store-to-load forwarding (2-cycle penalty, §5.1). Forwarded
+		// loads do not access the cache and do not train the
+		// predictor (§4.2).
+		start := c.cycle
+		if conflict.completeAt > start {
+			start = conflict.completeAt
+		}
+		e.completeAt = start + c.cfg.StoreForwardLatency
+		e.forwarded = true
+		c.stats.Forwards++
+		c.stats.LoadLatencySum += e.completeAt - c.cycle
+		return true
+	}
+
+	c.accessMemory(e)
+	c.stats.LoadLatencySum += e.completeAt - c.cycle
+	return true
+}
+
+// accessMemory runs a load through the TLB, the L1D, the stream
+// buffers (probed in parallel with the L1 lookup) and, on a full miss,
+// the lower hierarchy — also firing the stream-buffer allocation
+// request the paper triggers when a load misses both structures.
+func (c *CPU) accessMemory(e *robEntry) {
+	addr := e.d.EffAddr
+	ac := c.cycle + c.hier.DTLB.Translate(addr)
+	c.stats.DAccesses++
+
+	hit, inflight, ready := c.hier.ProbeD(ac, addr)
+	switch {
+	case hit:
+		e.completeAt = ac + c.cfg.L1HitLatency
+	case inflight:
+		c.stats.DMisses++
+		e.completeAt = maxU64(ready, ac+c.cfg.L1HitLatency)
+	default:
+		kind, sbReady := c.pf.Lookup(ac, addr)
+		switch kind {
+		case sbuf.LookupHitReady:
+			// The buffered block moves into the L1; the load pays a
+			// normal lookup latency. Counts as a hit (the data was on
+			// chip and usable), but still trains the predictor (the
+			// L1 itself missed).
+			c.hier.FillL1D(addr)
+			c.stats.SBHitsReady++
+			e.completeAt = ac + c.cfg.L1HitLatency
+			e.trainMiss = true
+		case sbuf.LookupHitUnfetched:
+			// The stream had predicted this block but the prefetch
+			// never reached the bus: a normal miss, except that the
+			// correct stream already exists, so no allocation request
+			// is made.
+			res := c.hier.MissFillD(ac, addr)
+			c.stats.DMisses++
+			e.completeAt = maxU64(res.Ready, ac+c.cfg.L1HitLatency)
+			e.trainMiss = true
+		case sbuf.LookupHitPending:
+			// Tag matched but the prefetch is in flight: the tag
+			// moves into an MSHR and the load completes with the
+			// fill. A miss, per the paper.
+			c.hier.PromoteToMSHR(ac, addr, sbReady)
+			c.stats.SBHitsPending++
+			c.stats.DMisses++
+			e.completeAt = maxU64(sbReady, ac+c.cfg.L1HitLatency)
+			e.trainMiss = true
+		default:
+			res := c.hier.MissFillD(ac, addr)
+			c.stats.DMisses++
+			e.completeAt = maxU64(res.Ready, ac+c.cfg.L1HitLatency)
+			e.trainMiss = true
+			c.pf.AllocationRequest(ac, e.d.PC, addr)
+		}
+	}
+}
+
+// issueStore attempts to issue a store; stores retire into the memory
+// system at issue (timing-wise) and never block commit.
+func (c *CPU) issueStore(e *robEntry) bool {
+	if !c.pools[isa.ClassStore].tryIssue(c.cycle, 1) {
+		return false
+	}
+	e.issued = true
+	e.completeAt = c.cycle + c.cfg.FULatency[isa.ClassStore]
+
+	// Write-allocate: the store contributes demand traffic and miss
+	// statistics but its latency is absorbed by the store buffer.
+	addr := e.d.EffAddr
+	ac := c.cycle + c.hier.DTLB.Translate(addr)
+	c.stats.DAccesses++
+	hit, inflight, _ := c.hier.ProbeD(ac, addr)
+	if !hit {
+		c.stats.DMisses++
+		if !inflight {
+			c.hier.MissFillD(ac, addr)
+		}
+	}
+	return true
+}
+
+// commit retires completed instructions in order, training the
+// prefetcher's predictor with the in-order miss stream (the paper's
+// write-back update).
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if !e.issued || e.completeAt > c.cycle {
+			return
+		}
+		if e.isLoad {
+			c.stats.Loads++
+			if e.trainMiss && !e.forwarded {
+				c.stats.TrainEvents++
+				c.pf.Train(e.d.PC, e.d.EffAddr)
+				if c.hist != nil {
+					c.hist.Observe(e.d.EffAddr)
+				}
+			}
+		}
+		if e.isStore {
+			c.stats.Stores++
+		}
+		if rd := e.d.Rd; rd != isa.RegNone && rd != isa.R0 {
+			if c.lastWriter[rd] == c.robHead && c.lastWriterSeq[rd] == e.seq {
+				c.lastWriter[rd] = noDep
+			}
+		}
+		if e.d.Op.IsMem() {
+			c.lsqCount--
+		}
+		c.stats.Committed++
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+// Package demand implements the demand-based hardware prefetchers the
+// paper discusses as prior work (§3.2), as working comparators for the
+// predictor-directed stream buffers:
+//
+//   - NLP: Smith's next-line prefetching — each demand miss (or first
+//     use of a prefetched block) triggers a prefetch of the next
+//     sequential block.
+//   - Markov: the Joseph & Grunwald Markov prefetcher — a miss-address
+//     indexed table supplies the next-miss candidates seen after this
+//     miss before; candidates go to a small prefetch buffer; two-bit
+//     accuracy counters disable entries that keep prefetching uselessly
+//     (the paper's "accuracy based adaptivity").
+//
+// Both implement sbuf.Prefetcher, so they drop into the same CPU hook
+// as the stream-buffer engines. Unlike stream buffers they are
+// demand-triggered: they never run ahead down a predicted stream —
+// exactly the limitation §3.3 motivates PSB with.
+package demand
+
+import (
+	"repro/internal/predict"
+	"repro/internal/sbuf"
+)
+
+// bufEntry is one slot of a demand prefetcher's prefetch buffer.
+type bufEntry struct {
+	block      uint64
+	valid      bool
+	ready      uint64
+	lastUse    uint64
+	sourceIdx  int // Markov table entry that predicted it (-1 for NLP)
+	sourceSlot int // which of the entry's targets
+}
+
+// prefetchBuffer is a small fully-associative buffer holding
+// prefetched blocks until the demand stream uses or evicts them.
+type prefetchBuffer struct {
+	entries []bufEntry
+	clock   uint64
+}
+
+func newPrefetchBuffer(n int) *prefetchBuffer {
+	return &prefetchBuffer{entries: make([]bufEntry, n)}
+}
+
+// lookup finds block, freeing and returning its entry on a hit.
+func (p *prefetchBuffer) lookup(block uint64) (bufEntry, bool) {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.block == block {
+			out := *e
+			*e = bufEntry{}
+			return out, true
+		}
+	}
+	return bufEntry{}, false
+}
+
+// insert places a block, evicting LRU; the evicted entry is returned
+// so the owner can charge its source's accuracy counter.
+func (p *prefetchBuffer) insert(e bufEntry) (evicted bufEntry, wasValid bool) {
+	p.clock++
+	e.lastUse = p.clock
+	victim := 0
+	for i := range p.entries {
+		if !p.entries[i].valid {
+			victim = i
+			break
+		}
+		if p.entries[i].lastUse < p.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	evicted, wasValid = p.entries[victim], p.entries[victim].valid
+	p.entries[victim] = e
+	return evicted, wasValid
+}
+
+// contains reports whether block is buffered (no state change).
+func (p *prefetchBuffer) contains(block uint64) bool {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// NLP is Smith's next-line prefetcher: a miss on block B queues a
+// prefetch of B+1 into the prefetch buffer.
+type NLP struct {
+	blockBytes uint64
+	fetch      sbuf.Fetcher
+	buf        *prefetchBuffer
+	pending    []uint64 // blocks waiting for a free bus
+	stats      sbuf.Stats
+}
+
+// NewNLP builds a next-line prefetcher with an n-entry buffer.
+func NewNLP(blockBytes, bufEntries int, fetch sbuf.Fetcher) *NLP {
+	return &NLP{
+		blockBytes: uint64(blockBytes),
+		fetch:      fetch,
+		buf:        newPrefetchBuffer(bufEntries),
+	}
+}
+
+func (n *NLP) block(addr uint64) uint64 { return addr / n.blockBytes * n.blockBytes }
+
+// Lookup probes the prefetch buffer; a hit also chains the next line.
+func (n *NLP) Lookup(cycle, addr uint64) (sbuf.LookupKind, uint64) {
+	n.stats.Lookups++
+	block := n.block(addr)
+	e, ok := n.buf.lookup(block)
+	if !ok {
+		return sbuf.LookupMiss, 0
+	}
+	n.stats.PrefetchesUsed++
+	// Using a prefetched block triggers the next sequential prefetch
+	// (the "tag bit" scheme).
+	n.enqueue(block + n.blockBytes)
+	if e.ready <= cycle {
+		n.stats.HitsReady++
+		return sbuf.LookupHitReady, e.ready
+	}
+	n.stats.HitsPending++
+	return sbuf.LookupHitPending, e.ready
+}
+
+func (n *NLP) enqueue(block uint64) {
+	if n.buf.contains(block) || len(n.pending) >= cap(n.buf.entries) {
+		return
+	}
+	for _, b := range n.pending {
+		if b == block {
+			return
+		}
+	}
+	n.pending = append(n.pending, block)
+}
+
+// AllocationRequest: a demand miss triggers the next-line prefetch.
+func (n *NLP) AllocationRequest(cycle, pc, addr uint64) {
+	n.stats.AllocationRequests++
+	n.enqueue(n.block(addr) + n.blockBytes)
+}
+
+// Train is a no-op (NLP holds no prediction state).
+func (n *NLP) Train(pc, addr uint64) {}
+
+// Tick issues at most one queued prefetch when the bus is free.
+func (n *NLP) Tick(cycle uint64) {
+	if len(n.pending) == 0 || !n.fetch.BusFreeAt(cycle) {
+		return
+	}
+	block := n.pending[0]
+	n.pending = n.pending[1:]
+	ready, _ := n.fetch.Prefetch(cycle, block)
+	n.stats.PrefetchesIssued++
+	n.buf.insert(bufEntry{block: block, valid: true, ready: ready, sourceIdx: -1})
+}
+
+// Stats returns cumulative counters.
+func (n *NLP) Stats() sbuf.Stats { return n.stats }
+
+var _ sbuf.Prefetcher = (*NLP)(nil)
+
+// MarkovConfig sizes the Joseph & Grunwald prefetcher.
+type MarkovConfig struct {
+	TableEntries int // miss-address indexed entries (power of two)
+	Targets      int // predicted next-miss addresses per entry
+	BufEntries   int // prefetch buffer slots
+	BlockBytes   int
+	Adaptivity   bool // two-bit accuracy counters disable bad entries
+}
+
+// DefaultMarkovConfig follows the flavor evaluated by Joseph &
+// Grunwald: a 2K-entry table with two targets per entry and a
+// 16-entry prefetch buffer, with accuracy-based adaptivity on.
+func DefaultMarkovConfig() MarkovConfig {
+	return MarkovConfig{TableEntries: 2048, Targets: 2, BufEntries: 16,
+		BlockBytes: 32, Adaptivity: true}
+}
+
+type markovEntry struct {
+	tag     uint32
+	valid   bool
+	targets []uint64
+	// Two-bit counters with a sign bit per the paper's description:
+	// incremented when a prefetch is discarded unused, decremented
+	// when used; an entry whose counter saturates high is disabled
+	// until it would have predicted correctly again.
+	acc []predict.SatCounter
+}
+
+// pendingPF is a queued prefetch candidate awaiting a free bus.
+type pendingPF struct {
+	block   uint64
+	srcIdx  int
+	srcSlot int
+}
+
+// Markov is the demand-triggered Markov prefetcher: on each miss, the
+// previous miss's table entry gains this miss as a target, and this
+// miss's entry supplies the candidate prefetches. The prefetcher then
+// idles until the next miss — it never re-indexes with its own
+// predictions (the contrast §3.2 draws with PSB).
+type Markov struct {
+	cfg      MarkovConfig
+	fetch    sbuf.Fetcher
+	table    []markovEntry
+	buf      *prefetchBuffer
+	pending  []pendingPF
+	lastMiss uint64
+	haveLast bool
+	stats    sbuf.Stats
+
+	// Disabled counts prefetches suppressed by adaptivity.
+	Disabled uint64
+}
+
+// NewMarkov builds the prefetcher.
+func NewMarkov(cfg MarkovConfig, fetch sbuf.Fetcher) *Markov {
+	if cfg.TableEntries <= 0 || cfg.TableEntries&(cfg.TableEntries-1) != 0 {
+		panic("demand: Markov table entries must be a power of two")
+	}
+	m := &Markov{cfg: cfg, fetch: fetch, buf: newPrefetchBuffer(cfg.BufEntries),
+		table: make([]markovEntry, cfg.TableEntries)}
+	return m
+}
+
+func (m *Markov) block(addr uint64) uint64 {
+	return addr / uint64(m.cfg.BlockBytes) * uint64(m.cfg.BlockBytes)
+}
+
+func (m *Markov) index(block uint64) (int, uint32) {
+	blk := block / uint64(m.cfg.BlockBytes)
+	idx := int((blk ^ blk>>11) & uint64(m.cfg.TableEntries-1))
+	return idx, uint32(blk >> 11)
+}
+
+// Lookup probes the prefetch buffer.
+func (m *Markov) Lookup(cycle, addr uint64) (sbuf.LookupKind, uint64) {
+	m.stats.Lookups++
+	block := m.block(addr)
+	e, ok := m.buf.lookup(block)
+	if !ok {
+		return sbuf.LookupMiss, 0
+	}
+	m.stats.PrefetchesUsed++
+	// Credit the predicting table entry (adaptivity).
+	if e.sourceIdx >= 0 && m.cfg.Adaptivity {
+		te := &m.table[e.sourceIdx]
+		if e.sourceSlot < len(te.acc) {
+			te.acc[e.sourceSlot].Dec()
+		}
+	}
+	if e.ready <= cycle {
+		m.stats.HitsReady++
+		return sbuf.LookupHitReady, e.ready
+	}
+	m.stats.HitsPending++
+	return sbuf.LookupHitPending, e.ready
+}
+
+// AllocationRequest is the miss trigger: queue this miss's predicted
+// successors for prefetching.
+func (m *Markov) AllocationRequest(cycle, pc, addr uint64) {
+	m.stats.AllocationRequests++
+	block := m.block(addr)
+	idx, tag := m.index(block)
+	e := &m.table[idx]
+	if !e.valid || e.tag != tag {
+		return
+	}
+	for slot, target := range e.targets {
+		if target == 0 || m.buf.contains(target) {
+			continue
+		}
+		if m.cfg.Adaptivity && e.acc[slot].V >= 3 {
+			// Entry disabled by repeated useless prefetches.
+			m.Disabled++
+			continue
+		}
+		if len(m.pending) >= m.cfg.BufEntries {
+			break
+		}
+		m.pending = append(m.pending, pendingPF{block: target, srcIdx: idx, srcSlot: slot})
+	}
+}
+
+// Train records the miss-to-miss transition (write-back update).
+func (m *Markov) Train(pc, addr uint64) {
+	block := m.block(addr)
+	if m.haveLast && m.lastMiss != block {
+		idx, tag := m.index(m.lastMiss)
+		e := &m.table[idx]
+		if !e.valid || e.tag != tag {
+			*e = markovEntry{
+				tag:     tag,
+				valid:   true,
+				targets: make([]uint64, m.cfg.Targets),
+				acc:     make([]predict.SatCounter, m.cfg.Targets),
+			}
+			for i := range e.acc {
+				e.acc[i] = predict.NewSatCounter(0, 3)
+			}
+		}
+		// Move-to-front insertion of the observed target.
+		found := -1
+		for i, t := range e.targets {
+			if t == block {
+				found = i
+				break
+			}
+		}
+		switch {
+		case found == 0:
+			// Already the primary target.
+		case found > 0:
+			copy(e.targets[1:found+1], e.targets[:found])
+			e.targets[0] = block
+		default:
+			copy(e.targets[1:], e.targets[:len(e.targets)-1])
+			e.targets[0] = block
+			if m.cfg.Adaptivity {
+				e.acc[0] = predict.NewSatCounter(0, 3)
+			}
+		}
+	}
+	m.lastMiss = block
+	m.haveLast = true
+}
+
+// Tick issues at most one queued prefetch when the bus is free.
+func (m *Markov) Tick(cycle uint64) {
+	if len(m.pending) == 0 || !m.fetch.BusFreeAt(cycle) {
+		return
+	}
+	item := m.pending[0]
+	m.pending = m.pending[1:]
+	ready, _ := m.fetch.Prefetch(cycle, item.block)
+	m.stats.PrefetchesIssued++
+	evicted, wasValid := m.buf.insert(bufEntry{
+		block: item.block, valid: true, ready: ready,
+		sourceIdx: item.srcIdx, sourceSlot: item.srcSlot,
+	})
+	// A prefetch discarded without use counts against its source.
+	if wasValid && m.cfg.Adaptivity && evicted.sourceIdx >= 0 {
+		te := &m.table[evicted.sourceIdx]
+		if evicted.sourceSlot < len(te.acc) {
+			te.acc[evicted.sourceSlot].Inc()
+		}
+	}
+}
+
+// Stats returns cumulative counters.
+func (m *Markov) Stats() sbuf.Stats { return m.stats }
+
+var _ sbuf.Prefetcher = (*Markov)(nil)

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/sbuf"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The ablation studies isolate the design choices DESIGN.md calls out.
+// Each runs a small set of benchmarks (the ones the choice matters
+// for) under modified configurations.
+
+func mustWorkload(name string) workload.Workload {
+	w, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// AblationMarkovDelta compares the differential Markov table (the
+// paper's 16-bit deltas) against narrower widths and against absolute
+// addressing, reporting both performance and the implied data storage.
+func AblationMarkovDelta(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Ablation: Markov entry encoding (ConfAlloc-Priority PSB)",
+		"encoding", "data bytes", "health speedup", "deltablue speedup")
+	benches := []workload.Workload{mustWorkload("health"), mustWorkload("deltablue")}
+	bases := make([]sim.Result, len(benches))
+	for i, w := range benches {
+		bases[i] = sim.Run(w, core.None, cfg)
+	}
+	for _, bits := range []int{8, 12, 16, 24, 0} {
+		c := cfg
+		c.Opts.SFM.DeltaBits = bits
+		name := fmt.Sprintf("%d-bit delta", bits)
+		if bits == 0 {
+			name = "absolute"
+		}
+		table := predict.NewMarkovTable(c.Opts.SFM.MarkovEntries,
+			c.Opts.SFM.BlockShift, bits, c.Opts.SFM.TagBits)
+		row := []string{name, fmt.Sprintf("%d", table.DataBytes())}
+		for i, w := range benches {
+			r := sim.Run(w, core.PSBConfPriority, c)
+			row = append(row, stats.SignedPct(r.SpeedupOver(bases[i])))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper §4.2: 16-bit deltas capture almost all transitions at a quarter of the storage")
+	return t
+}
+
+// AblationAllocation sweeps the allocation filter and the confidence
+// threshold on the thrash-prone benchmark (sis) and a well-behaved one
+// (health).
+func AblationAllocation(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Ablation: allocation filter (priority scheduling)",
+		"filter", "sis speedup", "sis accuracy", "health speedup")
+	sis, health := mustWorkload("sis"), mustWorkload("health")
+	sisBase := sim.Run(sis, core.None, cfg)
+	healthBase := sim.Run(health, core.None, cfg)
+
+	run := func(name string, alloc sbuf.AllocPolicy, threshold int) {
+		c := cfg
+		c.Opts.Buffers.Alloc = alloc
+		c.Opts.Buffers.Sched = sbuf.SchedPriority
+		c.Opts.Buffers.ConfThreshold = threshold
+		rs := sim.Run(sis, variantFor(alloc), c)
+		rh := sim.Run(health, variantFor(alloc), c)
+		_ = rh
+		t.AddRow(name,
+			stats.SignedPct(rs.SpeedupOver(sisBase)),
+			stats.Pct(rs.SB.Accuracy()),
+			stats.SignedPct(rh.SpeedupOver(healthBase)))
+	}
+	run("none (always)", sbuf.AllocAlways, 0)
+	run("two-miss", sbuf.AllocTwoMiss, 0)
+	for _, th := range []int{1, 2, 4, 6} {
+		run(fmt.Sprintf("confidence >= %d", th), sbuf.AllocConfidence, th)
+	}
+	t.AddNote("paper §4.3: threshold 1 is appropriate; confidence eliminates stream thrashing on sis")
+	return t
+}
+
+// variantFor picks the PSB variant whose allocation policy matches
+// (scheduling is forced separately); custom thresholds are applied via
+// options.
+func variantFor(alloc sbuf.AllocPolicy) core.Variant {
+	if alloc == sbuf.AllocConfidence {
+		return core.PSBConfPriority
+	}
+	return core.PSB2MissPriority
+}
+
+// AblationScheduler sweeps the priority-counter parameters (hit
+// increment and aging period) against round-robin on the
+// bandwidth-bound benchmarks.
+func AblationScheduler(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Ablation: prefetch scheduling (confidence allocation)",
+		"scheduler", "deltablue speedup", "sis speedup")
+	db, sis := mustWorkload("deltablue"), mustWorkload("sis")
+	dbBase := sim.Run(db, core.None, cfg)
+	sisBase := sim.Run(sis, core.None, cfg)
+
+	addRow := func(name string, sched sbuf.SchedPolicy, inc, aging int) {
+		c := cfg
+		c.Opts.Buffers.Sched = sched
+		c.Opts.Buffers.HitIncrement = inc
+		c.Opts.Buffers.AgingPeriod = aging
+		v := core.PSBConfRR
+		if sched == sbuf.SchedPriority {
+			v = core.PSBConfPriority
+		}
+		r1 := sim.Run(db, v, c)
+		r2 := sim.Run(sis, v, c)
+		t.AddRow(name,
+			stats.SignedPct(r1.SpeedupOver(dbBase)),
+			stats.SignedPct(r2.SpeedupOver(sisBase)))
+	}
+	addRow("round-robin", sbuf.SchedRoundRobin, 2, 10)
+	addRow("priority +2/hit, age 10", sbuf.SchedPriority, 2, 10)
+	addRow("priority +1/hit, age 10", sbuf.SchedPriority, 1, 10)
+	addRow("priority +4/hit, age 10", sbuf.SchedPriority, 4, 10)
+	addRow("priority +2/hit, age 5", sbuf.SchedPriority, 2, 5)
+	addRow("priority +2/hit, age 20", sbuf.SchedPriority, 2, 20)
+	t.AddNote("paper §4.4: +2 per hit with a 10-miss aging period provided decent results")
+	return t
+}
+
+// AblationGeometry sweeps stream-buffer count and entries per buffer.
+func AblationGeometry(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Ablation: stream-buffer geometry (ConfAlloc-Priority, health)",
+		"buffers", "2 entries", "4 entries", "8 entries")
+	w := mustWorkload("health")
+	base := sim.Run(w, core.None, cfg)
+	for _, nb := range []int{2, 4, 8, 16} {
+		row := []string{fmt.Sprintf("%d", nb)}
+		for _, ne := range []int{2, 4, 8} {
+			c := cfg
+			c.Opts.Buffers.NumBuffers = nb
+			c.Opts.Buffers.EntriesPerBuffer = ne
+			r := sim.Run(w, core.PSBConfPriority, c)
+			row = append(row, stats.SignedPct(r.SpeedupOver(base)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper evaluates 8 buffers x 4 entries")
+	return t
+}
+
+// AblationMarkovSize sweeps the Markov table size.
+func AblationMarkovSize(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Ablation: Markov table entries (ConfAlloc-Priority)",
+		"entries", "data bytes", "health speedup", "deltablue speedup")
+	benches := []workload.Workload{mustWorkload("health"), mustWorkload("deltablue")}
+	bases := make([]sim.Result, len(benches))
+	for i, w := range benches {
+		bases[i] = sim.Run(w, core.None, cfg)
+	}
+	for _, entries := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		c := cfg
+		c.Opts.SFM.MarkovEntries = entries
+		table := predict.NewMarkovTable(entries, c.Opts.SFM.BlockShift,
+			c.Opts.SFM.DeltaBits, c.Opts.SFM.TagBits)
+		row := []string{fmt.Sprintf("%d", entries), fmt.Sprintf("%d", table.DataBytes())}
+		for i, w := range benches {
+			r := sim.Run(w, core.PSBConfPriority, c)
+			row = append(row, stats.SignedPct(r.SpeedupOver(bases[i])))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper uses 2K entries (4KB of data storage)")
+	return t
+}
+
+// AblationOverlap toggles the non-overlapping-streams check.
+func AblationOverlap(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Ablation: non-overlap check (ConfAlloc-Priority)",
+		"check", "health speedup", "health issued", "deltablue speedup", "deltablue issued")
+	benches := []workload.Workload{mustWorkload("health"), mustWorkload("deltablue")}
+	bases := make([]sim.Result, len(benches))
+	for i, w := range benches {
+		bases[i] = sim.Run(w, core.None, cfg)
+	}
+	for _, on := range []bool{true, false} {
+		c := cfg
+		c.Opts.Buffers.NonOverlapCheck = on
+		name := "on"
+		if !on {
+			name = "off"
+		}
+		row := []string{name}
+		for i, w := range benches {
+			r := sim.Run(w, core.PSBConfPriority, c)
+			row = append(row, stats.SignedPct(r.SpeedupOver(bases[i])),
+				fmt.Sprintf("%d", r.SB.PrefetchesIssued))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("Farkas et al.: enforcing non-overlapping streams saves bus bandwidth")
+	return t
+}

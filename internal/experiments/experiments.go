@@ -1,0 +1,234 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5–§6): Table 2 and Figures 4 through 11, plus
+// the ablation studies listed in DESIGN.md. The same functions back
+// cmd/psbtables, the testing.B benchmark harness (bench_test.go) and
+// the numbers recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Matrix holds the results of running every benchmark under every
+// prefetching scheme of Figures 5-9 (plus the no-prefetch base).
+type Matrix struct {
+	Cfg     sim.Config
+	Results map[string]map[core.Variant]sim.Result
+}
+
+// Schemes lists the configurations of the Figure 5-9 bars, base first.
+func Schemes() []core.Variant {
+	return append([]core.Variant{core.None}, core.PaperVariants()...)
+}
+
+// RunMatrix simulates every benchmark under every scheme.
+func RunMatrix(cfg sim.Config) *Matrix {
+	m := &Matrix{Cfg: cfg, Results: make(map[string]map[core.Variant]sim.Result)}
+	for _, w := range workload.All() {
+		m.Results[w.Name] = make(map[core.Variant]sim.Result)
+		for _, v := range Schemes() {
+			m.Results[w.Name][v] = sim.Run(w, v, cfg)
+		}
+	}
+	return m
+}
+
+// Base returns the no-prefetch result for a benchmark.
+func (m *Matrix) Base(name string) sim.Result { return m.Results[name][core.None] }
+
+// Table2 regenerates the paper's Table 2: baseline characteristics of
+// each benchmark (instructions simulated, L1 miss rate, load/store
+// percentages, IPC, and bus utilizations) with no prefetching.
+func Table2(m *Matrix) *stats.Table {
+	t := stats.NewTable("Table 2: baseline characteristics (no prefetching)",
+		"program", "#inst (Mill)", "%L1 MR", "%lds", "%sts", "IPC",
+		"L1-L2 %bus", "L2-M %bus")
+	for _, w := range workload.All() {
+		r := m.Base(w.Name)
+		t.AddRow(w.Name,
+			stats.Millions(r.CPU.Committed),
+			stats.Pct(r.CPU.DMissRate()),
+			stats.Pct(r.CPU.PctLoads()),
+			stats.Pct(r.CPU.PctStores()),
+			stats.F2(r.IPC()),
+			stats.Pct(r.L1L2Util),
+			stats.Pct(r.MemBusUtil))
+	}
+	return t
+}
+
+// Fig4Widths are the delta widths swept by Figure 4.
+var Fig4Widths = []int{4, 6, 8, 10, 12, 14, 16, 20, 24, 32}
+
+// Fig4 regenerates Figure 4: the percent of L1 misses a first-order
+// Markov predictor captures as a function of the per-entry delta
+// width. Each benchmark runs once (base config) with the delta-bits
+// histogram attached.
+func Fig4(cfg sim.Config) *stats.Table {
+	cfg.CollectFig4 = true
+	headers := []string{"program"}
+	for _, wdt := range Fig4Widths {
+		headers = append(headers, fmt.Sprintf("%db", wdt))
+	}
+	t := stats.NewTable("Figure 4: %% of L1 misses Markov-predictable vs delta entry width", headers...)
+	for _, w := range workload.All() {
+		r := sim.Run(w, core.None, cfg)
+		row := []string{w.Name}
+		for _, wdt := range Fig4Widths {
+			row = append(row, stats.Pct(r.Hist.PercentPredictable(wdt)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("the paper finds 16 bits capture almost all transitions; compare the 16b column")
+	return t
+}
+
+// Fig5 regenerates Figure 5: percent IPC speedup over the no-prefetch
+// base for PC-stride and the four PSB configurations.
+func Fig5(m *Matrix) *stats.Table {
+	t := schemeTable(m, "Figure 5: % speedup over base",
+		func(r, base sim.Result) string { return stats.SignedPct(r.SpeedupOver(base)) })
+	t.AddNote("paper: PSB ~30%% avg over base on pointer apps, ~10%% over PC-stride; sis degrades without confidence")
+	return t
+}
+
+// Fig6 regenerates Figure 6: prefetch accuracy (prefetches used /
+// prefetches issued).
+func Fig6(m *Matrix) *stats.Table {
+	return schemeTable(m, "Figure 6: prefetch accuracy (used/issued)",
+		func(r, base sim.Result) string { return stats.Pct(r.SB.Accuracy()) })
+}
+
+// Fig7 regenerates Figure 7: data-cache miss rates where in-flight
+// blocks count as misses, including the base machine.
+func Fig7(m *Matrix) *stats.Table {
+	return schemeTableWithBase(m, "Figure 7: data cache miss rate (in-flight counts as miss)",
+		func(r sim.Result) string { return stats.Pct(r.CPU.DMissRate()) })
+}
+
+// Fig8 regenerates Figure 8: average load latency in cycles.
+func Fig8(m *Matrix) *stats.Table {
+	return schemeTableWithBase(m, "Figure 8: average load latency (cycles)",
+		func(r sim.Result) string { return stats.F1(r.CPU.AvgLoadLatency()) })
+}
+
+// Fig9 regenerates Figure 9: L1-L2 and L2-memory bus utilization.
+func Fig9(m *Matrix) *stats.Table {
+	headers := []string{"program"}
+	for _, v := range Schemes() {
+		headers = append(headers, v.String()+" L1L2", v.String()+" L2M")
+	}
+	t := stats.NewTable("Figure 9: bus utilization (%% of cycles busy)", headers...)
+	for _, w := range workload.All() {
+		row := []string{w.Name}
+		for _, v := range Schemes() {
+			r := m.Results[w.Name][v]
+			row = append(row, stats.Pct(r.L1L2Util), stats.Pct(r.MemBusUtil))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: without confidence, sis bus utilization rises ~4x on useless prefetches")
+	return t
+}
+
+// Fig10Configs are the L1 data-cache geometries swept by Figure 10.
+var Fig10Configs = []struct {
+	Name string
+	Size int
+	Ways int
+}{
+	{"16K 4-way", 16 << 10, 4},
+	{"32K 2-way", 32 << 10, 2},
+	{"32K 4-way", 32 << 10, 4},
+}
+
+// Fig10 regenerates Figure 10: speedup of PC-stride and
+// ConfAlloc-Priority over a base machine with the same L1
+// configuration, across three cache geometries.
+func Fig10(cfg sim.Config) *stats.Table {
+	headers := []string{"program"}
+	for _, cc := range Fig10Configs {
+		headers = append(headers, cc.Name+" PCstride", cc.Name+" ConfPri")
+	}
+	t := stats.NewTable("Figure 10: %% speedup varying L1D size and associativity", headers...)
+	for _, w := range workload.All() {
+		row := []string{w.Name}
+		for _, cc := range Fig10Configs {
+			c := cfg
+			c.Mem.L1D.SizeBytes = cc.Size
+			c.Mem.L1D.Ways = cc.Ways
+			base := sim.Run(w, core.None, c)
+			pcs := sim.Run(w, core.PCStride, c)
+			psb := sim.Run(w, core.PSBConfPriority, c)
+			row = append(row,
+				stats.SignedPct(pcs.SpeedupOver(base)),
+				stats.SignedPct(psb.SpeedupOver(base)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: the obtained speedup is largely independent of cache size over these configurations")
+	return t
+}
+
+// Fig11 regenerates Figure 11: IPC with and without perfect memory
+// disambiguation for the base machine and ConfAlloc-Priority PSB.
+func Fig11(cfg sim.Config) *stats.Table {
+	t := stats.NewTable("Figure 11: IPC with (Dis) and without (NoDis) perfect store sets",
+		"program", "Base-NoDis", "Base-Dis", "ConfPri-NoDis", "ConfPri-Dis")
+	for _, w := range workload.All() {
+		row := []string{w.Name}
+		for _, v := range []core.Variant{core.None, core.PSBConfPriority} {
+			for _, dis := range []cpu.Disambiguation{cpu.DisNone, cpu.DisPerfect} {
+				c := cfg
+				c.CPU.Disambiguation = dis
+				r := sim.Run(w, v, c)
+				row = append(row, stats.F2(r.IPC()))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// schemeTable renders one metric for the five prefetching schemes
+// (base excluded), one row per benchmark.
+func schemeTable(m *Matrix, title string, cell func(r, base sim.Result) string) *stats.Table {
+	headers := []string{"program"}
+	for _, v := range core.PaperVariants() {
+		headers = append(headers, v.String())
+	}
+	t := stats.NewTable(title, headers...)
+	for _, w := range workload.All() {
+		base := m.Base(w.Name)
+		row := []string{w.Name}
+		for _, v := range core.PaperVariants() {
+			row = append(row, cell(m.Results[w.Name][v], base))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// schemeTableWithBase renders one metric for base plus the five
+// schemes.
+func schemeTableWithBase(m *Matrix, title string, cell func(r sim.Result) string) *stats.Table {
+	headers := []string{"program"}
+	for _, v := range Schemes() {
+		headers = append(headers, v.String())
+	}
+	t := stats.NewTable(title, headers...)
+	for _, w := range workload.All() {
+		row := []string{w.Name}
+		for _, v := range Schemes() {
+			row = append(row, cell(m.Results[w.Name][v]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

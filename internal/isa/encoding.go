@@ -1,0 +1,82 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoding notes
+//
+// Each instruction serializes to a fixed 8-byte word:
+//
+//	bits  0..7   opcode
+//	bits  8..15  rd
+//	bits 16..23  rs1
+//	bits 24..31  rs2
+//	bits 32..63  imm (signed 32-bit)
+//
+// The encoding is lossless and used for program serialization, hashing
+// and round-trip testing. It is *not* the unit of PC arithmetic: the
+// timing model treats every instruction as occupying InstBytes (4) bytes
+// of instruction-cache space, matching the 4-byte Alpha instructions of
+// the paper's substrate.
+
+// EncodedBytes is the size of one serialized instruction.
+const EncodedBytes = 8
+
+// ErrBadEncoding reports a malformed serialized instruction.
+var ErrBadEncoding = errors.New("isa: bad instruction encoding")
+
+// Encode packs the instruction into a 64-bit word.
+func Encode(in Instr) uint64 {
+	return uint64(in.Op) |
+		uint64(in.Rd)<<8 |
+		uint64(in.Rs1)<<16 |
+		uint64(in.Rs2)<<24 |
+		uint64(uint32(in.Imm))<<32
+}
+
+// Decode unpacks a 64-bit word into an instruction. It returns
+// ErrBadEncoding if the opcode is undefined.
+func Decode(w uint64) (Instr, error) {
+	in := Instr{
+		Op:  Op(w & 0xFF),
+		Rd:  Reg(w >> 8 & 0xFF),
+		Rs1: Reg(w >> 16 & 0xFF),
+		Rs2: Reg(w >> 24 & 0xFF),
+		Imm: int32(uint32(w >> 32)),
+	}
+	if !in.Op.Valid() {
+		return Instr{}, fmt.Errorf("%w: opcode %d", ErrBadEncoding, w&0xFF)
+	}
+	return in, nil
+}
+
+// Marshal serializes a program to bytes (little-endian words).
+func Marshal(prog []Instr) []byte {
+	out := make([]byte, 0, len(prog)*EncodedBytes)
+	var buf [EncodedBytes]byte
+	for _, in := range prog {
+		binary.LittleEndian.PutUint64(buf[:], Encode(in))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// Unmarshal deserializes a program produced by Marshal.
+func Unmarshal(b []byte) ([]Instr, error) {
+	if len(b)%EncodedBytes != 0 {
+		return nil, fmt.Errorf("%w: length %d not a multiple of %d",
+			ErrBadEncoding, len(b), EncodedBytes)
+	}
+	prog := make([]Instr, 0, len(b)/EncodedBytes)
+	for off := 0; off < len(b); off += EncodedBytes {
+		in, err := Decode(binary.LittleEndian.Uint64(b[off:]))
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", off/EncodedBytes, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}

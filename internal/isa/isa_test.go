@@ -1,0 +1,233 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{R0, "r0"},
+		{R(5), "r5"},
+		{RSP, "r29"},
+		{F(0), "f0"},
+		{F(31), "f31"},
+		{RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { R(-1) },
+		func() { R(32) },
+		func() { F(-1) },
+		func() { F(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIsFP(t *testing.T) {
+	if R(3).IsFP() {
+		t.Error("r3 should not be FP")
+	}
+	if !F(3).IsFP() {
+		t.Error("f3 should be FP")
+	}
+	if RegNone.IsFP() {
+		t.Error("RegNone should not be FP")
+	}
+}
+
+func TestClassOfCoversAllOps(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		c := ClassOf(op)
+		if c >= NumClasses {
+			t.Errorf("ClassOf(%v) = %v out of range", op, c)
+		}
+		switch {
+		case op.IsLoad() && c != ClassLoad:
+			t.Errorf("load op %v has class %v", op, c)
+		case op.IsStore() && c != ClassStore:
+			t.Errorf("store op %v has class %v", op, c)
+		case op.IsCTI() && c != ClassBranch:
+			t.Errorf("CTI op %v has class %v", op, c)
+		}
+	}
+}
+
+func TestOpPredicatesDisjoint(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		n := 0
+		if op.IsLoad() {
+			n++
+		}
+		if op.IsStore() {
+			n++
+		}
+		if op.IsBranch() {
+			n++
+		}
+		if op.IsJump() {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("op %v satisfies %d predicate categories", op, n)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	cases := map[Op]int{
+		LD: 8, ST: 8, FLD: 8, FST: 8,
+		LW: 4, SW: 4,
+		LB: 1, SB: 1,
+		ADD: 0, BEQ: 0, HALT: 0,
+	}
+	for op, want := range cases {
+		if got := op.MemBytes(); got != want {
+			t.Errorf("%v.MemBytes() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if ADD.String() != "add" {
+		t.Errorf("ADD.String() = %q", ADD.String())
+	}
+	if Op(200).String() != "op(200)" {
+		t.Errorf("unknown op string = %q", Op(200).String())
+	}
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty mnemonic", op)
+		}
+	}
+}
+
+func TestInstrDstSrcs(t *testing.T) {
+	cases := []struct {
+		in       Instr
+		wantDst  Reg
+		wantSrc1 Reg
+		wantSrc2 Reg
+	}{
+		{Instr{Op: ADD, Rd: R(1), Rs1: R(2), Rs2: R(3)}, R(1), R(2), R(3)},
+		{Instr{Op: ADDI, Rd: R(1), Rs1: R(2)}, R(1), R(2), RegNone},
+		{Instr{Op: LD, Rd: R(1), Rs1: R(2)}, R(1), R(2), RegNone},
+		{Instr{Op: ST, Rs1: R(2), Rs2: R(3)}, RegNone, R(2), R(3)},
+		{Instr{Op: BEQ, Rs1: R(2), Rs2: R(3)}, RegNone, R(2), R(3)},
+		{Instr{Op: JMP}, RegNone, RegNone, RegNone},
+		{Instr{Op: JAL, Rd: RLR}, RLR, RegNone, RegNone},
+		{Instr{Op: JALR, Rd: R0, Rs1: RLR}, R0, RLR, RegNone},
+		{Instr{Op: LUI, Rd: R(4)}, R(4), RegNone, RegNone},
+		{Instr{Op: HALT}, RegNone, RegNone, RegNone},
+		{Instr{Op: FADD, Rd: F(1), Rs1: F(2), Rs2: F(3)}, F(1), F(2), F(3)},
+		{Instr{Op: FST, Rs1: R(2), Rs2: F(3)}, RegNone, R(2), F(3)},
+	}
+	for _, c := range cases {
+		if got := c.in.Dst(); got != c.wantDst {
+			t.Errorf("%v: Dst() = %v, want %v", c.in, got, c.wantDst)
+		}
+		s1, s2 := c.in.Srcs()
+		if s1 != c.wantSrc1 || s2 != c.wantSrc2 {
+			t.Errorf("%v: Srcs() = %v,%v want %v,%v", c.in, s1, s2, c.wantSrc1, c.wantSrc2)
+		}
+	}
+}
+
+func TestInstrStringDistinct(t *testing.T) {
+	// Every opcode must render without panicking and include its mnemonic.
+	for op := Op(0); op < numOps; op++ {
+		in := Instr{Op: op, Rd: R(1), Rs1: R(2), Rs2: R(3), Imm: -7}
+		if op == FADD || op == FSUB || op == FMUL || op == FDIV {
+			in = Instr{Op: op, Rd: F(1), Rs1: F(2), Rs2: F(3)}
+		}
+		s := in.String()
+		if s == "" {
+			t.Errorf("op %v renders empty", op)
+		}
+	}
+}
+
+func randInstr(r *rand.Rand) Instr {
+	return Instr{
+		Op:  Op(r.Intn(int(numOps))),
+		Rd:  Reg(r.Intn(int(NumRegs))),
+		Rs1: Reg(r.Intn(int(NumRegs))),
+		Rs2: Reg(r.Intn(int(NumRegs))),
+		Imm: int32(r.Uint32()),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstr(r)
+		out, err := Decode(Encode(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(uint64(numOps)); err == nil {
+		t.Error("Decode accepted an undefined opcode")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	prog := make([]Instr, 100)
+	for i := range prog {
+		prog[i] = randInstr(r)
+	}
+	data := Marshal(prog)
+	if len(data) != len(prog)*EncodedBytes {
+		t.Fatalf("Marshal length %d, want %d", len(data), len(prog)*EncodedBytes)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("Unmarshal length %d, want %d", len(got), len(prog))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instruction %d: got %v, want %v", i, got[i], prog[i])
+		}
+	}
+}
+
+func TestUnmarshalRejectsTruncated(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 7)); err == nil {
+		t.Error("Unmarshal accepted a truncated buffer")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", c)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(DefaultConfig().L1D)
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 18))
+	}
+	for _, a := range addrs {
+		c.Insert(a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkCacheInsertEvict(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "t", SizeBytes: 8 << 10, Ways: 4, BlockBytes: 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i) << 5)
+	}
+}
+
+func BenchmarkHierarchyL1Hit(b *testing.B) {
+	h := New(DefaultConfig())
+	h.L1D.Insert(0x4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessD(uint64(i), 0x4000)
+	}
+}
+
+func BenchmarkHierarchyMissPath(b *testing.B) {
+	h := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh block every time: the full L2+memory arithmetic.
+		h.AccessD(uint64(i)*200, uint64(i)<<6)
+	}
+}
+
+func BenchmarkTLBTranslate(b *testing.B) {
+	t := NewTLB(64, 4096, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Translate(uint64(i%128) << 12)
+	}
+}

@@ -1,0 +1,261 @@
+package mem
+
+import "testing"
+
+func TestBusTransferAndOccupancy(t *testing.T) {
+	b := NewBus(8)
+	if got := b.TransferCycles(32); got != 4 {
+		t.Errorf("TransferCycles(32) = %d, want 4", got)
+	}
+	if got := b.TransferCycles(33); got != 5 {
+		t.Errorf("TransferCycles(33) = %d, want 5", got)
+	}
+	start, done := b.Acquire(10, 32)
+	if start != 10 || done != 14 {
+		t.Errorf("first acquire = (%d,%d), want (10,14)", start, done)
+	}
+	if b.FreeAt(12) {
+		t.Error("bus free while transferring")
+	}
+	if !b.FreeAt(14) {
+		t.Error("bus not free after transfer")
+	}
+	// Second transfer queued behind the first.
+	start, done = b.Acquire(11, 16)
+	if start != 14 || done != 16 {
+		t.Errorf("queued acquire = (%d,%d), want (14,16)", start, done)
+	}
+	if b.BusyCycles() != 6 {
+		t.Errorf("BusyCycles = %d, want 6", b.BusyCycles())
+	}
+	if u := b.Utilization(100); u != 0.06 {
+		t.Errorf("Utilization = %v, want 0.06", u)
+	}
+}
+
+func TestBusUtilizationClamped(t *testing.T) {
+	b := NewBus(1)
+	b.Acquire(0, 100)
+	if u := b.Utilization(50); u != 1 {
+		t.Errorf("Utilization = %v, want clamped 1", u)
+	}
+	if b.Utilization(0) != 0 {
+		t.Error("Utilization(0) should be 0")
+	}
+}
+
+func TestPipelineInitiationInterval(t *testing.T) {
+	p := NewPipeline(12, 3) // II = 4
+	s1, d1 := p.Start(0)
+	s2, d2 := p.Start(0)
+	s3, d3 := p.Start(0)
+	if s1 != 0 || d1 != 12 {
+		t.Errorf("first = (%d,%d)", s1, d1)
+	}
+	if s2 != 4 || d2 != 16 {
+		t.Errorf("second = (%d,%d), want (4,16)", s2, d2)
+	}
+	if s3 != 8 || d3 != 20 {
+		t.Errorf("third = (%d,%d), want (8,20)", s3, d3)
+	}
+	// A later request is not delayed.
+	s4, _ := p.Start(100)
+	if s4 != 100 {
+		t.Errorf("idle start = %d, want 100", s4)
+	}
+}
+
+func TestMSHRLifecycle(t *testing.T) {
+	f := NewMSHRFile(2)
+	if stall := f.ReserveStall(0); stall != 0 {
+		t.Errorf("empty file stall = %d", stall)
+	}
+	f.Install(0x100, 50)
+	if ready, ok := f.Lookup(10, 0x100); !ok || ready != 50 {
+		t.Errorf("Lookup = (%d,%v), want (50,true)", ready, ok)
+	}
+	if _, ok := f.Lookup(60, 0x100); ok {
+		t.Error("entry survived past its ready cycle")
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	f := NewMSHRFile(2)
+	f.Install(0x100, 50)
+	f.Install(0x200, 80)
+	stall := f.ReserveStall(10)
+	if stall != 40 { // earliest entry ready at 50
+		t.Errorf("stall = %d, want 40", stall)
+	}
+	if f.FullHit != 1 {
+		t.Errorf("FullHit = %d, want 1", f.FullHit)
+	}
+	// The earliest entry was retired to make room.
+	if _, ok := f.Lookup(10, 0x100); ok {
+		t.Error("victim entry still present")
+	}
+}
+
+func TestMSHRInstallKeepsLatest(t *testing.T) {
+	f := NewMSHRFile(4)
+	f.Install(0x100, 50)
+	f.Install(0x100, 40) // must not regress
+	if ready, _ := f.Lookup(0, 0x100); ready != 50 {
+		t.Errorf("ready = %d, want 50", ready)
+	}
+	f.Install(0x100, 90)
+	if ready, _ := f.Lookup(0, 0x100); ready != 90 {
+		t.Errorf("ready = %d, want 90", ready)
+	}
+}
+
+func TestTLBHitMissAndLRU(t *testing.T) {
+	tlb := NewTLB(2, 4096, 30)
+	if p := tlb.Translate(0x1000); p != 30 {
+		t.Errorf("cold translate penalty = %d, want 30", p)
+	}
+	if p := tlb.Translate(0x1FFF); p != 0 {
+		t.Errorf("same-page translate penalty = %d, want 0", p)
+	}
+	tlb.Translate(0x2000) // second entry
+	tlb.Translate(0x1000) // refresh first
+	tlb.Translate(0x5000) // evicts page 2 (LRU)
+	if tlb.Resident(0x2000) {
+		t.Error("LRU page still resident")
+	}
+	if !tlb.Resident(0x1000) {
+		t.Error("MRU page evicted")
+	}
+	if tlb.MissRate() <= 0 || tlb.MissRate() > 1 {
+		t.Errorf("MissRate = %v", tlb.MissRate())
+	}
+}
+
+func TestHierarchyL1HitNoLatency(t *testing.T) {
+	h := New(DefaultConfig())
+	h.L1D.Insert(0x4000)
+	r := h.AccessD(100, 0x4000)
+	if !r.Hit || r.Ready != 100 || r.Miss() {
+		t.Errorf("L1 hit result = %+v", r)
+	}
+}
+
+func TestHierarchyL2HitLatency(t *testing.T) {
+	h := New(DefaultConfig())
+	h.L2.Insert(0x4000)
+	r := h.AccessD(0, 0x4000)
+	if r.Hit || !r.L2Hit {
+		t.Fatalf("expected L2 hit, got %+v", r)
+	}
+	// Latency: L2 pipeline latency (12) + L1-block transfer (32B/8 = 4).
+	if r.Ready != 16 {
+		t.Errorf("L2 hit ready = %d, want 16", r.Ready)
+	}
+	// The block is now in L1 and in the MSHRs until ready.
+	r2 := h.AccessD(5, 0x4010)
+	if !r2.InFlight || r2.Ready != 16 {
+		t.Errorf("in-flight access = %+v, want in-flight ready 16", r2)
+	}
+	if r2.Hit {
+		t.Error("in-flight counted as a hit")
+	}
+	// After arrival it is a plain hit.
+	r3 := h.AccessD(20, 0x4000)
+	if !r3.Hit {
+		t.Errorf("post-fill access = %+v, want hit", r3)
+	}
+}
+
+func TestHierarchyMemoryLatency(t *testing.T) {
+	h := New(DefaultConfig())
+	r := h.AccessD(0, 0x4000)
+	if r.Hit || r.L2Hit {
+		t.Fatalf("expected full miss, got %+v", r)
+	}
+	// L2 pipe done at 12, mem bus 64B/4 = 16 cycles -> 28, + 120 memory
+	// latency -> 148, + L1 transfer 4 -> 152.
+	if r.Ready != 152 {
+		t.Errorf("memory ready = %d, want 152", r.Ready)
+	}
+	// The L2 was filled on the way.
+	if !h.L2.Probe(0x4000) {
+		t.Error("L2 not filled by memory fetch")
+	}
+	if h.DemandL2Misses != 1 {
+		t.Errorf("DemandL2Misses = %d", h.DemandL2Misses)
+	}
+}
+
+func TestHierarchyBusSerializesMisses(t *testing.T) {
+	h := New(DefaultConfig())
+	h.L2.Insert(0x4000)
+	h.L2.Insert(0x8000)
+	r1 := h.AccessD(0, 0x4000)
+	r2 := h.AccessD(0, 0x8000)
+	if r2.Ready <= r1.Ready {
+		t.Errorf("second miss not serialized: %d then %d", r1.Ready, r2.Ready)
+	}
+	if h.L1L2.BusyCycles() != 8 { // two 32-byte transfers at 8 B/cycle
+		t.Errorf("L1L2 busy = %d, want 8", h.L1L2.BusyCycles())
+	}
+}
+
+func TestHierarchyPrefetchFillsL2NotL1(t *testing.T) {
+	h := New(DefaultConfig())
+	ready, l2hit := h.Prefetch(0, 0x4000)
+	if l2hit {
+		t.Fatal("cold prefetch hit L2")
+	}
+	if ready == 0 {
+		t.Fatal("prefetch ready not set")
+	}
+	if h.L1D.Probe(0x4000) {
+		t.Error("prefetch filled L1D")
+	}
+	if !h.L2.Probe(0x4000) {
+		t.Error("prefetch did not fill L2")
+	}
+	if h.PrefL2Misses != 1 {
+		t.Errorf("PrefL2Misses = %d", h.PrefL2Misses)
+	}
+}
+
+func TestHierarchyPrefetchUsesTLB(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Prefetch(0, 0x4000)
+	if h.DTLB.Accesses != 1 {
+		t.Errorf("TLB accesses = %d, want 1", h.DTLB.Accesses)
+	}
+	if !h.DTLB.Resident(0x4000) {
+		t.Error("prefetch did not install TLB entry")
+	}
+}
+
+func TestHierarchyFillAndPromote(t *testing.T) {
+	h := New(DefaultConfig())
+	h.FillL1D(0x4000)
+	if !h.L1D.Probe(0x4000) {
+		t.Fatal("FillL1D did not insert")
+	}
+	h.PromoteToMSHR(0, 0x8000, 77)
+	r := h.AccessD(10, 0x8000)
+	if !r.InFlight || r.Ready != 77 {
+		t.Errorf("promoted block access = %+v, want in-flight ready 77", r)
+	}
+}
+
+func TestHierarchyAccessI(t *testing.T) {
+	h := New(DefaultConfig())
+	r := h.AccessI(0, 0x10000)
+	if r.Hit {
+		t.Fatal("cold I-fetch hit")
+	}
+	r2 := h.AccessI(r.Ready+1, 0x10000)
+	if !r2.Hit {
+		t.Errorf("warm I-fetch = %+v", r2)
+	}
+	// I-misses share the L1-L2 bus with data traffic.
+	if h.L1L2.BusyCycles() == 0 {
+		t.Error("I-miss did not use the L1-L2 bus")
+	}
+}

@@ -1,0 +1,90 @@
+package mem
+
+// MSHRFile tracks outstanding (in-flight) cache fills by block address.
+// An access to a block with an active MSHR is the paper's "in-flight"
+// case: it counts as a miss but merges with the pending fill rather
+// than issuing a second request.
+type MSHRFile struct {
+	capacity int
+	pending  map[uint64]uint64 // block address -> ready cycle
+
+	Allocs  uint64 // fills installed
+	Merges  uint64 // accesses merged into an existing entry
+	FullHit uint64 // allocation attempts that found the file full
+}
+
+// NewMSHRFile returns a file with the given number of entries.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		panic("mem: MSHR capacity must be positive")
+	}
+	return &MSHRFile{capacity: capacity, pending: make(map[uint64]uint64, capacity)}
+}
+
+// Capacity returns the entry count.
+func (f *MSHRFile) Capacity() int { return f.capacity }
+
+// InFlight returns the number of live entries at cycle (expiring stale
+// ones first).
+func (f *MSHRFile) InFlight(cycle uint64) int {
+	f.expire(cycle)
+	return len(f.pending)
+}
+
+func (f *MSHRFile) expire(cycle uint64) {
+	for b, ready := range f.pending {
+		if ready <= cycle {
+			delete(f.pending, b)
+		}
+	}
+}
+
+// Lookup reports whether block has an active fill at cycle, and if so
+// when it completes. A Lookup that finds an entry is a merge.
+func (f *MSHRFile) Lookup(cycle, block uint64) (ready uint64, ok bool) {
+	f.expire(cycle)
+	ready, ok = f.pending[block]
+	if ok {
+		f.Merges++
+	}
+	return ready, ok
+}
+
+// ReserveStall makes room for a new entry at cycle. If the file is
+// full, the entry completing earliest is retired and the returned stall
+// is how many cycles the requester must wait before its request can be
+// accepted; otherwise the stall is zero.
+func (f *MSHRFile) ReserveStall(cycle uint64) (stall uint64) {
+	f.expire(cycle)
+	if len(f.pending) < f.capacity {
+		return 0
+	}
+	f.FullHit++
+	earliest := ^uint64(0)
+	var victim uint64
+	for b, r := range f.pending {
+		if r < earliest {
+			earliest, victim = r, b
+		}
+	}
+	delete(f.pending, victim)
+	if earliest > cycle {
+		return earliest - cycle
+	}
+	return 0
+}
+
+// Install records a fill of block completing at ready.
+func (f *MSHRFile) Install(block, ready uint64) {
+	if existing, ok := f.pending[block]; ok && existing >= ready {
+		return
+	}
+	f.Allocs++
+	f.pending[block] = ready
+}
+
+// Cancel removes block's entry (used when an in-flight prefetch is
+// promoted into a demand MSHR).
+func (f *MSHRFile) Cancel(block uint64) {
+	delete(f.pending, block)
+}

@@ -1,0 +1,76 @@
+package mem
+
+// TLB is a fully-associative, LRU translation lookaside buffer. The
+// simulator predicts and prefetches virtual addresses (§4.5 of the
+// paper) and translates them here before touching the hierarchy;
+// translation is identity (virtual == physical) but a miss costs a
+// page-walk penalty and performs a replacement — so stream-buffer
+// prefetches naturally perform TLB prefetching, as in the paper.
+type TLB struct {
+	entries   int
+	pageShift uint
+	walk      uint64            // page-walk latency in cycles
+	slots     map[uint64]uint64 // page number -> lastUse
+	clock     uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB with the given entry count, page size and
+// page-walk latency.
+func NewTLB(entries int, pageBytes int, walkCycles uint64) *TLB {
+	if entries <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("mem: bad TLB geometry")
+	}
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{
+		entries:   entries,
+		pageShift: shift,
+		walk:      walkCycles,
+		slots:     make(map[uint64]uint64, entries),
+	}
+}
+
+// Translate looks up addr's page and returns the extra latency the
+// access pays (0 on a hit, the walk latency on a miss). The page is
+// installed on a miss, evicting LRU if the TLB is full.
+func (t *TLB) Translate(addr uint64) (penalty uint64) {
+	t.clock++
+	t.Accesses++
+	page := addr >> t.pageShift
+	if _, ok := t.slots[page]; ok {
+		t.slots[page] = t.clock
+		return 0
+	}
+	t.Misses++
+	if len(t.slots) >= t.entries {
+		oldest := ^uint64(0)
+		var victim uint64
+		for p, use := range t.slots {
+			if use < oldest {
+				oldest, victim = use, p
+			}
+		}
+		delete(t.slots, victim)
+	}
+	t.slots[page] = t.clock
+	return t.walk
+}
+
+// Resident reports whether addr's page is mapped (no state change).
+func (t *TLB) Resident(addr uint64) bool {
+	_, ok := t.slots[addr>>t.pageShift]
+	return ok
+}
+
+// MissRate returns Misses/Accesses.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

@@ -1,0 +1,65 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSFMTrain(b *testing.B) {
+	p := NewSFM(DefaultSFMConfig())
+	r := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 4096)
+	pcs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<20)) << 5
+		pcs[i] = uint64(r.Intn(512)) << 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Train(pcs[i%len(pcs)], addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkSFMNextAddr(b *testing.B) {
+	p := NewSFM(DefaultSFMConfig())
+	for i := uint64(0); i < 4096; i++ {
+		p.Train(0x40, 0x10000+i*64)
+	}
+	s := p.InitStream(0x40, 0x10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.NextAddr(&s)
+	}
+}
+
+func BenchmarkPCStrideTrain(b *testing.B) {
+	p := NewPCStride(DefaultSFMConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Train(uint64(i%256)<<2, uint64(i)<<5)
+	}
+}
+
+func BenchmarkMarkovLookup(b *testing.B) {
+	m := NewMarkovTable(2048, 5, 16, 16)
+	for i := uint64(0); i < 2048; i++ {
+		m.Update(i<<5, (i+7)<<5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(uint64(i%2048) << 5)
+	}
+}
+
+func BenchmarkDeltaHistogramObserve(b *testing.B) {
+	h := NewDeltaHistogram(4096, 5)
+	r := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 1024)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<16)) << 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(addrs[i%len(addrs)])
+	}
+}

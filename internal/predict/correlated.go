@@ -1,0 +1,258 @@
+package predict
+
+// This file implements the other §2 address predictors the paper
+// simulated before settling on SFM: a pure first-order Markov
+// predictor (no stride filter) and a Bekerman-style two-level
+// correlated predictor. Both implement Predictor, so any of them can
+// direct the stream buffers; the predictor-shootout extension compares
+// them head to head.
+
+// MarkovOnly is a first-order Markov predictor with no stride filter:
+// every miss transition is recorded, so strided streams flood the
+// table with transitions the stride predictor would have absorbed.
+type MarkovOnly struct {
+	cfg    SFMConfig
+	stride *PCStrideTable // per-PC last-address + confidence bookkeeping only
+	markov *MarkovTable
+	Trains uint64
+}
+
+// NewMarkovOnly builds the predictor (stride fields of cfg size the
+// bookkeeping table; no stride filtering or stride fallback happens).
+func NewMarkovOnly(cfg SFMConfig) *MarkovOnly {
+	return &MarkovOnly{
+		cfg:    cfg,
+		stride: NewPCStrideTable(cfg.StrideEntries, cfg.StrideWays),
+		markov: NewMarkovTable(cfg.MarkovEntries, cfg.BlockShift, cfg.DeltaBits, cfg.TagBits),
+	}
+}
+
+func (p *MarkovOnly) block(addr uint64) uint64 {
+	return addr >> p.cfg.BlockShift << p.cfg.BlockShift
+}
+
+// Train records every miss transition into the Markov table.
+func (p *MarkovOnly) Train(pc, addr uint64) {
+	p.Trains++
+	blk := p.block(addr)
+	e, existed := p.stride.Touch(pc)
+	prevLast := e.LastAddr
+	if existed && prevLast != 0 {
+		if mp, ok := p.markov.Peek(prevLast); ok && mp == blk {
+			e.Conf.Inc()
+			e.streak++
+		} else {
+			e.Conf.Dec()
+			e.streak = 0
+		}
+	}
+	e.UpdateStride(blk)
+	if prevLast != 0 {
+		p.markov.Update(prevLast, blk)
+	}
+}
+
+// InitStream starts at the missing block; there is no stride to copy.
+func (p *MarkovOnly) InitStream(pc, missAddr uint64) Stream {
+	return Stream{PC: pc, LastAddr: p.block(missAddr)}
+}
+
+// NextAddr follows the Markov chain; without a hit there is no
+// fallback and the stream stalls.
+func (p *MarkovOnly) NextAddr(s *Stream) (uint64, bool) {
+	next, ok := p.markov.Lookup(s.LastAddr)
+	if !ok {
+		return 0, false
+	}
+	s.LastAddr = next
+	return next, true
+}
+
+// Confidence returns the per-PC Markov accuracy.
+func (p *MarkovOnly) Confidence(pc uint64) int {
+	if e := p.stride.Lookup(pc); e != nil {
+		return e.Conf.V
+	}
+	return 0
+}
+
+// TwoMissOK reports two consecutive Markov-predicted misses.
+func (p *MarkovOnly) TwoMissOK(pc uint64) bool {
+	if e := p.stride.Lookup(pc); e != nil {
+		return e.streak >= 2
+	}
+	return false
+}
+
+var _ Predictor = (*MarkovOnly)(nil)
+
+// CorrelatedConfig sizes the two-level correlated predictor.
+type CorrelatedConfig struct {
+	FirstEntries  int // per-PC history entries (power-of-two sets x ways handled as direct map)
+	SecondEntries int // history-indexed prediction entries (power of two)
+	HistoryLen    int // base addresses folded into the history (the paper's [2] uses 4)
+	BlockShift    uint
+}
+
+// DefaultCorrelatedConfig follows the flavor described in §2.2 with a
+// two-address effective window (what the per-stream state can replay).
+func DefaultCorrelatedConfig() CorrelatedConfig {
+	return CorrelatedConfig{FirstEntries: 256, SecondEntries: 2048, HistoryLen: 4, BlockShift: 5}
+}
+
+type corrFirst struct {
+	pc      uint64
+	valid   bool
+	history [8]uint64 // ring of past (block) addresses
+	hlen    int
+	conf    SatCounter
+	streak  int
+	last    uint64
+}
+
+type corrSecond struct {
+	tag   uint32
+	valid bool
+	next  uint64
+}
+
+// Correlated is a two-level context predictor in the style of
+// Bekerman et al. [2]: a per-load first-level table accumulates a
+// history of the load's past base addresses; the folded history
+// indexes a shared second-level table holding the predicted next
+// address. As the paper notes, correlated loads often fall in the same
+// cache block, so at block granularity it buys little over first-order
+// Markov — the shootout quantifies that.
+type Correlated struct {
+	cfg    CorrelatedConfig
+	first  []corrFirst
+	second []corrSecond
+	Trains uint64
+}
+
+// NewCorrelated builds the predictor.
+func NewCorrelated(cfg CorrelatedConfig) *Correlated {
+	if cfg.FirstEntries <= 0 || cfg.FirstEntries&(cfg.FirstEntries-1) != 0 ||
+		cfg.SecondEntries <= 0 || cfg.SecondEntries&(cfg.SecondEntries-1) != 0 {
+		panic("predict: correlated table sizes must be powers of two")
+	}
+	if cfg.HistoryLen <= 0 || cfg.HistoryLen > 8 {
+		panic("predict: correlated history length must be in 1..8")
+	}
+	return &Correlated{
+		cfg:    cfg,
+		first:  make([]corrFirst, cfg.FirstEntries),
+		second: make([]corrSecond, cfg.SecondEntries),
+	}
+}
+
+func (p *Correlated) block(addr uint64) uint64 {
+	return addr >> p.cfg.BlockShift << p.cfg.BlockShift
+}
+
+func (p *Correlated) firstEntry(pc uint64) *corrFirst {
+	return &p.first[(pc>>2)&uint64(p.cfg.FirstEntries-1)]
+}
+
+// foldHistory hashes a history window into a second-level index+tag.
+func (p *Correlated) fold(hist []uint64) (int, uint32) {
+	var h uint64
+	for _, a := range hist {
+		h = h*0x9E3779B97F4A7C15 + (a >> p.cfg.BlockShift)
+	}
+	idx := int(h & uint64(p.cfg.SecondEntries-1))
+	tag := uint32(h >> 40)
+	return idx, tag
+}
+
+func (e *corrFirst) window(hlen int) []uint64 {
+	n := hlen
+	if e.hlen < n {
+		n = e.hlen
+	}
+	out := make([]uint64, 0, n)
+	for i := e.hlen - n; i < e.hlen; i++ {
+		out = append(out, e.history[i])
+	}
+	return out
+}
+
+func (e *corrFirst) push(addr uint64, max int) {
+	if e.hlen == max {
+		copy(e.history[:], e.history[1:e.hlen])
+		e.hlen--
+	}
+	e.history[e.hlen] = addr
+	e.hlen++
+}
+
+// Train folds the load's history, scores the old prediction, and
+// installs the observed next address.
+func (p *Correlated) Train(pc, addr uint64) {
+	p.Trains++
+	blk := p.block(addr)
+	e := p.firstEntry(pc)
+	if !e.valid || e.pc != pc {
+		*e = corrFirst{pc: pc, valid: true, conf: NewSatCounter(0, AccuracyMax)}
+	}
+	if e.hlen > 0 {
+		// The fold window is two addresses — the most the per-stream
+		// state (PrevAddr, LastAddr) can replay at prediction time;
+		// HistoryLen bounds the retained ring for future widening.
+		idx, tag := p.fold(e.window(2))
+		se := &p.second[idx]
+		if se.valid && se.tag == tag && se.next == blk {
+			e.conf.Inc()
+			e.streak++
+		} else if se.valid && se.tag == tag {
+			e.conf.Dec()
+			e.streak = 0
+		}
+		*se = corrSecond{tag: tag, valid: true, next: blk}
+	}
+	e.push(blk, p.cfg.HistoryLen)
+	e.last = blk
+}
+
+// InitStream copies the load's history window into the stream: the
+// stream's speculative history is the PrevAddr/LastAddr pair (a
+// truncated window — the trade-off of keeping per-stream state small,
+// which the paper's §4.1 design calls for).
+func (p *Correlated) InitStream(pc, missAddr uint64) Stream {
+	s := Stream{PC: pc, LastAddr: p.block(missAddr)}
+	if e := p.firstEntry(pc); e.valid && e.pc == pc {
+		s.PrevAddr = e.last
+	}
+	return s
+}
+
+// NextAddr folds the stream's (PrevAddr, LastAddr) pair as the history
+// window and consults the second-level table.
+func (p *Correlated) NextAddr(s *Stream) (uint64, bool) {
+	idx, tag := p.fold([]uint64{s.PrevAddr, s.LastAddr})
+	se := &p.second[idx]
+	if !se.valid || se.tag != tag {
+		return 0, false
+	}
+	s.PrevAddr = s.LastAddr
+	s.LastAddr = se.next
+	return se.next, true
+}
+
+// Confidence returns the per-load accuracy counter.
+func (p *Correlated) Confidence(pc uint64) int {
+	if e := p.firstEntry(pc); e.valid && e.pc == pc {
+		return e.conf.V
+	}
+	return 0
+}
+
+// TwoMissOK reports two correctly-predicted misses in a row.
+func (p *Correlated) TwoMissOK(pc uint64) bool {
+	if e := p.firstEntry(pc); e.valid && e.pc == pc {
+		return e.streak >= 2
+	}
+	return false
+}
+
+var _ Predictor = (*Correlated)(nil)

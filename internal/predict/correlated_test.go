@@ -1,0 +1,112 @@
+package predict
+
+import "testing"
+
+func TestMarkovOnlyFollowsChain(t *testing.T) {
+	p := NewMarkovOnly(DefaultSFMConfig())
+	chase := []uint64{0x10000, 0x24000, 0x11000, 0x13000}
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range chase {
+			p.Train(0x80, a)
+		}
+	}
+	s := p.InitStream(0x80, chase[0])
+	for i := 1; i < len(chase); i++ {
+		a, ok := p.NextAddr(&s)
+		if !ok || a != chase[i] {
+			t.Fatalf("step %d = (%#x,%v), want %#x", i, a, ok, chase[i])
+		}
+	}
+	if p.Confidence(0x80) == 0 {
+		t.Error("confidence not built")
+	}
+	if !p.TwoMissOK(0x80) {
+		t.Error("two-miss filter should pass")
+	}
+}
+
+func TestMarkovOnlyStallsWithoutHit(t *testing.T) {
+	p := NewMarkovOnly(DefaultSFMConfig())
+	s := p.InitStream(0x80, 0x99000)
+	if _, ok := p.NextAddr(&s); ok {
+		t.Error("cold Markov-only predicted something")
+	}
+}
+
+func TestMarkovOnlyFloodsOnStrides(t *testing.T) {
+	// Without a stride filter every strided miss writes the table —
+	// the pollution SFM avoids.
+	mo := NewMarkovOnly(DefaultSFMConfig())
+	sfm := NewSFM(DefaultSFMConfig())
+	for i := uint64(0); i < 100; i++ {
+		mo.Train(0x40, 0x10000+i*64)
+		sfm.Train(0x40, 0x10000+i*64)
+	}
+	if mo.markov.Updates <= sfm.Markov().Updates {
+		t.Errorf("Markov-only updates %d not above SFM's filtered %d",
+			mo.markov.Updates, sfm.Markov().Updates)
+	}
+}
+
+func TestCorrelatedLearnsContext(t *testing.T) {
+	p := NewCorrelated(DefaultCorrelatedConfig())
+	chase := []uint64{0x10000, 0x24000, 0x11000, 0x13000}
+	for lap := 0; lap < 4; lap++ {
+		for _, a := range chase {
+			p.Train(0x80, a)
+		}
+	}
+	// Stream with history (0x10000, 0x24000) must predict 0x11000.
+	s := Stream{PC: 0x80, PrevAddr: 0x10000, LastAddr: 0x24000}
+	next, ok := p.NextAddr(&s)
+	if !ok || next != 0x11000 {
+		t.Fatalf("prediction = (%#x,%v), want 0x11000", next, ok)
+	}
+	// And the stream continues down the chain.
+	next, ok = p.NextAddr(&s)
+	if !ok || next != 0x13000 {
+		t.Fatalf("second prediction = (%#x,%v), want 0x13000", next, ok)
+	}
+	if p.Confidence(0x80) == 0 || !p.TwoMissOK(0x80) {
+		t.Error("confidence/streak not built")
+	}
+}
+
+func TestCorrelatedColdMiss(t *testing.T) {
+	p := NewCorrelated(DefaultCorrelatedConfig())
+	s := Stream{PC: 0x80, PrevAddr: 0x1000, LastAddr: 0x2000}
+	if _, ok := p.NextAddr(&s); ok {
+		t.Error("cold correlated predictor predicted")
+	}
+	if p.Confidence(0x123) != 0 || p.TwoMissOK(0x123) {
+		t.Error("unknown PC has state")
+	}
+}
+
+func TestCorrelatedInitStreamHistory(t *testing.T) {
+	p := NewCorrelated(DefaultCorrelatedConfig())
+	p.Train(0x80, 0x10000)
+	p.Train(0x80, 0x24000)
+	s := p.InitStream(0x80, 0x11000)
+	if s.PrevAddr != 0x24000 || s.LastAddr != 0x11000 {
+		t.Errorf("stream = %+v, want prev 0x24000 last 0x11000", s)
+	}
+}
+
+func TestCorrelatedBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []CorrelatedConfig{
+		{FirstEntries: 100, SecondEntries: 2048, HistoryLen: 4, BlockShift: 5},
+		{FirstEntries: 256, SecondEntries: 1000, HistoryLen: 4, BlockShift: 5},
+		{FirstEntries: 256, SecondEntries: 2048, HistoryLen: 0, BlockShift: 5},
+		{FirstEntries: 256, SecondEntries: 2048, HistoryLen: 9, BlockShift: 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("accepted %+v", cfg)
+				}
+			}()
+			NewCorrelated(cfg)
+		}()
+	}
+}

@@ -1,0 +1,222 @@
+package predict
+
+import "math/bits"
+
+// MarkovTable is the first-order Markov predictor used behind the
+// stride filter. It is indexed by the previous miss (block) address
+// and returns the predicted next miss address.
+//
+// Following §4.2 of the paper, the table stores the *difference*
+// between consecutive miss addresses — as a signed count of cache
+// blocks — rather than an absolute address, so each data entry needs
+// only DeltaBits bits (16 in the paper: 2K entries x 16 bits = 4KB).
+// Transitions whose delta does not fit in DeltaBits cannot be stored;
+// the previous contents are retained. Setting DeltaBits to 0 stores
+// full absolute addresses (the ablation baseline of prior work).
+type MarkovTable struct {
+	entries    int
+	blockShift uint
+	deltaBits  int
+	tagBits    int
+
+	tags   []uint32
+	deltas []int64 // block-count delta, or absolute block address if deltaBits == 0
+	valid  []bool
+
+	// Statistics.
+	Updates   uint64 // transitions offered to the table
+	Overflows uint64 // transitions dropped because the delta did not fit
+	Hits      uint64 // lookups that found a matching entry
+	Lookups   uint64
+}
+
+// NewMarkovTable builds a direct-mapped table with the given entry
+// count (power of two), block size shift, delta width in bits
+// (0 = absolute addressing), and partial-tag width in bits.
+func NewMarkovTable(entries int, blockShift uint, deltaBits, tagBits int) *MarkovTable {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predict: Markov table entries must be a positive power of two")
+	}
+	if deltaBits < 0 || deltaBits > 64 || tagBits < 0 || tagBits > 32 {
+		panic("predict: bad Markov delta/tag width")
+	}
+	return &MarkovTable{
+		entries:    entries,
+		blockShift: blockShift,
+		deltaBits:  deltaBits,
+		tagBits:    tagBits,
+		tags:       make([]uint32, entries),
+		deltas:     make([]int64, entries),
+		valid:      make([]bool, entries),
+	}
+}
+
+// Entries returns the table size.
+func (m *MarkovTable) Entries() int { return m.entries }
+
+// DeltaBits returns the configured delta width (0 = absolute).
+func (m *MarkovTable) DeltaBits() int { return m.deltaBits }
+
+// DataBytes returns the data-array storage the configuration implies,
+// the quantity the paper's differential scheme reduces (2K x 16 bits =
+// 4KB in the paper; absolute tables need a full block address each).
+func (m *MarkovTable) DataBytes() int {
+	w := m.deltaBits
+	if w == 0 {
+		w = 64 - int(m.blockShift)
+	}
+	return (m.entries*w + 7) / 8
+}
+
+func (m *MarkovTable) index(addr uint64) int {
+	// XOR-fold the upper block-address bits into the index: heaps of
+	// power-of-two-sized objects otherwise populate only a fraction of
+	// the index space (the low bits of their block addresses share a
+	// stride), wasting most of the table.
+	blk := addr >> m.blockShift
+	ib := uint(bits.Len(uint(m.entries - 1)))
+	return int((blk ^ blk>>ib ^ blk>>(2*ib)) & uint64(m.entries-1))
+}
+
+func (m *MarkovTable) tag(addr uint64) uint32 {
+	if m.tagBits == 0 {
+		return 0
+	}
+	return uint32((addr>>m.blockShift)>>uint(bits.Len(uint(m.entries-1)))) &
+		(1<<uint(m.tagBits) - 1)
+}
+
+// DeltaFits reports whether a transition from -> to is representable in
+// width bits as a signed block count (width 0 means always).
+func DeltaFits(from, to uint64, blockShift uint, width int) bool {
+	if width == 0 {
+		return true
+	}
+	d := int64(to>>blockShift) - int64(from>>blockShift)
+	limit := int64(1) << uint(width-1)
+	return d >= -limit && d < limit
+}
+
+// DeltaBitsNeeded returns the minimum signed width (in bits) able to
+// represent the block delta of the transition from -> to. It is the
+// quantity histogrammed by Figure 4.
+func DeltaBitsNeeded(from, to uint64, blockShift uint) int {
+	d := int64(to>>blockShift) - int64(from>>blockShift)
+	if d < 0 {
+		d = -d - 1
+	}
+	return bits.Len64(uint64(d)) + 1
+}
+
+// Update records the transition from -> to (both byte addresses; the
+// table operates on their blocks). Transitions that do not fit the
+// configured delta width are dropped, preserving the old entry.
+func (m *MarkovTable) Update(from, to uint64) { m.UpdateKey(from, from, to) }
+
+// UpdateKey records a transition indexed by an arbitrary key (used by
+// higher-order prediction, where the key mixes several past
+// addresses). The delta is still relative to from.
+func (m *MarkovTable) UpdateKey(key, from, to uint64) {
+	m.Updates++
+	if !DeltaFits(from, to, m.blockShift, m.deltaBits) {
+		m.Overflows++
+		return
+	}
+	i := m.index(key)
+	m.tags[i] = m.tag(key)
+	m.valid[i] = true
+	if m.deltaBits == 0 {
+		m.deltas[i] = int64(to >> m.blockShift)
+	} else {
+		m.deltas[i] = int64(to>>m.blockShift) - int64(from>>m.blockShift)
+	}
+}
+
+// Lookup predicts the miss address following from. The returned
+// address is block-aligned.
+func (m *MarkovTable) Lookup(from uint64) (next uint64, ok bool) {
+	return m.LookupKey(from, from)
+}
+
+// LookupKey predicts the miss address following from, under an
+// arbitrary key.
+func (m *MarkovTable) LookupKey(key, from uint64) (next uint64, ok bool) {
+	m.Lookups++
+	next, ok = m.PeekKey(key, from)
+	if ok {
+		m.Hits++
+	}
+	return next, ok
+}
+
+// Peek is Lookup without statistics side effects.
+func (m *MarkovTable) Peek(from uint64) (next uint64, ok bool) {
+	return m.PeekKey(from, from)
+}
+
+// PeekKey is LookupKey without statistics side effects.
+func (m *MarkovTable) PeekKey(key, from uint64) (next uint64, ok bool) {
+	i := m.index(key)
+	if !m.valid[i] || m.tags[i] != m.tag(key) {
+		return 0, false
+	}
+	if m.deltaBits == 0 {
+		return uint64(m.deltas[i]) << m.blockShift, true
+	}
+	blk := int64(from>>m.blockShift) + m.deltas[i]
+	return uint64(blk) << m.blockShift, true
+}
+
+// DeltaHistogram accumulates, per observed miss transition, whether a
+// full-width first-order Markov predictor would have predicted it and
+// how many delta bits the transition needs. It regenerates Figure 4:
+// the percent of L1 misses correctly predictable given an entry width.
+type DeltaHistogram struct {
+	oracle *MarkovTable
+	counts [65]uint64 // correct predictions needing exactly i bits
+	misses uint64     // total miss transitions observed
+	last   uint64
+	seen   bool
+}
+
+// NewDeltaHistogram returns a histogram using a full-width oracle
+// Markov table of the given size.
+func NewDeltaHistogram(entries int, blockShift uint) *DeltaHistogram {
+	return &DeltaHistogram{oracle: NewMarkovTable(entries, blockShift, 0, 16)}
+}
+
+// Observe feeds one L1 miss (block) address.
+func (h *DeltaHistogram) Observe(addr uint64) {
+	if h.seen {
+		h.misses++
+		if pred, ok := h.oracle.Peek(h.last); ok && pred == h.oracle.BlockAddr(addr) {
+			bits := DeltaBitsNeeded(h.last, addr, h.oracle.blockShift)
+			h.counts[bits]++
+		}
+		h.oracle.Update(h.last, addr)
+	}
+	h.last = addr
+	h.seen = true
+}
+
+// BlockAddr aligns addr to the table's block size.
+func (m *MarkovTable) BlockAddr(addr uint64) uint64 {
+	return addr >> m.blockShift << m.blockShift
+}
+
+// PercentPredictable returns the fraction of observed misses that a
+// Markov entry of the given width would have predicted correctly
+// (cumulative over all transitions needing at most width bits).
+func (h *DeltaHistogram) PercentPredictable(width int) float64 {
+	if h.misses == 0 {
+		return 0
+	}
+	var sum uint64
+	for i := 0; i <= width && i < len(h.counts); i++ {
+		sum += h.counts[i]
+	}
+	return float64(sum) / float64(h.misses)
+}
+
+// Misses returns the number of transitions observed.
+func (h *DeltaHistogram) Misses() uint64 { return h.misses }

@@ -1,0 +1,214 @@
+package predict
+
+import "testing"
+
+func TestMinDeltaDetectsUnitBlockStride(t *testing.T) {
+	p := NewMinDelta(DefaultMinDeltaConfig())
+	// Sub-block deltas resolve to one block with the delta's sign.
+	for _, a := range []uint64{0x10000, 0x10008, 0x10010, 0x10018} {
+		p.Train(0x40, a)
+	}
+	s := p.InitStream(0x40, 0x10020)
+	if s.Stride != 32 {
+		t.Errorf("stride = %d, want block size 32", s.Stride)
+	}
+}
+
+func TestMinDeltaDetectsNonUnitStride(t *testing.T) {
+	p := NewMinDelta(DefaultMinDeltaConfig())
+	for _, a := range []uint64{0x10000, 0x10100, 0x10200, 0x10300} {
+		p.Train(0x40, a)
+	}
+	s := p.InitStream(0x40, 0x10400)
+	if s.Stride != 0x100 {
+		t.Errorf("stride = %#x, want 0x100", s.Stride)
+	}
+	a1, ok := p.NextAddr(&s)
+	if !ok || a1 != 0x10500 {
+		t.Errorf("next = (%#x,%v), want 0x10500", a1, ok)
+	}
+}
+
+func TestMinDeltaNegativeStride(t *testing.T) {
+	p := NewMinDelta(DefaultMinDeltaConfig())
+	for _, a := range []uint64{0x10300, 0x102F8, 0x102F0, 0x102E8} {
+		p.Train(0x40, a)
+	}
+	s := p.InitStream(0x40, 0x102E0)
+	if s.Stride != -32 {
+		t.Errorf("stride = %d, want -32 (negative sub-block deltas)", s.Stride)
+	}
+}
+
+func TestMinDeltaGlobalHistoryInterference(t *testing.T) {
+	// The min-delta scheme uses GLOBAL history: interleaving a second
+	// stream distorts the chosen delta — the weakness the paper's
+	// per-PC comparison exposes.
+	p := NewMinDelta(DefaultMinDeltaConfig())
+	// Stream A strides 0x100 in one chunk; stream B strides 0x100 in
+	// another chunk, offset so the cross-stream delta is tiny.
+	for i := uint64(0); i < 6; i++ {
+		p.Train(0x40, 0x10000+i*0x100)
+		p.Train(0x44, 0x10020+i*0x100) // 0x20 away from stream A
+	}
+	// The minimum delta across the global history is the cross-stream
+	// 0x20 (< block) -> chunk stride collapses to one block, not the
+	// true 0x100.
+	s := p.InitStream(0x40, 0x10600)
+	if s.Stride == 0x100 {
+		t.Error("expected global-history interference to distort the stride")
+	}
+}
+
+func TestMinDeltaChunkStreakAndConfidence(t *testing.T) {
+	p := NewMinDelta(DefaultMinDeltaConfig())
+	for _, a := range []uint64{0x10000, 0x10020, 0x10040, 0x10060, 0x10080} {
+		p.Train(0x40, a)
+	}
+	if p.ChunkStreak(0x10080) == 0 {
+		t.Error("streak not built on a regular stream")
+	}
+	if p.Confidence(0x40) < 1 {
+		t.Error("Confidence must stay allocation-eligible")
+	}
+	if !p.TwoMissOK(0x40) {
+		t.Error("TwoMissOK should pass")
+	}
+}
+
+func TestMinDeltaZeroStrideNoPrediction(t *testing.T) {
+	p := NewMinDelta(DefaultMinDeltaConfig())
+	s := Stream{PC: 0x40, LastAddr: 0x1000, Stride: 0}
+	if _, ok := p.NextAddr(&s); ok {
+		t.Error("prediction from zero stride")
+	}
+}
+
+func TestMinDeltaBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []MinDeltaConfig{
+		{HistoryLen: 4, ChunkShift: 12, TableChunks: 100, BlockBytes: 32},
+		{HistoryLen: 0, ChunkShift: 12, TableChunks: 256, BlockBytes: 32},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("accepted bad config %+v", cfg)
+				}
+			}()
+			NewMinDelta(cfg)
+		}()
+	}
+}
+
+func TestSFMOrder2FollowsPairContext(t *testing.T) {
+	cfg := DefaultSFMConfig()
+	cfg.MarkovOrder = 2
+	p := NewSFM(cfg)
+	// Two interleaved contexts: (A,B)->C and (X,B)->Y. A first-order
+	// table can hold only one successor of B; order 2 keeps both.
+	seq := []uint64{0x10000, 0x24000, 0x31000, // A B C
+		0x52000, 0x24000, 0x76000} // X B Y
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range seq {
+			p.Train(0x40, a)
+		}
+	}
+	// Start a stream at B with history A: must predict C.
+	s := Stream{PC: 0x40, LastAddr: 0x24000, PrevAddr: 0x10000, Stride: 32}
+	next, ok := p.NextAddr(&s)
+	if !ok || next != 0x31000 {
+		t.Errorf("(A,B) -> (%#x,%v), want C=0x31000", next, ok)
+	}
+	// Start at B with history X: must predict Y.
+	s = Stream{PC: 0x40, LastAddr: 0x24000, PrevAddr: 0x52000, Stride: 32}
+	next, ok = p.NextAddr(&s)
+	if !ok || next != 0x76000 {
+		t.Errorf("(X,B) -> (%#x,%v), want Y=0x76000", next, ok)
+	}
+}
+
+func TestSFMOrder1CannotSplitPairContext(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig()) // order 1
+	seq := []uint64{0x10000, 0x24000, 0x31000,
+		0x52000, 0x24000, 0x76000}
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range seq {
+			p.Train(0x40, a)
+		}
+	}
+	// Order-1 keys only on B: the two contexts collapse to one
+	// (last-written) successor.
+	s1 := Stream{PC: 0x40, LastAddr: 0x24000, PrevAddr: 0x10000, Stride: 32}
+	n1, _ := p.NextAddr(&s1)
+	s2 := Stream{PC: 0x40, LastAddr: 0x24000, PrevAddr: 0x52000, Stride: 32}
+	n2, _ := p.NextAddr(&s2)
+	if n1 != n2 {
+		t.Errorf("order-1 distinguished contexts: %#x vs %#x", n1, n2)
+	}
+}
+
+func TestSFMInitStreamCarriesHistory(t *testing.T) {
+	cfg := DefaultSFMConfig()
+	cfg.MarkovOrder = 2
+	p := NewSFM(cfg)
+	p.Train(0x40, 0x10000)
+	p.Train(0x40, 0x24000)
+	s := p.InitStream(0x40, 0x31000)
+	if s.PrevAddr != 0x24000 {
+		t.Errorf("PrevAddr = %#x, want the load's last trained miss 0x24000", s.PrevAddr)
+	}
+}
+
+func TestPCStrideConfidenceAndFilter(t *testing.T) {
+	p := NewPCStride(DefaultSFMConfig())
+	if p.Confidence(0x40) != 0 || p.TwoMissOK(0x40) {
+		t.Error("cold PC should have no confidence")
+	}
+	for _, a := range []uint64{0x1000, 0x1040, 0x1080, 0x10C0, 0x1100} {
+		p.Train(0x40, a)
+	}
+	if p.Confidence(0x40) < 2 {
+		t.Errorf("confidence = %d after regular strides", p.Confidence(0x40))
+	}
+	if !p.TwoMissOK(0x40) {
+		t.Error("two-miss filter should pass")
+	}
+}
+
+func TestStrideEntryPredict(t *testing.T) {
+	e := StrideEntry{LastAddr: 0x1000, Stride2: 0x40}
+	if e.Predict() != 0x1040 {
+		t.Errorf("Predict = %#x", e.Predict())
+	}
+}
+
+func TestMarkovAccessors(t *testing.T) {
+	m := NewMarkovTable(64, 5, 16, 16)
+	if m.Entries() != 64 || m.DeltaBits() != 16 {
+		t.Errorf("accessors: %d entries, %d bits", m.Entries(), m.DeltaBits())
+	}
+}
+
+func TestNewMarkovTablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewMarkovTable(100, 5, 16, 16) },
+		func() { NewMarkovTable(64, 5, -1, 16) },
+		func() { NewMarkovTable(64, 5, 16, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Markov geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSFMConfigAccessor(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	if p.Config().MarkovEntries != 2048 {
+		t.Errorf("Config() = %+v", p.Config())
+	}
+}

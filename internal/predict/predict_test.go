@@ -1,0 +1,429 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSatCounterSaturates(t *testing.T) {
+	c := NewSatCounter(0, 7)
+	for i := 0; i < 20; i++ {
+		c.Inc()
+	}
+	if c.V != 7 {
+		t.Errorf("saturated high = %d, want 7", c.V)
+	}
+	for i := 0; i < 20; i++ {
+		c.Dec()
+	}
+	if c.V != 0 {
+		t.Errorf("saturated low = %d, want 0", c.V)
+	}
+	c.Add(100)
+	if c.V != 7 {
+		t.Errorf("Add over = %d", c.V)
+	}
+	c.Set(-3)
+	if c.V != 0 {
+		t.Errorf("Set under = %d", c.V)
+	}
+}
+
+// Property: a SatCounter never leaves [0, Max] under random operations.
+func TestSatCounterInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewSatCounter(r.Intn(8), 7)
+		for i := 0; i < 200; i++ {
+			c.Add(r.Intn(21) - 10)
+			if c.V < 0 || c.V > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoDeltaStrideFiltersNoise(t *testing.T) {
+	var e StrideEntry
+	// Establish stride 32.
+	e.UpdateStride(0x1000)
+	e.UpdateStride(0x1020)
+	e.UpdateStride(0x1040)
+	if e.Stride2 != 32 {
+		t.Fatalf("Stride2 = %d, want 32", e.Stride2)
+	}
+	// A single irregular jump must not change the predicted stride.
+	e.UpdateStride(0x9000)
+	if e.Stride2 != 32 {
+		t.Errorf("Stride2 after one-off jump = %d, want 32", e.Stride2)
+	}
+	// But a new stride seen twice takes over.
+	e.UpdateStride(0x9040)
+	e.UpdateStride(0x9080)
+	if e.Stride2 != 64 {
+		t.Errorf("Stride2 after two 64-strides = %d, want 64", e.Stride2)
+	}
+}
+
+func TestStrideMatchReturn(t *testing.T) {
+	var e StrideEntry
+	if e.UpdateStride(0x1000) {
+		t.Error("first observation cannot match")
+	}
+	if e.UpdateStride(0x1020) {
+		t.Error("first stride cannot match")
+	}
+	if !e.UpdateStride(0x1040) {
+		t.Error("repeated stride should match")
+	}
+	if e.UpdateStride(0x5000) {
+		t.Error("jump should not match")
+	}
+}
+
+func TestPCStrideTableLRUAndAliasing(t *testing.T) {
+	tbl := NewPCStrideTable(8, 4) // 2 sets x 4 ways
+	// Five PCs mapping to the same set (stride 2*4 in word-PCs):
+	// set index uses (pc>>2) & 1, so PCs 0, 8, 16, 24, 32 share set 0.
+	pcs := []uint64{0, 8, 16, 24, 32}
+	for _, pc := range pcs[:4] {
+		tbl.Touch(pc)
+	}
+	tbl.Touch(pcs[0]) // refresh
+	tbl.Touch(pcs[4]) // must evict pcs[1] (LRU)
+	if tbl.Lookup(pcs[1]) != nil {
+		t.Error("LRU entry survived replacement")
+	}
+	if tbl.Lookup(pcs[0]) == nil || tbl.Lookup(pcs[4]) == nil {
+		t.Error("expected entries missing")
+	}
+}
+
+func TestPCStrideTableTouchExisting(t *testing.T) {
+	tbl := NewPCStrideTable(8, 4)
+	e1, existed := tbl.Touch(0x40)
+	if existed {
+		t.Error("first touch reported existing")
+	}
+	e1.LastAddr = 0x1234
+	e2, existed := tbl.Touch(0x40)
+	if !existed || e2.LastAddr != 0x1234 {
+		t.Error("second touch did not return the same entry")
+	}
+}
+
+func TestMarkovDeltaRoundTrip(t *testing.T) {
+	m := NewMarkovTable(64, 5, 16, 16)
+	m.Update(0x1000, 0x2000)
+	next, ok := m.Lookup(0x1000)
+	if !ok || next != 0x2000 {
+		t.Errorf("Lookup = (%#x,%v), want (0x2000,true)", next, ok)
+	}
+	// Backward transitions too.
+	m.Update(0x2000, 0x1000)
+	next, ok = m.Lookup(0x2000)
+	if !ok || next != 0x1000 {
+		t.Errorf("backward Lookup = (%#x,%v)", next, ok)
+	}
+}
+
+func TestMarkovBlockAlignment(t *testing.T) {
+	m := NewMarkovTable(64, 5, 16, 16)
+	m.Update(0x1007, 0x2013)     // unaligned byte addresses
+	next, ok := m.Lookup(0x1018) // same block as 0x1007
+	if !ok || next != 0x2000 {
+		t.Errorf("Lookup = (%#x,%v), want block-aligned 0x2000", next, ok)
+	}
+}
+
+func TestMarkovDeltaOverflowDropped(t *testing.T) {
+	m := NewMarkovTable(64, 5, 8, 16) // 8-bit deltas: +/-128 blocks
+	m.Update(0x0, 0x1000000)          // delta far out of range
+	if _, ok := m.Lookup(0x0); ok {
+		t.Error("overflowing transition was stored")
+	}
+	if m.Overflows != 1 {
+		t.Errorf("Overflows = %d, want 1", m.Overflows)
+	}
+	// An in-range update for the same entry still works, and an
+	// overflow afterwards preserves it.
+	m.Update(0x0, 0x100)
+	m.Update(0x0, 0x2000000)
+	if next, ok := m.Lookup(0x0); !ok || next != 0x100 {
+		t.Errorf("entry not preserved across overflow: (%#x,%v)", next, ok)
+	}
+}
+
+func TestMarkovAbsoluteMode(t *testing.T) {
+	m := NewMarkovTable(64, 5, 0, 16)
+	m.Update(0x0, 0x123456789A0) // any distance is fine
+	next, ok := m.Lookup(0x0)
+	if !ok || next != m.BlockAddr(0x123456789A0) {
+		t.Errorf("absolute Lookup = (%#x,%v)", next, ok)
+	}
+	if m.Overflows != 0 {
+		t.Error("absolute mode recorded overflow")
+	}
+}
+
+func TestMarkovTagRejectsAliases(t *testing.T) {
+	m := NewMarkovTable(4, 5, 16, 16) // tiny: aliases abound
+	m.Update(0x0, 0x20)
+	// 4 entries x 32B blocks: block 4 aliases block 0 in the index but
+	// differs in tag.
+	aliased := uint64(4 * 32)
+	if _, ok := m.Lookup(aliased); ok {
+		t.Error("aliased lookup hit despite tag mismatch")
+	}
+}
+
+func TestMarkovDataBytes(t *testing.T) {
+	m := NewMarkovTable(2048, 5, 16, 16)
+	if m.DataBytes() != 4096 {
+		t.Errorf("paper configuration DataBytes = %d, want 4096", m.DataBytes())
+	}
+	abs := NewMarkovTable(2048, 5, 0, 16)
+	if abs.DataBytes() <= m.DataBytes() {
+		t.Error("absolute table should need more storage than differential")
+	}
+}
+
+func TestDeltaBitsNeeded(t *testing.T) {
+	cases := []struct {
+		from, to uint64
+		want     int
+	}{
+		{0, 32, 2},       // +1 block: needs sign + 1 bit
+		{32, 0, 1},       // -1 block: representable in 1 signed bit
+		{0, 0, 1},        // zero delta
+		{0, 127 * 32, 8}, // +127 blocks
+		{0, 128 * 32, 9}, // +128 blocks
+	}
+	for _, c := range cases {
+		if got := DeltaBitsNeeded(c.from, c.to, 5); got != c.want {
+			t.Errorf("DeltaBitsNeeded(%#x->%#x) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestDeltaFitsConsistentWithBitsNeeded(t *testing.T) {
+	f := func(fromBlk, toBlk uint16, width8 uint8) bool {
+		width := int(width8%16) + 1
+		from, to := uint64(fromBlk)*32, uint64(toBlk)*32
+		return DeltaFits(from, to, 5, width) == (DeltaBitsNeeded(from, to, 5) <= width)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaHistogramRepeatedPattern(t *testing.T) {
+	h := NewDeltaHistogram(4096, 5)
+	// Repeat a 4-address pointer-chase loop; after the first lap every
+	// transition is Markov-predictable with small deltas.
+	seq := []uint64{0x1000, 0x2000, 0x1800, 0x3000}
+	for lap := 0; lap < 10; lap++ {
+		for _, a := range seq {
+			h.Observe(a)
+		}
+	}
+	if h.Misses() != 39 {
+		t.Fatalf("Misses = %d, want 39", h.Misses())
+	}
+	if p := h.PercentPredictable(16); p < 0.85 {
+		t.Errorf("PercentPredictable(16) = %v, want >= 0.85", p)
+	}
+	if p0 := h.PercentPredictable(1); p0 > h.PercentPredictable(16) {
+		t.Error("histogram not monotone in width")
+	}
+}
+
+func TestSequentialPredictor(t *testing.T) {
+	p := NewSequential(32)
+	s := p.InitStream(0x40, 0x1000)
+	a1, ok := p.NextAddr(&s)
+	if !ok || a1 != 0x1020 {
+		t.Errorf("first = (%#x,%v), want (0x1020,true)", a1, ok)
+	}
+	a2, _ := p.NextAddr(&s)
+	if a2 != 0x1040 {
+		t.Errorf("second = %#x, want 0x1040", a2)
+	}
+	if !p.TwoMissOK(0x40) || p.Confidence(0x40) != AccuracyMax {
+		t.Error("sequential predictor should always be eligible")
+	}
+}
+
+func trainSFM(p *SFM, pc uint64, addrs ...uint64) {
+	for _, a := range addrs {
+		p.Train(pc, a)
+	}
+}
+
+func TestSFMStrideOnlyStream(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	trainSFM(p, 0x40, 0x1000, 0x1020, 0x1040, 0x1060, 0x1080)
+	if p.MarkovTrained > 1 {
+		t.Errorf("stride stream wrote %d Markov entries", p.MarkovTrained)
+	}
+	s := p.InitStream(0x40, 0x10A0)
+	if s.Stride != 32 {
+		t.Fatalf("allocated stride = %d, want 32", s.Stride)
+	}
+	a, ok := p.NextAddr(&s)
+	if !ok || a != 0x10C0 {
+		t.Errorf("prediction = (%#x,%v), want (0x10C0,true)", a, ok)
+	}
+}
+
+func TestSFMPointerStream(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	// A repeated pointer-chase: irregular deltas, same sequence.
+	chase := []uint64{0x10000, 0x24000, 0x11000, 0x13000, 0x15000}
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range chase {
+			p.Train(0x80, a)
+		}
+	}
+	// The stream buffer allocated on the first element must follow the
+	// whole chase via the Markov table.
+	s := p.InitStream(0x80, chase[0])
+	for i := 1; i < len(chase); i++ {
+		a, ok := p.NextAddr(&s)
+		if !ok || a != chase[i] {
+			t.Fatalf("chase step %d = (%#x,%v), want %#x", i, a, ok, chase[i])
+		}
+	}
+}
+
+func TestSFMSpeculativeStateDoesNotWriteTables(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	chase := []uint64{0x10000, 0x24000, 0x11000}
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range chase {
+			p.Train(0x80, a)
+		}
+	}
+	updatesBefore := p.Markov().Updates
+	s := p.InitStream(0x80, chase[0])
+	for i := 0; i < 10; i++ {
+		p.NextAddr(&s)
+	}
+	if p.Markov().Updates != updatesBefore {
+		t.Error("NextAddr wrote the shared Markov table")
+	}
+}
+
+func TestSFMConfidenceRisesAndFalls(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	trainSFM(p, 0x40, 0x1000, 0x1020, 0x1040, 0x1060, 0x1080, 0x10A0)
+	if c := p.Confidence(0x40); c < 2 {
+		t.Errorf("confidence after regular stream = %d, want >= 2", c)
+	}
+	// Random addresses drive confidence back down.
+	trainSFM(p, 0x40, 0x90000, 0x53000, 0xA1000, 0x7000, 0xEE000, 0x21000, 0xB3000, 0x4D000)
+	if c := p.Confidence(0x40); c > 1 {
+		t.Errorf("confidence after noise = %d, want <= 1", c)
+	}
+	if p.Confidence(0x9999) != 0 {
+		t.Error("unknown PC should have zero confidence")
+	}
+}
+
+func TestSFMTwoMissFilter(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	p.Train(0x40, 0x1000)
+	if p.TwoMissOK(0x40) {
+		t.Error("one miss should not pass the two-miss filter")
+	}
+	p.Train(0x40, 0x1020)
+	if p.TwoMissOK(0x40) {
+		t.Error("first stride observation cannot have been predicted")
+	}
+	p.Train(0x40, 0x1040)
+	p.Train(0x40, 0x1060)
+	if !p.TwoMissOK(0x40) {
+		t.Error("two predicted misses in a row should pass")
+	}
+	p.Train(0x40, 0x99000) // break the streak
+	if p.TwoMissOK(0x40) {
+		t.Error("streak should reset on a mispredicted miss")
+	}
+	if p.TwoMissOK(0x31337) {
+		t.Error("unknown PC passed the filter")
+	}
+}
+
+func TestSFMZeroStrideNoMarkovGivesNoPrediction(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	s := Stream{PC: 0x40, LastAddr: 0x1000, Stride: 0}
+	if _, ok := p.NextAddr(&s); ok {
+		t.Error("prediction produced with no stride and no Markov hit")
+	}
+}
+
+func TestPCStrideBaselinePredictsFixedStride(t *testing.T) {
+	p := NewPCStride(DefaultSFMConfig())
+	for _, a := range []uint64{0x1000, 0x1040, 0x1080, 0x10C0} {
+		p.Train(0x40, a)
+	}
+	s := p.InitStream(0x40, 0x1100)
+	if s.Stride != 64 {
+		t.Fatalf("stride = %d, want 64", s.Stride)
+	}
+	a1, _ := p.NextAddr(&s)
+	a2, _ := p.NextAddr(&s)
+	if a1 != 0x1140 || a2 != 0x1180 {
+		t.Errorf("stride predictions = %#x,%#x", a1, a2)
+	}
+}
+
+func TestPCStrideCannotFollowPointers(t *testing.T) {
+	ps := NewPCStride(DefaultSFMConfig())
+	sfm := NewSFM(DefaultSFMConfig())
+	chase := []uint64{0x10000, 0x24000, 0x11000, 0x13000}
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range chase {
+			ps.Train(0x80, a)
+			sfm.Train(0x80, a)
+		}
+	}
+	scorePred := func(p Predictor) int {
+		s := p.InitStream(0x80, chase[0])
+		n := 0
+		for i := 1; i < len(chase); i++ {
+			if a, ok := p.NextAddr(&s); ok && a == chase[i] {
+				n++
+			}
+		}
+		return n
+	}
+	if ps := scorePred(ps); ps != 0 {
+		t.Errorf("PC-stride followed %d pointer steps", ps)
+	}
+	if sf := scorePred(sfm); sf != len(chase)-1 {
+		t.Errorf("SFM followed %d/%d pointer steps", sf, len(chase)-1)
+	}
+}
+
+func TestSFMDefaultStrideIsOneBlock(t *testing.T) {
+	p := NewSFM(DefaultSFMConfig())
+	s := p.InitStream(0x123, 0x5000) // unknown PC
+	if s.Stride != 32 {
+		t.Errorf("default stride = %d, want 32", s.Stride)
+	}
+	if s.LastAddr != 0x5000 {
+		t.Errorf("LastAddr = %#x", s.LastAddr)
+	}
+}
+
+func TestSFMInterfaceCompliance(t *testing.T) {
+	var _ Predictor = NewSFM(DefaultSFMConfig())
+	var _ Predictor = NewPCStride(DefaultSFMConfig())
+	var _ Predictor = NewSequential(32)
+}

@@ -1,0 +1,75 @@
+package predict
+
+// Stream is the per-stream prediction state each stream buffer carries
+// (§4.1): the allocating load's PC, the last (speculatively) predicted
+// address, and the stride copied from the predictor at allocation.
+// Predictor implementations advance this state on every prediction; the
+// shared prediction tables themselves are never written by stream-
+// buffer speculation — only by Train at write-back.
+type Stream struct {
+	PC       uint64
+	LastAddr uint64 // last predicted block address
+	PrevAddr uint64 // address before LastAddr (order-2 Markov history)
+	Stride   int64  // bytes; copied from the stride table at allocation
+}
+
+// Predictor generates the prefetch address stream for predictor-
+// directed stream buffers. Any implementation can direct a stream
+// buffer (the paper's central claim); the repository provides the SFM
+// predictor, the Farkas PC-stride predictor and a sequential
+// next-block predictor, and examples/custompredictor shows a
+// user-supplied one.
+//
+// All addresses are cache-block aligned byte addresses.
+type Predictor interface {
+	// Train applies the write-back update for a load that missed in
+	// the L1 data cache (the predictor models the miss stream).
+	Train(pc, addr uint64)
+
+	// InitStream builds per-stream state when a stream buffer is
+	// allocated for a load at pc that missed on missAddr.
+	InitStream(pc, missAddr uint64) Stream
+
+	// NextAddr produces the next prefetch address from s, advancing s.
+	// ok is false when the predictor has nothing useful to offer.
+	NextAddr(s *Stream) (addr uint64, ok bool)
+
+	// Confidence returns the current accuracy confidence (0..AccuracyMax)
+	// of the load at pc, used for confidence-guided allocation.
+	Confidence(pc uint64) int
+
+	// TwoMissOK reports whether pc currently passes the two-miss
+	// allocation filter (two misses in a row, both predictable).
+	TwoMissOK(pc uint64) bool
+}
+
+// Sequential predicts the next sequential cache block, reproducing
+// Jouppi's original stream buffers when used to direct a buffer.
+type Sequential struct {
+	BlockBytes int64
+}
+
+// NewSequential returns a next-block predictor for the given line size.
+func NewSequential(blockBytes int) *Sequential {
+	return &Sequential{BlockBytes: int64(blockBytes)}
+}
+
+// Train is a no-op: sequential prefetching is stateless.
+func (p *Sequential) Train(pc, addr uint64) {}
+
+// InitStream starts the stream at the missing block.
+func (p *Sequential) InitStream(pc, missAddr uint64) Stream {
+	return Stream{PC: pc, LastAddr: missAddr, Stride: p.BlockBytes}
+}
+
+// NextAddr returns the next sequential block.
+func (p *Sequential) NextAddr(s *Stream) (uint64, bool) {
+	s.LastAddr += uint64(p.BlockBytes)
+	return s.LastAddr, true
+}
+
+// Confidence is constant: sequential streams are always eligible.
+func (p *Sequential) Confidence(pc uint64) int { return AccuracyMax }
+
+// TwoMissOK always allows allocation (Jouppi allocated on every miss).
+func (p *Sequential) TwoMissOK(pc uint64) bool { return true }

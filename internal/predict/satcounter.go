@@ -1,0 +1,43 @@
+// Package predict implements the address predictors that direct
+// stream-buffer prefetching: the two-delta stride predictor, the
+// PC-indexed stride table of Farkas et al., the first-order
+// *differential* Markov table (16-bit block deltas), and their
+// composition — the Stride-Filtered Markov (SFM) predictor of the
+// paper (§4.2) — together with the saturating accuracy-confidence
+// counters used for allocation filtering and priority scheduling.
+package predict
+
+// SatCounter is a saturating counter in [0, Max]. The zero value is a
+// counter stuck at zero; set Max before use (NewSatCounter does).
+type SatCounter struct {
+	V   int
+	Max int
+}
+
+// NewSatCounter returns a counter saturating at max, starting at v.
+func NewSatCounter(v, max int) SatCounter {
+	c := SatCounter{Max: max}
+	c.Set(v)
+	return c
+}
+
+// Set clamps the counter to v within [0, Max].
+func (c *SatCounter) Set(v int) {
+	switch {
+	case v < 0:
+		c.V = 0
+	case v > c.Max:
+		c.V = c.Max
+	default:
+		c.V = v
+	}
+}
+
+// Add moves the counter by delta, saturating at both ends.
+func (c *SatCounter) Add(delta int) { c.Set(c.V + delta) }
+
+// Inc increments by one, saturating.
+func (c *SatCounter) Inc() { c.Add(1) }
+
+// Dec decrements by one, saturating.
+func (c *SatCounter) Dec() { c.Add(-1) }

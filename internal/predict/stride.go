@@ -1,0 +1,125 @@
+package predict
+
+// StrideEntry is one two-delta stride predictor entry. The two-delta
+// scheme [Eickemeyer & Vassiliadis; Sazeides & Smith] replaces the
+// predicted stride only when a new stride has been observed twice in a
+// row, filtering one-off jumps out of an otherwise regular stream.
+//
+// All addresses handled by the predictors in this package are cache
+// *block* addresses (the paper stores and predicts block addresses to
+// shrink its tables); strides are therefore in units of bytes between
+// block addresses, i.e. multiples of the block size.
+type StrideEntry struct {
+	PC         uint64     // tag
+	LastAddr   uint64     // last miss (block) address seen for this PC
+	PrevAddr   uint64     // miss before LastAddr (order-2 Markov history)
+	LastStride int64      // most recent stride
+	Stride2    int64      // two-delta (predicted) stride
+	Conf       SatCounter // accuracy confidence (saturates at AccuracyMax)
+	// streak counts consecutive misses of this load that the SFM
+	// predictor would have predicted correctly; it implements the
+	// generalized two-miss allocation filter (§4.3).
+	streak int
+	// lastUse is the LRU timestamp within the set.
+	lastUse uint64
+	valid   bool
+}
+
+// Predict returns the two-delta stride prediction for the entry.
+func (e *StrideEntry) Predict() uint64 {
+	return e.LastAddr + uint64(e.Stride2)
+}
+
+// AccuracyMax is the saturation value of the per-load accuracy
+// confidence counter (the paper uses 7).
+const AccuracyMax = 7
+
+// PCStrideTable is a set-associative, PC-indexed table of two-delta
+// stride entries: the PC-stride predictor of Farkas et al. and the
+// front half of the SFM predictor. The paper uses a 256-entry 4-way
+// table, filled only by loads that miss in the L1 data cache.
+type PCStrideTable struct {
+	sets  int
+	ways  int
+	table []StrideEntry
+	clock uint64
+}
+
+// NewPCStrideTable builds a table with the given total entries and
+// associativity; entries must be a multiple of ways with a power-of-two
+// set count.
+func NewPCStrideTable(entries, ways int) *PCStrideTable {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("predict: bad stride table geometry")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("predict: stride table set count must be a power of two")
+	}
+	return &PCStrideTable{sets: sets, ways: ways, table: make([]StrideEntry, entries)}
+}
+
+func (t *PCStrideTable) set(pc uint64) []StrideEntry {
+	// PCs advance in 4-byte units; drop the low bits before indexing.
+	idx := (pc >> 2) & uint64(t.sets-1)
+	return t.table[idx*uint64(t.ways) : (idx+1)*uint64(t.ways)]
+}
+
+// Lookup returns the entry for pc, or nil if absent. It does not
+// update LRU state.
+func (t *PCStrideTable) Lookup(pc uint64) *StrideEntry {
+	set := t.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].PC == pc {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch returns the entry for pc, allocating (with LRU replacement)
+// if needed. The second result reports whether the entry already
+// existed.
+func (t *PCStrideTable) Touch(pc uint64) (*StrideEntry, bool) {
+	t.clock++
+	set := t.set(pc)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].PC == pc {
+			set[i].lastUse = t.clock
+			return &set[i], true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	e := &set[victim]
+	*e = StrideEntry{
+		PC:      pc,
+		Conf:    NewSatCounter(0, AccuracyMax),
+		lastUse: t.clock,
+		valid:   true,
+	}
+	return e, false
+}
+
+// UpdateStride applies one miss observation to the entry's two-delta
+// state and returns whether the observed stride matched the previous
+// stride or the two-delta stride — the paper's condition for a miss
+// being "stride predictable" (and therefore filtered away from the
+// Markov table).
+func (e *StrideEntry) UpdateStride(addr uint64) (strideMatch bool) {
+	if e.LastAddr != 0 {
+		stride := int64(addr - e.LastAddr)
+		strideMatch = stride == e.LastStride || stride == e.Stride2
+		if stride == e.LastStride {
+			// Seen twice in a row: promote to the predicted stride.
+			e.Stride2 = stride
+		}
+		e.LastStride = stride
+	}
+	e.LastAddr = addr
+	return strideMatch
+}

@@ -1,0 +1,137 @@
+package sbuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/predict"
+)
+
+// randomDriver runs a randomized stimulus against an engine and checks
+// structural invariants after every operation.
+func randomDriver(t *testing.T, cfg Config, seed int64, steps int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pred := predict.NewSFM(predict.DefaultSFMConfig())
+	fetch := newFakeFetch(uint64(5 + r.Intn(30)))
+	e := NewEngine(cfg, pred, fetch)
+
+	pcs := []uint64{0x40, 0x44, 0x80, 0x84, 0x100}
+	cycle := uint64(0)
+	for i := 0; i < steps; i++ {
+		cycle += uint64(1 + r.Intn(3))
+		switch r.Intn(5) {
+		case 0:
+			pc := pcs[r.Intn(len(pcs))]
+			addr := uint64(r.Intn(1<<16)) << 5
+			pred.Train(pc, addr)
+		case 1:
+			pc := pcs[r.Intn(len(pcs))]
+			addr := uint64(r.Intn(1<<16)) << 5
+			e.AllocationRequest(cycle, pc, addr)
+		case 2:
+			addr := uint64(r.Intn(1<<16)) << 5
+			e.Lookup(cycle, addr)
+		default:
+			e.Tick(cycle)
+		}
+		checkInvariants(t, e, cycle)
+	}
+}
+
+// checkInvariants asserts the structural properties the paper's design
+// relies on.
+func checkInvariants(t *testing.T, e *Engine, cycle uint64) {
+	t.Helper()
+	seen := make(map[uint64]int)
+	for bi := range e.bufs {
+		b := &e.bufs[bi]
+		valid := 0
+		for ei := range b.entries {
+			en := &b.entries[ei]
+			if !en.valid {
+				continue
+			}
+			valid++
+			// Non-overlap: no block may be tracked by two entries
+			// anywhere in the engine.
+			if prev, dup := seen[en.block]; dup {
+				t.Fatalf("block %#x tracked by buffers %d and %d", en.block, prev, bi)
+			}
+			seen[en.block] = bi
+			// Blocks are block-aligned.
+			if en.block%uint64(e.cfg.BlockBytes) != 0 {
+				t.Fatalf("unaligned entry block %#x", en.block)
+			}
+		}
+		if valid > e.cfg.EntriesPerBuffer {
+			t.Fatalf("buffer %d holds %d valid entries (cap %d)",
+				bi, valid, e.cfg.EntriesPerBuffer)
+		}
+		// Priority counters stay within their saturation range.
+		if b.priority.V < 0 || b.priority.V > e.cfg.PriorityMax {
+			t.Fatalf("priority %d out of [0,%d]", b.priority.V, e.cfg.PriorityMax)
+		}
+	}
+	// Accounting: used prefetches can never exceed issued ones, and
+	// hits can never exceed lookups.
+	st := e.Stats()
+	if st.PrefetchesUsed > st.PrefetchesIssued {
+		t.Fatalf("used %d > issued %d", st.PrefetchesUsed, st.PrefetchesIssued)
+	}
+	if st.HitsReady+st.HitsPending+st.HitsUnfetched > st.Lookups {
+		t.Fatalf("hits exceed lookups: %+v", st)
+	}
+	if st.Allocations+st.AllocationsDenied > st.AllocationRequests {
+		t.Fatalf("allocation accounting broken: %+v", st)
+	}
+}
+
+func TestEngineInvariantsUnderRandomStimulus(t *testing.T) {
+	f := func(seed int64) bool {
+		for _, alloc := range []AllocPolicy{AllocAlways, AllocTwoMiss, AllocConfidence} {
+			for _, sched := range []SchedPolicy{SchedRoundRobin, SchedPriority} {
+				cfg := DefaultConfig()
+				cfg.Alloc = alloc
+				cfg.Sched = sched
+				randomDriver(t, cfg, seed, 300)
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineInvariantsSmallGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumBuffers = 2
+	cfg.EntriesPerBuffer = 1
+	cfg.Alloc = AllocAlways
+	randomDriver(t, cfg, 99, 2000)
+}
+
+func TestEngineInvariantsNoOverlapCheckStillBounded(t *testing.T) {
+	// With the overlap check off, duplicate blocks MAY appear across
+	// buffers; only the capacity and accounting invariants apply.
+	cfg := DefaultConfig()
+	cfg.NonOverlapCheck = false
+	cfg.Alloc = AllocAlways
+	r := rand.New(rand.NewSource(7))
+	pred := predict.NewSequential(32)
+	e := NewEngine(cfg, pred, newFakeFetch(10))
+	cycle := uint64(0)
+	for i := 0; i < 2000; i++ {
+		cycle++
+		if r.Intn(4) == 0 {
+			e.AllocationRequest(cycle, uint64(r.Intn(8))<<2, uint64(r.Intn(64))<<5)
+		}
+		e.Tick(cycle)
+		st := e.Stats()
+		if st.PrefetchesUsed > st.PrefetchesIssued {
+			t.Fatalf("used > issued: %+v", st)
+		}
+	}
+}

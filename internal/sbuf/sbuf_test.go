@@ -1,0 +1,388 @@
+package sbuf
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+)
+
+// fakeFetch is a Fetcher with controllable bus state and latency.
+type fakeFetch struct {
+	latency   uint64
+	busBusyAt map[uint64]bool
+	resident  map[uint64]bool
+	issued    []uint64
+}
+
+func newFakeFetch(latency uint64) *fakeFetch {
+	return &fakeFetch{
+		latency:   latency,
+		busBusyAt: make(map[uint64]bool),
+		resident:  make(map[uint64]bool),
+	}
+}
+
+func (f *fakeFetch) Prefetch(cycle, addr uint64) (uint64, bool) {
+	f.issued = append(f.issued, addr)
+	return cycle + f.latency, false
+}
+
+func (f *fakeFetch) BusFreeAt(cycle uint64) bool { return !f.busBusyAt[cycle] }
+
+func (f *fakeFetch) L1Resident(addr uint64) bool { return f.resident[addr] }
+
+// seqEngine builds an engine over a sequential predictor with the
+// given policies — deterministic streams for the tests.
+func seqEngine(alloc AllocPolicy, sched SchedPolicy, fetch Fetcher) *Engine {
+	cfg := DefaultConfig()
+	cfg.Alloc = alloc
+	cfg.Sched = sched
+	return NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), fetch)
+}
+
+func TestAllocationAndPrefetchFlow(t *testing.T) {
+	f := newFakeFetch(10)
+	e := seqEngine(AllocAlways, SchedRoundRobin, f)
+
+	e.AllocationRequest(0, 0x40, 0x1000)
+	if e.Stats().Allocations != 1 {
+		t.Fatalf("allocations = %d, want 1", e.Stats().Allocations)
+	}
+	// Cycle 1: predict 0x1020 and prefetch it.
+	e.Tick(1)
+	if len(f.issued) != 1 || f.issued[0] != 0x1020 {
+		t.Fatalf("issued = %#v, want [0x1020]", f.issued)
+	}
+	// Lookup before arrival: pending hit.
+	kind, ready := e.Lookup(5, 0x1020)
+	if kind != LookupHitPending || ready != 11 {
+		t.Errorf("early lookup = (%v,%d), want (pending,11)", kind, ready)
+	}
+	// The entry freed; predict/prefetch continues with the next block.
+	e.Tick(6)
+	if len(f.issued) != 2 || f.issued[1] != 0x1040 {
+		t.Fatalf("issued = %#v, want 0x1040 next", f.issued)
+	}
+	kind, _ = e.Lookup(100, 0x1040)
+	if kind != LookupHitReady {
+		t.Errorf("late lookup = %v, want ready hit", kind)
+	}
+	st := e.Stats()
+	if st.PrefetchesUsed != 2 || st.PrefetchesIssued != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Accuracy() != 1.0 {
+		t.Errorf("accuracy = %v, want 1", st.Accuracy())
+	}
+}
+
+func TestLookupMissWhenEmpty(t *testing.T) {
+	e := seqEngine(AllocAlways, SchedRoundRobin, newFakeFetch(10))
+	if kind, _ := e.Lookup(0, 0x1000); kind != LookupMiss {
+		t.Errorf("lookup in empty engine = %v", kind)
+	}
+}
+
+func TestPrefetchGatedOnBus(t *testing.T) {
+	f := newFakeFetch(10)
+	e := seqEngine(AllocAlways, SchedRoundRobin, f)
+	e.AllocationRequest(0, 0x40, 0x1000)
+	f.busBusyAt[1] = true
+	e.Tick(1) // prediction happens, prefetch blocked
+	if len(f.issued) != 0 {
+		t.Fatal("prefetch issued while bus busy")
+	}
+	e.Tick(2)
+	if len(f.issued) != 1 {
+		t.Fatal("prefetch not issued once bus free")
+	}
+}
+
+func TestEntriesFillThenStop(t *testing.T) {
+	f := newFakeFetch(1000) // nothing arrives during the test
+	e := seqEngine(AllocAlways, SchedRoundRobin, f)
+	e.AllocationRequest(0, 0x40, 0x1000)
+	for c := uint64(1); c <= 10; c++ {
+		e.Tick(c)
+	}
+	// 4 entries per buffer: only 4 predictions stick, 4 prefetches go out.
+	if len(f.issued) != 4 {
+		t.Fatalf("issued %d prefetches, want 4", len(f.issued))
+	}
+	// A hit frees one entry and prediction resumes.
+	e.Lookup(11, 0x1020)
+	e.Tick(12)
+	e.Tick(13)
+	if len(f.issued) != 5 {
+		t.Errorf("issued %d prefetches after hit, want 5", len(f.issued))
+	}
+}
+
+func TestNonOverlapCheckDropsDuplicates(t *testing.T) {
+	f := newFakeFetch(1000)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocAlways
+	cfg.Sched = SchedRoundRobin
+	e := NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), f)
+	// Two buffers following overlapping streams: second starts one
+	// block behind the first.
+	e.AllocationRequest(0, 0x40, 0x1000)
+	e.Tick(1) // buffer 0 predicts 0x1020
+	e.AllocationRequest(2, 0x44, 0x1000)
+	// Buffer 1's first prediction is also 0x1020 -> must be dropped.
+	for c := uint64(3); c < 20; c++ {
+		e.Tick(c)
+	}
+	st := e.Stats()
+	if st.PredictionsDropped == 0 {
+		t.Error("overlap check never fired")
+	}
+	// No block is duplicated across buffers.
+	seen := map[uint64]int{}
+	for _, a := range f.issued {
+		seen[a]++
+		if seen[a] > 1 {
+			t.Fatalf("block %#x prefetched twice", a)
+		}
+	}
+}
+
+func TestTwoMissFilterDeniesColdLoads(t *testing.T) {
+	f := newFakeFetch(10)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocTwoMiss
+	pred := predict.NewSFM(predict.DefaultSFMConfig())
+	e := NewEngine(cfg, pred, f)
+
+	e.AllocationRequest(0, 0x40, 0x1000)
+	if e.Stats().Allocations != 0 {
+		t.Fatal("cold load allocated despite two-miss filter")
+	}
+	// Train a predictable stride stream, then the filter passes.
+	for i, a := range []uint64{0x1000, 0x1020, 0x1040, 0x1060} {
+		pred.Train(0x40, a)
+		_ = i
+	}
+	e.AllocationRequest(10, 0x40, 0x1080)
+	if e.Stats().Allocations != 1 {
+		t.Error("trained load denied by two-miss filter")
+	}
+}
+
+func TestConfidenceAllocationThreshold(t *testing.T) {
+	f := newFakeFetch(10)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocConfidence
+	pred := predict.NewSFM(predict.DefaultSFMConfig())
+	e := NewEngine(cfg, pred, f)
+
+	e.AllocationRequest(0, 0x40, 0x1000)
+	if e.Stats().Allocations != 0 {
+		t.Fatal("zero-confidence load allocated")
+	}
+	for _, a := range []uint64{0x1000, 0x1020, 0x1040, 0x1060} {
+		pred.Train(0x40, a)
+	}
+	if pred.Confidence(0x40) < 1 {
+		t.Fatal("training did not raise confidence")
+	}
+	e.AllocationRequest(10, 0x40, 0x1080)
+	if e.Stats().Allocations != 1 {
+		t.Error("confident load denied")
+	}
+}
+
+func TestConfidenceAllocationRespectsPriority(t *testing.T) {
+	f := newFakeFetch(10)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocConfidence
+	cfg.NumBuffers = 1
+	pred := predict.NewSFM(predict.DefaultSFMConfig())
+	e := NewEngine(cfg, pred, f)
+
+	// Load A becomes highly confident and allocates the only buffer.
+	for _, a := range []uint64{0x1000, 0x1020, 0x1040, 0x1060, 0x1080, 0x10A0, 0x10C0} {
+		pred.Train(0x40, a)
+	}
+	e.AllocationRequest(0, 0x40, 0x10E0)
+	if e.Stats().Allocations != 1 {
+		t.Fatal("load A not allocated")
+	}
+	confA := pred.Confidence(0x40)
+
+	// Load B with lower confidence must not steal the buffer.
+	for _, a := range []uint64{0x5000, 0x5040, 0x5080} {
+		pred.Train(0x48, a)
+	}
+	if pred.Confidence(0x48) >= confA {
+		t.Skip("test premise broken: B as confident as A")
+	}
+	e.AllocationRequest(10, 0x48, 0x50C0)
+	if e.Stats().Allocations != 1 {
+		t.Error("lower-confidence load stole a high-priority buffer")
+	}
+	if e.Stats().AllocationsDenied == 0 {
+		t.Error("denial not recorded")
+	}
+}
+
+func TestAgingReclaimsStaleBuffers(t *testing.T) {
+	f := newFakeFetch(10)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocConfidence
+	cfg.NumBuffers = 1
+	cfg.AgingPeriod = 2
+	pred := predict.NewSFM(predict.DefaultSFMConfig())
+	e := NewEngine(cfg, pred, f)
+
+	for _, a := range []uint64{0x1000, 0x1020, 0x1040, 0x1060, 0x1080, 0x10A0, 0x10C0} {
+		pred.Train(0x40, a)
+	}
+	e.AllocationRequest(0, 0x40, 0x10E0)
+
+	// A modestly-confident competitor keeps requesting; aging decays
+	// the incumbent's priority until the competitor wins.
+	for _, a := range []uint64{0x5000, 0x5040, 0x5080, 0x50C0} {
+		pred.Train(0x48, a)
+	}
+	allocated := false
+	for c := uint64(1); c <= 40; c++ {
+		e.AllocationRequest(c, 0x48, 0x6000+c*64)
+		if e.Stats().Allocations == 2 {
+			allocated = true
+			break
+		}
+	}
+	if !allocated {
+		t.Error("aging never let the competitor in")
+	}
+}
+
+func TestPrioritySchedulingPrefersConfidentBuffer(t *testing.T) {
+	f := newFakeFetch(1000)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocAlways
+	cfg.Sched = SchedPriority
+	pred := predict.NewSFM(predict.DefaultSFMConfig())
+	e := NewEngine(cfg, pred, f)
+
+	// Two buffers; make PC 0x48 much more confident.
+	for _, a := range []uint64{0x8000, 0x8040, 0x8080, 0x80C0, 0x8100, 0x8140} {
+		pred.Train(0x48, a)
+	}
+	e.AllocationRequest(0, 0x40, 0x1000) // priority 0
+	e.AllocationRequest(0, 0x48, 0x8180) // priority = confidence > 0
+	e.Tick(1)
+	if len(f.issued) != 1 {
+		t.Fatalf("issued = %d, want 1", len(f.issued))
+	}
+	// The confident buffer's stream (0x8180+64) must be served first.
+	if f.issued[0] != 0x81C0 {
+		t.Errorf("first prefetch = %#x, want 0x81C0 (confident stream)", f.issued[0])
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	f := newFakeFetch(1000)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocAlways
+	cfg.Sched = SchedRoundRobin
+	e := NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), f)
+	e.AllocationRequest(0, 0x40, 0x1000)
+	e.AllocationRequest(0, 0x44, 0x8000)
+	e.Tick(1)
+	e.Tick(2)
+	if len(f.issued) != 2 {
+		t.Fatalf("issued = %d, want 2", len(f.issued))
+	}
+	// One prefetch from each stream (in either order), not two from one.
+	var from1, from8 int
+	for _, a := range f.issued {
+		switch {
+		case a >= 0x1000 && a < 0x2000:
+			from1++
+		case a >= 0x8000 && a < 0x9000:
+			from8++
+		}
+	}
+	if from1 != 1 || from8 != 1 {
+		t.Errorf("issued = %#v, want one from each stream", f.issued)
+	}
+}
+
+func TestHitBoostsPriority(t *testing.T) {
+	f := newFakeFetch(1)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocAlways
+	e := NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), f)
+	e.AllocationRequest(0, 0x40, 0x1000)
+	e.Tick(1)
+	before := e.Snapshot(2)[0].Priority
+	e.Lookup(10, 0x1020)
+	after := e.Snapshot(11)[0].Priority
+	if after != before+cfg.HitIncrement {
+		t.Errorf("priority %d -> %d, want +%d", before, after, cfg.HitIncrement)
+	}
+}
+
+func TestCheckL1BeforePrefetchDrops(t *testing.T) {
+	f := newFakeFetch(10)
+	cfg := DefaultConfig()
+	cfg.Alloc = AllocAlways
+	cfg.CheckL1BeforePrefetch = true
+	e := NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), f)
+	f.resident[0x1020] = true
+	e.AllocationRequest(0, 0x40, 0x1000)
+	e.Tick(1) // predicts 0x1020
+	e.Tick(2) // prefetch attempt drops it; next predicts 0x1040
+	e.Tick(3)
+	for _, a := range f.issued {
+		if a == 0x1020 {
+			t.Error("prefetched a block resident in L1")
+		}
+	}
+	if len(f.issued) == 0 {
+		t.Error("no prefetches at all")
+	}
+}
+
+func TestNullPrefetcher(t *testing.T) {
+	var p Prefetcher = Null{}
+	if kind, _ := p.Lookup(0, 0x1000); kind != LookupMiss {
+		t.Error("Null lookup hit")
+	}
+	p.AllocationRequest(0, 0, 0)
+	p.Train(0, 0)
+	p.Tick(0)
+	if p.Stats() != (Stats{}) {
+		t.Error("Null stats nonzero")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	f := newFakeFetch(5)
+	e := seqEngine(AllocAlways, SchedRoundRobin, f)
+	e.AllocationRequest(0, 0x40, 0x1000)
+	e.Tick(1)
+	snap := e.Snapshot(2)
+	if len(snap) != 8 {
+		t.Fatalf("snapshot length = %d", len(snap))
+	}
+	if !snap[0].Allocated || snap[0].PC != 0x40 || snap[0].ValidEntries != 1 {
+		t.Errorf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[0].InFlight != 1 {
+		t.Errorf("InFlight = %d, want 1", snap[0].InFlight)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine accepted zero buffers")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.NumBuffers = 0
+	NewEngine(cfg, predict.NewSequential(32), newFakeFetch(1))
+}

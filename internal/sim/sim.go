@@ -1,0 +1,162 @@
+// Package sim composes the full simulated machine — out-of-order core,
+// memory hierarchy, prefetcher and workload — and runs timing
+// experiments. It is the entry point the command-line tools, examples
+// and benchmark harness build on.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/predict"
+	"repro/internal/sbuf"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	CPU  cpu.Config
+	Mem  mem.Config
+	Opts core.Options
+
+	// MaxInsts bounds the run (committed instructions).
+	MaxInsts uint64
+	// Seed drives workload heap layout.
+	Seed int64
+	// CollectFig4 attaches the Markov delta-bits histogram.
+	CollectFig4 bool
+}
+
+// Default returns the paper's baseline machine with a 500K-instruction
+// budget — large enough for every benchmark to settle into steady
+// state, small enough to keep the full harness fast.
+func Default() Config {
+	return Config{
+		CPU:      cpu.DefaultConfig(),
+		Mem:      mem.DefaultConfig(),
+		Opts:     core.DefaultOptions(),
+		MaxInsts: 500_000,
+		Seed:     1,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload string
+	Variant  core.Variant
+
+	CPU cpu.Stats
+	SB  sbuf.Stats
+
+	L1D, L1I, L2 mem.CacheStats
+	L1L2Util     float64
+	MemBusUtil   float64
+	TLBMissRate  float64
+
+	Hist *predict.DeltaHistogram
+}
+
+// IPC returns committed instructions per cycle.
+func (r Result) IPC() float64 { return r.CPU.IPC() }
+
+// SpeedupOver returns the percent IPC speedup of r over base.
+func (r Result) SpeedupOver(base Result) float64 {
+	if base.IPC() == 0 {
+		return 0
+	}
+	return (r.IPC()/base.IPC() - 1) * 100
+}
+
+// Run simulates the workload under the given prefetcher variant.
+func Run(w workload.Workload, v core.Variant, cfg Config) Result {
+	machine := w.Build(cfg.Seed)
+	hier := mem.New(cfg.Mem)
+	// Keep the stream-buffer block size in sync with the L1D line.
+	opts := cfg.Opts
+	opts.Buffers.BlockBytes = cfg.Mem.L1D.BlockBytes
+	opts.SFM.BlockShift = blockShift(cfg.Mem.L1D.BlockBytes)
+	pf := core.NewWithOptions(v, opts, hier)
+
+	c := cpu.New(cfg.CPU, hier, pf, cpu.MachineSource{M: machine})
+	var hist *predict.DeltaHistogram
+	if cfg.CollectFig4 {
+		hist = predict.NewDeltaHistogram(1<<16, opts.SFM.BlockShift)
+		c.SetDeltaHistogram(hist)
+	}
+	st := c.Run(cfg.MaxInsts)
+
+	return Result{
+		Workload:    w.Name,
+		Variant:     v,
+		CPU:         st,
+		SB:          pf.Stats(),
+		L1D:         hier.L1D.Stats(),
+		L1I:         hier.L1I.Stats(),
+		L2:          hier.L2.Stats(),
+		L1L2Util:    hier.L1L2.Utilization(st.Cycles),
+		MemBusUtil:  hier.MemBus.Utilization(st.Cycles),
+		TLBMissRate: hier.DTLB.MissRate(),
+		Hist:        hist,
+	}
+}
+
+// RunWithPrefetcher simulates the workload with a caller-constructed
+// prefetcher (for predictor shootouts and custom engines). The build
+// function receives the memory system and returns the prefetcher; the
+// reported Variant is core.None since no named variant applies.
+func RunWithPrefetcher(w workload.Workload, cfg Config,
+	build func(fetch sbuf.Fetcher) sbuf.Prefetcher) Result {
+	machine := w.Build(cfg.Seed)
+	hier := mem.New(cfg.Mem)
+	pf := build(hier)
+	c := cpu.New(cfg.CPU, hier, pf, cpu.MachineSource{M: machine})
+	st := c.Run(cfg.MaxInsts)
+	return Result{
+		Workload:    w.Name,
+		CPU:         st,
+		SB:          pf.Stats(),
+		L1D:         hier.L1D.Stats(),
+		L1I:         hier.L1I.Stats(),
+		L2:          hier.L2.Stats(),
+		L1L2Util:    hier.L1L2.Utilization(st.Cycles),
+		MemBusUtil:  hier.MemBus.Utilization(st.Cycles),
+		TLBMissRate: hier.DTLB.MissRate(),
+	}
+}
+
+// RunByName resolves the benchmark by name and runs it.
+func RunByName(name string, v core.Variant, cfg Config) (Result, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(w, v, cfg), nil
+}
+
+// RunAll runs every registered benchmark under the given variant.
+func RunAll(v core.Variant, cfg Config) []Result {
+	all := workload.All()
+	out := make([]Result, 0, len(all))
+	for _, w := range all {
+		out = append(out, Run(w, v, cfg))
+	}
+	return out
+}
+
+func blockShift(blockBytes int) uint {
+	s := uint(0)
+	for 1<<s < blockBytes {
+		s++
+	}
+	return s
+}
+
+// Summary renders the headline numbers of a result in one line.
+func (r Result) Summary() string {
+	return fmt.Sprintf("%-10s %-18s IPC=%.3f MR=%.1f%% loadLat=%.1f acc=%.1f%% L1L2=%.1f%% mem=%.1f%%",
+		r.Workload, r.Variant, r.IPC(), r.CPU.DMissRate()*100,
+		r.CPU.AvgLoadLatency(), r.SB.Accuracy()*100,
+		r.L1L2Util*100, r.MemBusUtil*100)
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Table", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long", "22")
+	tb.AddNote("a footnote")
+	out := tb.String()
+	if !strings.Contains(out, "My Table") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-long") {
+		t.Error("missing rows")
+	}
+	if !strings.Contains(out, "note: a footnote") {
+		t.Error("missing note")
+	}
+	// Columns align: the "value" column is right-aligned.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows... plus note = 6
+		if len(lines) != 6 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                // short row: padded
+	tb.AddRow("1", "2", "3", "4") // long row: truncated
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Errorf("rows not normalized: %v", tb.Rows)
+	}
+	if tb.Rows[1][2] != "3" {
+		t.Errorf("truncation wrong: %v", tb.Rows[1])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `quote"d`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"quote\"\"d\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Pct(0.1234), "12.3%"},
+		{F2(3.14159), "3.14"},
+		{F1(3.14159), "3.1"},
+		{SignedPct(5.5), "+5.5%"},
+		{SignedPct(-2.25), "-2.2%"},
+		{Millions(1_500_000), "1.50"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

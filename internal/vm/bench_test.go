@@ -1,0 +1,41 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// BenchmarkStep measures raw functional-interpretation throughput on a
+// mixed arithmetic/memory/branch loop.
+func BenchmarkStep(b *testing.B) {
+	bld := asm.New()
+	bld.Li(isa.R(1), 0x20000)
+	top := bld.Here("top")
+	bld.Ld(isa.R(2), isa.R(1), 0)
+	bld.Add(isa.R(3), isa.R(3), isa.R(2))
+	bld.Xori(isa.R(3), isa.R(3), 0x55)
+	bld.St(isa.R(3), isa.R(1), 8)
+	bld.Addi(isa.R(4), isa.R(4), 1)
+	bld.Jmp(top)
+	m := New(bld.MustBuild(), nil)
+	if _, err := m.Step(); err != nil { // consume the li
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGuestMemRead64(b *testing.B) {
+	m := NewGuestMem()
+	m.Write64(0x8000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Read64(0x8000)
+	}
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// BurgParams sizes the burg benchmark.
+type BurgParams struct {
+	Trees     int // number of grammar trees
+	TreeNodes int // nodes per tree
+	PadBlocks int
+}
+
+// DefaultBurgParams gives 5 trees x 320 nodes (~70KB of scattered
+// 32-byte nodes): every lap misses the L1 and the DFS visit order is
+// stable, so the miss stream is Markov-predictable but stride-hostile.
+func DefaultBurgParams() BurgParams {
+	return BurgParams{Trees: 5, TreeNodes: 320, PadBlocks: 2}
+}
+
+// node field offsets for burg trees.
+const (
+	burgLeft  = 0
+	burgRight = 8
+	burgOp    = 16
+	burgVal   = 24
+)
+
+// BuildBurg constructs the burg benchmark: a BURS tree-parser
+// generator reduced to its dominant behaviour — recursive depth-first
+// walks over fixed instruction trees, labelling each node from its
+// children. The recursion exercises calls, returns and the RAS; the
+// tree nodes are shuffled through the heap.
+func BuildBurg(p BurgParams, seed int64) *vm.Machine {
+	r := rand.New(rand.NewSource(seed))
+	mem := vm.NewGuestMem()
+
+	rootArray := uint64(HeapBase)
+	nodePool := rootArray + uint64(p.Trees*8) + 4096
+	total := p.Trees * p.TreeNodes
+	addrs := nodeLayout(r, nodePool, total, 32, 32, p.PadBlocks)
+
+	// Build each tree by inserting shuffled nodes under random
+	// parents (a random topology, fixed by the seed).
+	next := 0
+	for t := 0; t < p.Trees; t++ {
+		nodes := addrs[next : next+p.TreeNodes]
+		next += p.TreeNodes
+		for i, a := range nodes {
+			mem.Write64(a+burgLeft, 0)
+			mem.Write64(a+burgRight, 0)
+			mem.Write64(a+burgOp, uint64(i%37))
+			if i == 0 {
+				continue
+			}
+			// Attach under a random earlier node with a free slot.
+			for {
+				parent := nodes[r.Intn(i)]
+				if mem.Read64(parent+burgLeft) == 0 {
+					mem.Write64(parent+burgLeft, a)
+					break
+				}
+				if mem.Read64(parent+burgRight) == 0 {
+					mem.Write64(parent+burgRight, a)
+					break
+				}
+			}
+		}
+		mem.Write64(rootArray+uint64(t)*8, nodes[0])
+	}
+
+	b := asm.New()
+	walk := b.NewLabel("walk")
+	prologue(b)
+	rTrees := isa.R(20)
+	rTIdx := isa.R(21)
+	rRoots := isa.R(22)
+	b.Li(rRoots, int64(rootArray))
+	b.Li(rTrees, int64(p.Trees))
+
+	outerLoop(b, manyLaps, func() {
+		b.Li(rTIdx, 0)
+		trees := b.Here("trees")
+		b.Shli(rScratch1, rTIdx, 3)
+		b.Add(rScratch1, rScratch1, rRoots)
+		b.Ld(rScratch0, rScratch1, 0) // r1 = root
+		b.Call(walk)
+		b.Add(rAcc, rAcc, rScratch1) // walk returns its label in r2
+		b.Addi(rTIdx, rTIdx, 1)
+		b.Blt(rTIdx, rTrees, trees)
+	})
+	b.Halt()
+
+	// walk(node in r1) -> label in r2. Standard callee-saved frame.
+	rSaved0 := isa.R(16)
+	rSaved1 := isa.R(17)
+	b.Bind(walk)
+	zero := b.NewLabel("walk_zero")
+	b.Beqz(rScratch0, zero)
+	b.Addi(isa.RSP, isa.RSP, -32)
+	b.St(isa.RLR, isa.RSP, 0)
+	b.St(rSaved0, isa.RSP, 8)
+	b.St(rSaved1, isa.RSP, 16)
+	b.Mov(rSaved0, rScratch0)
+
+	b.Ld(rScratch0, rSaved0, burgLeft)
+	b.Call(walk) // r2 = walk(left)
+	b.Mov(rSaved1, rScratch1)
+	b.Ld(rScratch0, rSaved0, burgRight)
+	b.Call(walk) // r2 = walk(right)
+
+	b.Ld(rScratch2, rSaved0, burgOp) // operator cost
+	b.Add(rScratch1, rScratch1, rSaved1)
+	b.Add(rScratch1, rScratch1, rScratch2)
+	b.St(rScratch1, rSaved0, burgVal) // record the label
+
+	b.Ld(isa.RLR, isa.RSP, 0)
+	b.Ld(rSaved0, isa.RSP, 8)
+	b.Ld(rSaved1, isa.RSP, 16)
+	b.Addi(isa.RSP, isa.RSP, 32)
+	b.Ret()
+
+	b.Bind(zero)
+	b.Li(rScratch1, 0)
+	b.Ret()
+
+	return vm.New(b.MustBuild(), mem)
+}
+
+func init() {
+	register(Workload{
+		Name: "burg",
+		Description: "BURS tree-parser generator (optimal instruction-selector " +
+			"construction): recursive depth-first walks over fixed grammar " +
+			"trees with heap-scattered nodes (VAX grammar input in the paper).",
+		Build: func(seed int64) *vm.Machine {
+			return BuildBurg(DefaultBurgParams(), seed)
+		},
+	})
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// DeltaBlueParams sizes the deltablue benchmark.
+type DeltaBlueParams struct {
+	Constraints int // objects allocated per phase
+	ObjBytes    int // object size (multiple of 8)
+	Propagates  int // chain walks per phase
+}
+
+// DefaultDeltaBlueParams allocates 1800 64-byte constraints per phase
+// (~115KB live) and propagates down the randomly-ordered chain four
+// times: an allocation-heavy, bandwidth-hungry pointer workload whose
+// addresses recur exactly every phase.
+func DefaultDeltaBlueParams() DeltaBlueParams {
+	return DeltaBlueParams{Constraints: 1800, ObjBytes: 64, Propagates: 4}
+}
+
+// BuildDeltaBlue constructs the deltablue benchmark: the C++
+// constraint solver reduced to its memory behaviour — phases of
+// short-lived heap objects. Each phase (lap) re-allocates a pool of
+// constraint objects with a bump allocator (sequential stores), links
+// them into a chain in a fixed random permutation, and repeatedly
+// propagates values down the chain (serial pointer chasing). The bump
+// allocator resets every phase, so the chain's addresses — and its
+// miss transitions — repeat phase after phase.
+func BuildDeltaBlue(p DeltaBlueParams, seed int64) *vm.Machine {
+	r := rand.New(rand.NewSource(seed))
+	mem := vm.NewGuestMem()
+
+	pool := uint64(HeapBase)
+	obj := uint64(p.ObjBytes)
+
+	// The chain permutation, precomputed as object addresses: the
+	// solver's constraint graph order is unrelated to allocation
+	// order.
+	perm := r.Perm(p.Constraints)
+	permAddrs := pool + uint64(p.Constraints)*obj + 4096
+	for i, pi := range perm {
+		mem.Write64(permAddrs+uint64(i)*8, pool+uint64(pi)*obj)
+	}
+
+	b := asm.New()
+	prologue(b)
+	rPool := isa.R(20)
+	rPerm := isa.R(21)
+	rN := isa.R(22)
+	rProp := isa.R(23)
+	rPropN := isa.R(24)
+	b.Li(rPool, int64(pool))
+	b.Li(rPerm, int64(permAddrs))
+	b.Li(rN, int64(p.Constraints))
+
+	outerLoop(b, manyLaps, func() {
+		// --- Allocation phase: bump-allocate and initialize every
+		// constraint (sequential write stream; write-allocate traffic).
+		b.Mov(rScratch0, rPool) // alloc cursor
+		b.Li(rScratch1, 0)      // i
+		alloc := b.Here("alloc")
+		b.St(isa.R0, rScratch0, 0)     // next = nil
+		b.St(rScratch1, rScratch0, 8)  // strength
+		b.St(rScratch1, rScratch0, 16) // value
+		b.St(isa.R0, rScratch0, 24)    // mark
+		b.Addi(rScratch0, rScratch0, int32(obj))
+		b.Addi(rScratch1, rScratch1, 1)
+		b.Blt(rScratch1, rN, alloc)
+
+		// --- Linking phase: chain the objects in permutation order.
+		b.Li(rScratch1, 0) // i
+		b.Addi(rScratch5, rN, -1)
+		link := b.Here("link")
+		b.Shli(rScratch2, rScratch1, 3)
+		b.Add(rScratch2, rScratch2, rPerm)
+		b.Ld(rScratch3, rScratch2, 0) // obj[perm[i]]
+		b.Ld(rScratch4, rScratch2, 8) // obj[perm[i+1]]
+		b.St(rScratch4, rScratch3, 0) // .next
+		b.Addi(rScratch1, rScratch1, 1)
+		b.Blt(rScratch1, rScratch5, link)
+
+		// --- Propagation phases: serial walks down the chain.
+		b.Li(rProp, 0)
+		b.Li(rPropN, int64(p.Propagates))
+		prop := b.Here("prop")
+		b.Ld(rScratch0, rPerm, 0) // head = obj[perm[0]]
+		walk := b.Here("walk")
+		done := b.NewLabel("walk_done")
+		b.Beqz(rScratch0, done)
+		b.Ld(rScratch2, rScratch0, 8) // strength
+		// Constraint-satisfaction arithmetic: compare strengths,
+		// select the method, compute the output value.
+		b.Add(rAcc, rAcc, rScratch2)
+		b.Shli(rScratch3, rScratch2, 2)
+		b.Xor(rScratch3, rScratch3, rAcc)
+		b.Andi(rScratch3, rScratch3, 0xFFF)
+		b.Slt(rScratch4, rScratch3, rScratch2)
+		b.Add(rAcc, rAcc, rScratch4)
+		b.Shri(rScratch4, rAcc, 2)
+		b.Add(rScratch3, rScratch3, rScratch4)
+		b.St(rScratch3, rScratch0, 16) // propagate the value
+		b.Ld(rScratch0, rScratch0, 0)  // next constraint
+		b.Jmp(walk)
+		b.Bind(done)
+		b.Addi(rProp, rProp, 1)
+		b.Bne(rProp, rPropN, prop)
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}
+
+func init() {
+	register(Workload{
+		Name: "deltablue",
+		Description: "Incremental dataflow constraint solver (C++) with an " +
+			"abundance of short-lived heap objects: phase-allocated " +
+			"constraint chains, linked in graph order and repeatedly " +
+			"propagated — allocation-heavy and bandwidth-bound.",
+		Build: func(seed int64) *vm.Machine {
+			return BuildDeltaBlue(DefaultDeltaBlueParams(), seed)
+		},
+	})
+}

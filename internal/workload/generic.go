@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// BuildPointerChase constructs a minimal pointer-chasing microbenchmark:
+// one linked list of `nodes` 32-byte nodes scattered through the heap,
+// walked serially forever. It is the cleanest possible demonstration of
+// what predictor-directed stream buffers add over stride-based ones,
+// and is used by the examples and benchmarks.
+func BuildPointerChase(nodes int, seed int64) *vm.Machine {
+	r := rand.New(rand.NewSource(seed))
+	mem := vm.NewGuestMem()
+	addrs := nodeLayout(r, HeapBase, nodes, 32, 32, 2)
+	head := linkList(mem, addrs, 7)
+
+	b := asm.New()
+	prologue(b)
+	rHead := isa.R(20)
+	b.Li(rHead, int64(head))
+	outerLoop(b, manyLaps, func() {
+		b.Mov(rScratch0, rHead)
+		walk := b.Here("walk")
+		done := b.NewLabel("done")
+		b.Beqz(rScratch0, done)
+		b.Ld(rScratch1, rScratch0, 8)
+		b.Add(rAcc, rAcc, rScratch1)
+		b.Ld(rScratch0, rScratch0, 0)
+		b.Jmp(walk)
+		b.Bind(done)
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}
+
+// BuildUnrolledSweep constructs the loop-unrolling study of §6: the
+// same strided sweep as BuildStrideSweep, but with the loop body
+// unrolled `unroll` times — so the one reference stream is carried by
+// `unroll` distinct load PCs, each striding by unroll*strideBytes.
+// The paper notes that unrolling "increases the number of load
+// instructions in the program, which can degrade the performance of
+// stream buffers".
+func BuildUnrolledSweep(blocks, strideBytes, unroll int, seed int64) *vm.Machine {
+	_ = seed
+	if unroll < 1 {
+		panic("workload: unroll must be >= 1")
+	}
+	mem := vm.NewGuestMem()
+	span := uint64(blocks) * uint64(strideBytes)
+	for off := uint64(0); off < span; off += 8 {
+		mem.Write64(HeapBase+off, off)
+	}
+
+	b := asm.New()
+	prologue(b)
+	rBase := isa.R(20)
+	rSpan := isa.R(21)
+	b.Li(rBase, int64(HeapBase))
+	b.Li(rSpan, int64(span)-int64(unroll*strideBytes))
+	b.Li(isa.R(22), int64(unroll*strideBytes))
+	outerLoop(b, manyLaps, func() {
+		b.Li(rScratch2, 0)
+		inner := b.Here("inner")
+		b.Add(rScratch0, rBase, rScratch2)
+		for u := 0; u < unroll; u++ {
+			b.Ld(rScratch1, rScratch0, int32(u*strideBytes)) // distinct PC per u
+			// Enough dependent reduction work per element that demand
+			// fills do not saturate the bus (otherwise no prefetcher
+			// can act and the comparison is vacuous).
+			b.Add(rAcc, rAcc, rScratch1)
+			b.Shli(rScratch3, rScratch1, 1)
+			b.Xor(rAcc, rAcc, rScratch3)
+			b.Shri(rScratch3, rAcc, 2)
+			b.Add(rAcc, rAcc, rScratch3)
+			b.Andi(rScratch3, rAcc, 0x3FF)
+			b.Add(rAcc, rAcc, rScratch3)
+			b.Xori(rAcc, rAcc, 0x77)
+			b.Shri(rScratch3, rAcc, 3)
+			b.Add(rAcc, rAcc, rScratch3)
+			b.Shli(rScratch3, rScratch3, 1)
+			b.Xor(rAcc, rAcc, rScratch3)
+		}
+		b.Add(rScratch2, rScratch2, isa.R(22))
+		b.Blt(rScratch2, rSpan, inner)
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}
+
+// BuildStrideSweep constructs a strided-array microbenchmark: a single
+// load PC streaming through `blocks` cache blocks with the given byte
+// stride, forever. Stride stream buffers capture it completely.
+func BuildStrideSweep(blocks int, strideBytes int, seed int64) *vm.Machine {
+	_ = seed
+	mem := vm.NewGuestMem()
+	span := uint64(blocks) * uint64(strideBytes)
+	for off := uint64(0); off < span; off += 8 {
+		mem.Write64(HeapBase+off, off)
+	}
+
+	b := asm.New()
+	prologue(b)
+	rBase := isa.R(20)
+	rSpan := isa.R(21)
+	b.Li(rBase, int64(HeapBase))
+	b.Li(rSpan, int64(span))
+	outerLoop(b, manyLaps, func() {
+		b.Li(rScratch2, 0)
+		inner := b.Here("inner")
+		b.Add(rScratch0, rBase, rScratch2)
+		b.Ld(rScratch1, rScratch0, 0)
+		// Reduction work on each element, so demand fills do not
+		// saturate the L1-L2 bus (prefetches are gated on a free bus).
+		b.Add(rAcc, rAcc, rScratch1)
+		b.Shli(rScratch3, rScratch1, 1)
+		b.Xor(rAcc, rAcc, rScratch3)
+		b.Shri(rScratch3, rAcc, 2)
+		b.Add(rAcc, rAcc, rScratch3)
+		b.Xori(rAcc, rAcc, 0x1F)
+		b.Addi(rScratch2, rScratch2, int32(strideBytes))
+		b.Blt(rScratch2, rSpan, inner)
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}

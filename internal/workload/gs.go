@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// GSParams sizes the gs benchmark.
+type GSParams struct {
+	Glyphs     int // glyph cache population
+	GlyphBytes int // rendered glyph bitmap size
+	TextLen    int // characters rendered per page (lap)
+	RasterRows int // raster band geometry
+	RasterCols int // bytes per row
+}
+
+// DefaultGSParams uses a 96-glyph cache of 2KB bitmaps (~50KB of
+// glyph blocks actually read, 1.5x the L1) and a 64KB raster band:
+// each page renders 384 characters by looking up the glyph pointer,
+// reading bitmap spans and blitting strided spans into the raster.
+func DefaultGSParams() GSParams {
+	return GSParams{Glyphs: 96, GlyphBytes: 2048, TextLen: 384, RasterRows: 64, RasterCols: 1024}
+}
+
+// BuildGS constructs the gs benchmark: Ghostscript's PostScript-to-
+// raster conversion reduced to its memory behaviour — a fixed text
+// stream driving glyph-cache pointer lookups (recurring, irregular
+// miss transitions) interleaved with strided raster blits (stride-
+// predictable write streams).
+func BuildGS(p GSParams, seed int64) *vm.Machine {
+	r := rand.New(rand.NewSource(seed))
+	mem := vm.NewGuestMem()
+
+	raster := uint64(HeapBase)
+	rasterBytes := uint64(p.RasterRows * p.RasterCols)
+	glyphTable := raster + rasterBytes + 4096
+	glyphPool := glyphTable + uint64(p.Glyphs)*8 + 4096
+
+	// Glyph bitmaps scattered through the pool (cache population order
+	// is unrelated to code points).
+	addrs := nodeLayout(r, glyphPool, p.Glyphs, uint64(p.GlyphBytes), 64, 4)
+	for g, a := range addrs {
+		mem.Write64(glyphTable+uint64(g)*8, a)
+		for off := uint64(0); off < uint64(p.GlyphBytes); off += 8 {
+			mem.Write64(a+off, uint64(g)<<32|off)
+		}
+	}
+
+	// The page text: a fixed, Zipf-flavored glyph sequence (text reuses
+	// a few letters heavily, as real text does).
+	text := glyphPool + uint64(p.Glyphs*p.GlyphBytes) + uint64(p.Glyphs)*256 + 4096
+	for i := 0; i < p.TextLen; i++ {
+		var g int
+		if r.Intn(4) > 0 {
+			g = r.Intn(p.Glyphs / 4) // hot subset
+		} else {
+			g = r.Intn(p.Glyphs)
+		}
+		mem.Write64(text+uint64(i)*8, uint64(g))
+	}
+
+	b := asm.New()
+	prologue(b)
+	rText := isa.R(20)
+	rTable := isa.R(21)
+	rRaster := isa.R(22)
+	rTextLen := isa.R(23)
+	rCursor := isa.R(24) // raster write cursor
+	b.Li(rText, int64(text))
+	b.Li(rTable, int64(glyphTable))
+	b.Li(rRaster, int64(raster))
+	b.Li(rTextLen, int64(p.TextLen))
+
+	glyphSpans := p.GlyphBytes / 128 // spans read per glyph
+
+	outerLoop(b, manyLaps, func() {
+		b.Li(rScratch5, 0) // character index
+		b.Mov(rCursor, rRaster)
+		chars := b.Here("chars")
+		// code = text[i]; glyph = glyphTable[code]
+		b.Shli(rScratch1, rScratch5, 3)
+		b.Add(rScratch1, rScratch1, rText)
+		b.Ld(rScratch0, rScratch1, 0) // code point
+		b.Shli(rScratch0, rScratch0, 3)
+		b.Add(rScratch0, rScratch0, rTable)
+		b.Ld(rScratch0, rScratch0, 0) // glyph bitmap pointer
+
+		// Read spans of the bitmap and blit them into the band at the
+		// cursor (sequential store stream, as span fills are).
+		for s := 0; s < glyphSpans; s++ {
+			b.Ld(rScratch2, rScratch0, int32(s*128))
+			b.Add(rAcc, rAcc, rScratch2)
+			b.St(rScratch2, rCursor, int32(s*8))
+		}
+		b.Addi(rCursor, rCursor, 64)
+		// Wrap the raster cursor at half the band.
+		b.Li(rScratch3, int64(raster+rasterBytes/2))
+		stay := b.NewLabel("cursor_ok")
+		b.Blt(rCursor, rScratch3, stay)
+		b.Mov(rCursor, rRaster)
+		b.Bind(stay)
+
+		b.Addi(rScratch5, rScratch5, 1)
+		b.Blt(rScratch5, rTextLen, chars)
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}
+
+func init() {
+	register(Workload{
+		Name: "gs",
+		Description: "Ghostscript (PostScript interpreter) converting a page " +
+			"to raster: glyph-cache pointer lookups driven by a fixed text " +
+			"stream, interleaved with strided raster blits.",
+		Build: func(seed int64) *vm.Machine {
+			return BuildGS(DefaultGSParams(), seed)
+		},
+	})
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// HealthParams sizes the health benchmark.
+type HealthParams struct {
+	Villages    int // number of patient lists
+	MinPatients int // patients per village (uniform range)
+	MaxPatients int
+	PadBlocks   int // max dead blocks between nodes
+}
+
+// DefaultHealthParams gives ~1400 scattered list nodes (~44KB of
+// touched blocks, 1.4x the 32K L1): the cyclic traversal defeats LRU,
+// so every lap misses nearly every node, while the per-lap miss
+// transitions stay within the 2K-entry Markov table.
+func DefaultHealthParams() HealthParams {
+	return HealthParams{Villages: 36, MinPatients: 30, MaxPatients: 48, PadBlocks: 2}
+}
+
+// BuildHealth constructs the health benchmark: a hierarchical
+// health-care simulator reduced to its memory behaviour — repeated
+// traversals of per-village patient lists whose nodes are scattered
+// through the heap. Each node visit loads the next pointer and the
+// patient's status and writes back an updated treatment field.
+func BuildHealth(p HealthParams, seed int64) *vm.Machine {
+	r := rand.New(rand.NewSource(seed))
+	mem := vm.NewGuestMem()
+
+	// Village head-pointer array, then the patient node pool.
+	villageArray := uint64(HeapBase)
+	nodePool := villageArray + uint64(p.Villages*8) + 4096
+
+	total := 0
+	counts := make([]int, p.Villages)
+	for i := range counts {
+		counts[i] = p.MinPatients + r.Intn(p.MaxPatients-p.MinPatients+1)
+		total += counts[i]
+	}
+	addrs := nodeLayout(r, nodePool, total, 32, 32, p.PadBlocks)
+	next := 0
+	for v := 0; v < p.Villages; v++ {
+		head := linkList(mem, addrs[next:next+counts[v]], uint64(v)*1000)
+		mem.Write64(villageArray+uint64(v)*8, head)
+		next += counts[v]
+	}
+
+	b := asm.New()
+	prologue(b)
+	rVillages := isa.R(20)
+	rVIdx := isa.R(21)
+	rVArr := isa.R(22)
+	b.Li(rVArr, int64(villageArray))
+	b.Li(rVillages, int64(p.Villages))
+
+	outerLoop(b, manyLaps, func() {
+		b.Li(rVIdx, 0)
+		villages := b.Here("villages")
+		// head = villageArray[vIdx]
+		b.Shli(rScratch1, rVIdx, 3)
+		b.Add(rScratch1, rScratch1, rVArr)
+		b.Ld(rScratch0, rScratch1, 0) // r1 = patient list head
+
+		walk := b.Here("walk")
+		endList := b.NewLabel("end_list")
+		b.Beqz(rScratch0, endList)
+		b.Ld(rScratch2, rScratch0, 8) // patient status
+		// Treatment computation: ALU work on the patient record,
+		// bringing the memory-op density near the original's mix.
+		b.Add(rAcc, rAcc, rScratch2)
+		b.Shli(rScratch3, rScratch2, 2)
+		b.Add(rScratch3, rScratch3, rScratch2)
+		b.Xori(rScratch3, rScratch3, 0x55)
+		b.Addi(rScratch3, rScratch3, 17)
+		b.Shri(rScratch4, rScratch3, 1)
+		b.Add(rScratch3, rScratch3, rScratch4)
+		b.St(rScratch3, rScratch0, 24) // write treatment update
+		b.Ld(rScratch0, rScratch0, 0)  // next patient
+		b.Jmp(walk)
+
+		b.Bind(endList)
+		b.Addi(rVIdx, rVIdx, 1)
+		b.Blt(rVIdx, rVillages, villages)
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}
+
+func init() {
+	register(Workload{
+		Name: "health",
+		Description: "Hierarchical health-care system simulator from the Olden " +
+			"suite: repeated serial traversals of linked patient lists " +
+			"scattered through the heap (input 3 500 in the paper).",
+		Build: func(seed int64) *vm.Machine {
+			return BuildHealth(DefaultHealthParams(), seed)
+		},
+	})
+}

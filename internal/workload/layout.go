@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// nodeLayout places n fixed-size objects in a heap region with
+// randomized, shuffled addresses: consecutive list elements land at
+// unrelated addresses, defeating stride prediction while keeping the
+// whole pool inside a bounded span (so consecutive-miss deltas fit the
+// paper's 16-bit differential Markov entries).
+//
+// Objects are aligned to align bytes and separated by 0..maxPadBlocks
+// cache blocks of dead space.
+func nodeLayout(r *rand.Rand, base uint64, n int, objBytes, align uint64, maxPadBlocks int) []uint64 {
+	addrs := make([]uint64, n)
+	alloc := vm.NewAllocator(base, align)
+	for i := range addrs {
+		pad := uint64(0)
+		if maxPadBlocks > 0 {
+			pad = uint64(r.Intn(maxPadBlocks+1)) * 32
+		}
+		addrs[i] = alloc.AllocPad(objBytes, pad)
+	}
+	// Shuffle which object gets which address: traversal order then
+	// walks the region in a random but fixed permutation.
+	r.Shuffle(n, func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	return addrs
+}
+
+// linkList writes a singly-linked list through the given addresses:
+// each node's word 0 points at the next node, word 8 holds a value,
+// and the final node's next pointer is zero. It returns the head.
+func linkList(mem *vm.GuestMem, addrs []uint64, valueSeed uint64) uint64 {
+	for i, a := range addrs {
+		next := uint64(0)
+		if i+1 < len(addrs) {
+			next = addrs[i+1]
+		}
+		mem.Write64(a, next)
+		mem.Write64(a+8, valueSeed+uint64(i))
+	}
+	return addrs[0]
+}
+
+// prologue emits the standard entry sequence: stack pointer setup.
+func prologue(b *asm.Builder) {
+	b.Li(isa.RSP, StackTop)
+}
+
+// Register conventions used across the benchmark sources. Callee code
+// keeps to scratch registers r1..r9; loop machinery lives higher.
+var (
+	rScratch0 = isa.R(1)
+	rScratch1 = isa.R(2)
+	rScratch2 = isa.R(3)
+	rScratch3 = isa.R(4)
+	rScratch4 = isa.R(5)
+	rScratch5 = isa.R(6)
+	rAcc      = isa.R(10) // running checksum (keeps loads live)
+	rLap      = isa.R(26) // outer lap counter
+	rLapMax   = isa.R(27)
+)
+
+// outerLoop wraps body in a very large lap loop: the program re-walks
+// its data until the timing simulator's instruction budget runs out.
+// body must preserve rLap and rLapMax.
+func outerLoop(b *asm.Builder, laps int64, body func()) {
+	b.Li(rLap, 0)
+	b.Li(rLapMax, laps)
+	top := b.Here("lap")
+	body()
+	b.Addi(rLap, rLap, 1)
+	b.Bne(rLap, rLapMax, top)
+}
+
+// manyLaps is the default outer trip count: effectively infinite under
+// any realistic instruction budget.
+const manyLaps = 1 << 40

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// SisParams sizes the sis benchmark.
+type SisParams struct {
+	CleanNets  int // stride-predictable net structures
+	NoisyNets  int // unpredictable hash/ring chasers
+	SegBytes   int // bytes per clean segment (power of two)
+	SegsPerNet int // segments per clean net
+	VisitLoads int // blocks read per clean-net visit
+	RingBlocks int // shared unpredictable ring size (power of two), in blocks
+}
+
+// DefaultSisParams interleaves 12 stride-predictable nets (32KB each,
+// hopping between shuffled 4KB segments) with 12 walkers over a shared
+// 512KB random ring. More predictable streams contend than the machine
+// has stream buffers — the stream-thrashing condition of §6 — while
+// the ring loads are unpredictable, so confidence-based allocation can
+// tell the two apart and two-miss filtering cannot protect the good
+// streams from each other.
+func DefaultSisParams() SisParams {
+	return SisParams{
+		CleanNets:  12,
+		NoisyNets:  12,
+		SegBytes:   4096,
+		SegsPerNet: 8,
+		VisitLoads: 4,
+		RingBlocks: 16384,
+	}
+}
+
+// BuildSis constructs the sis benchmark: the SIS logic-synthesis
+// system (172K lines, heavy pointer arithmetic) reduced to its
+// stream-thrashing memory behaviour. Clean nets stream block-by-block
+// through shuffled 4KB segments (a stride of one block, broken by a
+// pointer hop at each segment end); noisy nets chase a shared shuffled
+// ring far larger than any prediction table. Every net resumes from an
+// in-memory cursor, so dozens of streams are always live at once.
+func BuildSis(p SisParams, seed int64) *vm.Machine {
+	r := rand.New(rand.NewSource(seed))
+	mem := vm.NewGuestMem()
+
+	segBytes := uint64(p.SegBytes)
+	cursorArray := uint64(HeapBase)
+	nets := p.CleanNets + p.NoisyNets
+	segPool := cursorArray + uint64(nets*8) + 4096
+
+	// Clean nets: shuffled segments, each ending in a pointer to the
+	// next.
+	netRegion := segBytes * uint64(p.SegsPerNet+2)
+	for n := 0; n < p.CleanNets; n++ {
+		segs := nodeLayout(r, segPool+uint64(n)*netRegion,
+			p.SegsPerNet, segBytes, segBytes, 0)
+		for i, s := range segs {
+			for off := uint64(0); off+8 < segBytes; off += 8 {
+				mem.Write64(s+off, uint64(n)<<40|off)
+			}
+			mem.Write64(s+segBytes-8, segs[(i+1)%p.SegsPerNet])
+		}
+		mem.Write64(cursorArray+uint64(n)*8, segs[0])
+	}
+
+	// The shared random ring: one cycle through RingBlocks shuffled
+	// blocks; word 0 of each block points at the next.
+	ringBase := segPool + uint64(p.CleanNets)*netRegion + 4096
+	ringBase = (ringBase + 31) &^ 31
+	perm := r.Perm(p.RingBlocks)
+	for i := 0; i < p.RingBlocks; i++ {
+		from := ringBase + uint64(perm[i])*32
+		to := ringBase + uint64(perm[(i+1)%p.RingBlocks])*32
+		mem.Write64(from, to)
+	}
+	for n := 0; n < p.NoisyNets; n++ {
+		start := ringBase + uint64(perm[(n*p.RingBlocks)/p.NoisyNets])*32
+		mem.Write64(cursorArray+uint64(p.CleanNets+n)*8, start)
+	}
+
+	b := asm.New()
+	prologue(b)
+	rCursors := isa.R(20)
+	rIter := isa.R(21)
+	rVisit := isa.R(22)
+	b.Li(rCursors, int64(cursorArray))
+
+	outerLoop(b, manyLaps, func() {
+		// Clean nets: a small inner loop reads VisitLoads consecutive
+		// blocks from one load PC (stride = one block), then checks
+		// for a segment hop.
+		for n := 0; n < p.CleanNets; n++ {
+			b.Ld(rScratch0, rCursors, int32(n*8))
+			b.Li(rIter, 0)
+			b.Li(rVisit, int64(p.VisitLoads))
+			inner := b.Here("net_inner")
+			b.Ld(rScratch1, rScratch0, 0) // the streaming load
+			b.Add(rAcc, rAcc, rScratch1)
+			b.Shli(rScratch2, rScratch1, 1)
+			b.Xor(rAcc, rAcc, rScratch2)
+			b.Addi(rScratch0, rScratch0, 32)
+			b.Addi(rIter, rIter, 1)
+			b.Blt(rIter, rVisit, inner)
+
+			// Hop to the next segment when the cursor wrapped onto a
+			// segment boundary.
+			b.Andi(rScratch2, rScratch0, int32(segBytes-1))
+			cont := b.NewLabel("net_cont")
+			b.Bnez(rScratch2, cont)
+			b.Li(rScratch3, int64(segBytes))
+			b.Sub(rScratch3, rScratch0, rScratch3) // previous segment base
+			b.Ld(rScratch0, rScratch3, int32(segBytes-8))
+			b.Bind(cont)
+			b.St(rScratch0, rCursors, int32(n*8))
+		}
+		// Noisy nets: one hop down the shared random ring each, plus
+		// the hashing ALU work of a table lookup.
+		for n := p.CleanNets; n < nets; n++ {
+			b.Ld(rScratch0, rCursors, int32(n*8))
+			b.Ld(rScratch1, rScratch0, 0) // chase (unpredictable)
+			b.Add(rAcc, rAcc, rScratch1)
+			b.Shri(rScratch2, rScratch1, 5)
+			b.Xor(rAcc, rAcc, rScratch2)
+			b.St(rScratch1, rCursors, int32(n*8))
+		}
+	})
+	b.Halt()
+	return vm.New(b.MustBuild(), mem)
+}
+
+func init() {
+	register(Workload{
+		Name: "sis",
+		Description: "SIS synchronous/asynchronous circuit synthesis " +
+			"(state minimization and optimization, ~172K lines with heavy " +
+			"pointer arithmetic): dozens of interleaved per-structure " +
+			"streams — more than the machine has stream buffers — mixing " +
+			"predictable block streams with unpredictable table walks.",
+		Build: func(seed int64) *vm.Machine {
+			return BuildSis(DefaultSisParams(), seed)
+		},
+	})
+}

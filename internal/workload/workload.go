@@ -1,0 +1,116 @@
+// Package workload provides the six synthetic benchmarks used to
+// reproduce the paper's evaluation, plus parameterizable generators
+// for the examples and ablation studies.
+//
+// The original paper ran DEC-Alpha binaries of health, burg,
+// deltablue, gs, sis and turb3d (Table 1). Those binaries cannot run
+// here, so each benchmark is recreated as a guest program whose
+// *memory-reference character* matches the original's:
+//
+//   - health    — repeated traversals of linked patient lists
+//     (Olden-style): serial pointer chasing over stable heap
+//     structures; the canonical Markov-predictable miss stream.
+//   - burg      — recursive tree-parser walks over fixed grammar
+//     trees: pointer chasing with call/return control flow.
+//   - deltablue — constraint propagation over chains of short-lived
+//     heap objects: phase-allocated, bandwidth-hungry pointer code.
+//   - gs        — PostScript-style rasterization: a mix of strided
+//     raster writes and glyph-cache pointer lookups.
+//   - sis       — logic synthesis over a large netlist: many distinct
+//     missing loads and more concurrent streams than stream buffers —
+//     the stream-thrashing trigger of §6.
+//   - turb3d    — FORTRAN-style 3-D turbulence kernel: pure strided
+//     FP sweeps where stride prefetching is already sufficient.
+//
+// All heap layouts are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vm"
+)
+
+// Guest memory map shared by the benchmarks.
+const (
+	// StackTop is the initial stack pointer (stack grows down).
+	StackTop = 0x0000_0000_000F_0000
+	// HeapBase is where benchmark heaps start.
+	HeapBase = 0x0000_0000_0020_0000
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	// Name is the benchmark's short name (matches the paper's Table 1).
+	Name string
+	// Description summarizes what the original program did and what
+	// this synthetic recreation preserves.
+	Description string
+	// Build constructs a fresh functional machine: program text plus
+	// an initialized guest heap. Programs loop over their data for a
+	// very large number of laps; the timing simulator bounds execution
+	// by instruction count.
+	Build func(seed int64) *vm.Machine
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns every registered benchmark in the paper's presentation
+// order (health, burg, deltablue, gs, sis, turb3d).
+func All() []Workload {
+	order := map[string]int{
+		"health": 0, "burg": 1, "deltablue": 2, "gs": 3, "sis": 4, "turb3d": 5,
+	}
+	out := append([]Workload(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		oi, iOK := order[out[i].Name]
+		oj, jOK := order[out[j].Name]
+		switch {
+		case iOK && jOK:
+			return oi < oj
+		case iOK:
+			return true
+		case jOK:
+			return false
+		default:
+			return out[i].Name < out[j].Name
+		}
+	})
+	return out
+}
+
+// Names returns the benchmark names in presentation order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Pointer lists all pointer-intensive benchmarks (everything except
+// turb3d) — the set over which the paper reports its headline
+// averages.
+func Pointer() []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.Name != "turb3d" {
+			out = append(out, w)
+		}
+	}
+	return out
+}

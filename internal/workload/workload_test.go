@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// runN executes n instructions functionally, failing on any VM error.
+func runN(t *testing.T, m *vm.Machine, n uint64) {
+	t.Helper()
+	ran, err := m.Run(n)
+	if err != nil {
+		t.Fatalf("after %d instructions: %v", ran, err)
+	}
+	if ran < n {
+		t.Fatalf("program halted after only %d instructions", ran)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"health", "burg", "deltablue", "gs", "sis", "turb3d"}
+	if len(names) != len(want) {
+		t.Fatalf("registry = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("order[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	for _, w := range All() {
+		if w.Description == "" || w.Build == nil {
+			t.Errorf("%s incomplete", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("health"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("quake"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPointerExcludesTurb3d(t *testing.T) {
+	for _, w := range Pointer() {
+		if w.Name == "turb3d" {
+			t.Error("turb3d listed as pointer benchmark")
+		}
+	}
+	if len(Pointer()) != 5 {
+		t.Errorf("pointer set size = %d, want 5", len(Pointer()))
+	}
+}
+
+func TestAllBenchmarksExecute(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := w.Build(1)
+			runN(t, m, 300_000)
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			trace := func() []uint64 {
+				m := w.Build(42)
+				var addrs []uint64
+				for len(addrs) < 2000 {
+					d, err := m.Step()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d.IsLoad() {
+						addrs = append(addrs, d.EffAddr)
+					}
+				}
+				return addrs
+			}
+			a, b := trace(), trace()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("load %d differs: %#x vs %#x", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// loadProfile runs n instructions and summarizes the load stream.
+func loadProfile(t *testing.T, m *vm.Machine, n uint64) (loads, stores int, distinctBlocks map[uint64]int) {
+	t.Helper()
+	distinctBlocks = make(map[uint64]int)
+	for i := uint64(0); i < n; i++ {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.IsLoad() {
+			loads++
+			distinctBlocks[d.EffAddr>>5]++
+		}
+		if d.IsStore() {
+			stores++
+		}
+	}
+	return loads, stores, distinctBlocks
+}
+
+func TestHealthFootprintExceedsL1(t *testing.T) {
+	m := BuildHealth(DefaultHealthParams(), 1)
+	_, _, blocks := loadProfile(t, m, 200_000)
+	if got := len(blocks) * 32; got < 40<<10 {
+		t.Errorf("health touches %d bytes of blocks, want > 40KB (L1 is 32KB)", got)
+	}
+}
+
+func TestHealthHasStores(t *testing.T) {
+	m := BuildHealth(DefaultHealthParams(), 1)
+	loads, stores, _ := loadProfile(t, m, 200_000)
+	if loads == 0 || stores == 0 {
+		t.Fatalf("loads=%d stores=%d", loads, stores)
+	}
+	if float64(stores)/float64(loads) < 0.1 {
+		t.Errorf("store ratio too low: %d/%d", stores, loads)
+	}
+}
+
+func TestDeltaBluePhasesRepeatAddresses(t *testing.T) {
+	p := DeltaBlueParams{Constraints: 100, ObjBytes: 64, Propagates: 2}
+	m := BuildDeltaBlue(p, 1)
+	// Collect the load-address stream for two laps; phase-allocated
+	// addresses must recur.
+	first := make(map[uint64]bool)
+	var second []uint64
+	lapInsts := uint64(100*6+100*8+2*100*6) * 3 // generous over-estimate
+	for i := uint64(0); i < lapInsts; i++ {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.IsLoad() {
+			continue
+		}
+		if i < lapInsts/3 {
+			first[d.EffAddr] = true
+		} else {
+			second = append(second, d.EffAddr)
+		}
+	}
+	reuse := 0
+	for _, a := range second {
+		if first[a] {
+			reuse++
+		}
+	}
+	if len(second) == 0 || float64(reuse)/float64(len(second)) < 0.5 {
+		t.Errorf("address reuse across phases = %d/%d, want most", reuse, len(second))
+	}
+}
+
+func TestTurb3dIsStrideDominated(t *testing.T) {
+	m := BuildTurb3d(Turb3dParams{N: 16}, 1)
+	// Skip setup, then check that consecutive new-block load deltas
+	// repeat: count the most common delta.
+	var lastBlock uint64
+	deltas := make(map[int64]int)
+	total := 0
+	for i := 0; i < 120_000; i++ {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.IsLoad() {
+			continue
+		}
+		blk := d.EffAddr >> 5
+		if lastBlock != 0 && blk != lastBlock {
+			deltas[int64(blk)-int64(lastBlock)]++
+			total++
+		}
+		lastBlock = blk
+	}
+	best := 0
+	for _, c := range deltas {
+		if c > best {
+			best = c
+		}
+	}
+	if total == 0 || float64(best)/float64(total) < 0.3 {
+		t.Errorf("most common block delta covers %d/%d transitions; expected stride dominance", best, total)
+	}
+}
+
+func TestSisManyConcurrentStreams(t *testing.T) {
+	p := DefaultSisParams()
+	m := BuildSis(p, 1)
+	// Distinct load PCs touching distinct regions: at least Nets
+	// static loads must appear.
+	pcs := make(map[uint64]bool)
+	for i := 0; i < 300_000; i++ {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.IsLoad() {
+			pcs[d.PC] = true
+		}
+	}
+	if len(pcs) < p.CleanNets+p.NoisyNets {
+		t.Errorf("distinct load PCs = %d, want >= %d", len(pcs), p.CleanNets+p.NoisyNets)
+	}
+}
+
+func TestBurgUsesCallsAndReturns(t *testing.T) {
+	m := BuildBurg(DefaultBurgParams(), 1)
+	calls, rets := 0, 0
+	for i := 0; i < 100_000; i++ {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case d.Op.String() == "jal":
+			calls++
+		case d.Op.String() == "jalr":
+			rets++
+		}
+	}
+	if calls < 100 || rets < 100 {
+		t.Errorf("calls=%d rets=%d: recursion not exercised", calls, rets)
+	}
+}
+
+func TestGSMixesPointerAndStride(t *testing.T) {
+	m := BuildGS(DefaultGSParams(), 1)
+	loads, stores, blocks := loadProfile(t, m, 300_000)
+	if loads == 0 || stores == 0 {
+		t.Fatal("gs missing loads or stores")
+	}
+	if len(blocks)*32 < 36<<10 {
+		t.Errorf("gs footprint %d bytes too small", len(blocks)*32)
+	}
+}
+
+func TestPointerChaseMicrobench(t *testing.T) {
+	m := BuildPointerChase(500, 3)
+	runN(t, m, 50_000)
+}
+
+func TestStrideSweepMicrobench(t *testing.T) {
+	m := BuildStrideSweep(512, 64, 3)
+	runN(t, m, 50_000)
+}
+
+func TestUnrolledSweepDistinctPCs(t *testing.T) {
+	m := BuildUnrolledSweep(256, 32, 4, 3)
+	pcs := make(map[uint64]bool)
+	for i := 0; i < 30_000; i++ {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.IsLoad() {
+			pcs[d.PC] = true
+		}
+	}
+	if len(pcs) != 4 {
+		t.Errorf("distinct load PCs = %d, want 4 (one per unrolled body)", len(pcs))
+	}
+}
+
+func TestUnrolledSweepBadUnrollPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unroll 0 accepted")
+		}
+	}()
+	BuildUnrolledSweep(256, 32, 0, 3)
+}
