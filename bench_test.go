@@ -15,6 +15,7 @@ package repro
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -124,6 +125,47 @@ func BenchmarkExtensionMarkovOrder(b *testing.B) { ablationBench(b, experiments.
 func BenchmarkExtensionStreamTLB(b *testing.B)   { ablationBench(b, experiments.AblationStreamTLB) }
 func BenchmarkExtensionUnrolling(b *testing.B)   { ablationBench(b, experiments.AblationUnrolling) }
 func BenchmarkExtensionShootout(b *testing.B)    { ablationBench(b, experiments.PredictorShootout) }
+
+// --- Parallel experiment runner ---
+
+// matrixSims is the number of full-machine simulations in one matrix.
+func matrixSims() int { return len(workload.All()) * len(experiments.Schemes()) }
+
+// BenchmarkRunMatrixSerial regenerates the Figure 5-9 matrix one
+// simulation at a time, reporting matrix throughput in sims/sec.
+func BenchmarkRunMatrixSerial(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxInsts = 60_000
+	cfg.Workers = 0
+	for i := 0; i < b.N; i++ {
+		experiments.RunMatrix(cfg)
+	}
+	b.ReportMetric(float64(matrixSims()*b.N)/b.Elapsed().Seconds(), "sims/sec")
+}
+
+// BenchmarkRunMatrixParallel regenerates the same matrix with a worker
+// per core, reporting sims/sec plus the measured speedup over a serial
+// regeneration timed outside the benchmark loop. On a multi-core
+// machine the speedup approaches min(cores, concurrent-job slack).
+func BenchmarkRunMatrixParallel(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxInsts = 60_000
+
+	serialCfg := cfg
+	serialCfg.Workers = 0
+	start := time.Now()
+	experiments.RunMatrix(serialCfg)
+	serialSec := time.Since(start).Seconds()
+
+	cfg.Workers = -1 // one worker per core
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.RunMatrix(cfg)
+	}
+	perMatrix := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(matrixSims())/perMatrix, "sims/sec")
+	b.ReportMetric(serialSec/perMatrix, "speedup")
+}
 
 // --- Headline single-number benchmarks ---
 

@@ -5,6 +5,7 @@
 //
 //	psbsim -bench health -scheme ConfAlloc-Priority -insts 500000
 //	psbsim -bench all -scheme all        # full cross product
+//	psbsim -bench all -scheme all -parallel -1   # ... across all cores
 //	psbsim -list                         # show benchmarks and schemes
 package main
 
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -29,6 +31,7 @@ func main() {
 		l1Size    = flag.Int("l1-size", 32<<10, "L1 data cache bytes")
 		l1Ways    = flag.Int("l1-ways", 4, "L1 data cache associativity")
 		noDis     = flag.Bool("nodis", false, "disable perfect store sets (NoDis)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations: 0 = serial, N = N workers, -1 = all cores")
 		list      = flag.Bool("list", false, "list benchmarks and schemes")
 		verbose   = flag.Bool("v", false, "print the full statistics block")
 	)
@@ -79,13 +82,18 @@ func main() {
 		schemes = []core.Variant{v}
 	}
 
+	// Fan the cross product across the worker pool; results print in
+	// job order either way, so output is identical to a serial run.
+	var jobs []runner.Job
 	for _, w := range benches {
 		for _, v := range schemes {
-			r := sim.Run(w, v, cfg)
-			fmt.Println(r.Summary())
-			if *verbose {
-				printDetail(r)
-			}
+			jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: cfg})
+		}
+	}
+	for _, r := range runner.ForWorkers(*parallel).Run(jobs) {
+		fmt.Println(r.Summary())
+		if *verbose {
+			printDetail(r)
 		}
 	}
 }

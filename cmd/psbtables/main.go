@@ -9,17 +9,26 @@
 //	psbtables -ablations           # the DESIGN.md ablation studies
 //	psbtables -insts 1000000       # larger instruction budget
 //	psbtables -csv                 # CSV instead of aligned text
+//	psbtables -all -parallel -1    # fan simulations across all cores
+//	psbtables -bench-json          # time serial vs parallel, write BENCH_runner.json
+//	psbtables -all -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 type intList []int
@@ -45,21 +54,62 @@ func main() {
 		insts      = flag.Uint64("insts", 500_000, "instruction budget per run")
 		seed       = flag.Int64("seed", 1, "workload layout seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations: 0 = serial, N = N workers, -1 = all cores")
+		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel and write BENCH_runner.json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable: 4..11)")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 2)")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	cfg := sim.Default()
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
+	cfg.Workers = *parallel
+
+	if *benchJSON {
+		if err := benchRunner(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *all {
 		tables = intList{2}
 		figs = intList{4, 5, 6, 7, 8, 9, 10, 11}
 	}
 	if len(tables) == 0 && len(figs) == 0 && !*ablations && !*extensions {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -fig N, -ablations or -extensions")
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -fig N, -ablations, -extensions or -bench-json")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,8 +131,8 @@ func main() {
 	}
 	var m *experiments.Matrix
 	if needMatrix {
-		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d schemes at %d instructions each...\n",
-			6, len(experiments.Schemes()), cfg.MaxInsts)
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d schemes at %d instructions each (workers=%d)...\n",
+			6, len(experiments.Schemes()), cfg.MaxInsts, runner.ForWorkers(cfg.Workers).Workers())
 		m = experiments.RunMatrix(cfg)
 	}
 
@@ -143,4 +193,54 @@ func main() {
 			emit(t)
 		}
 	}
+}
+
+// benchRunner times one full RunMatrix serially and one with a worker
+// per core, then records the headline runner numbers in
+// BENCH_runner.json (consumed by EXPERIMENTS.md and future perf PRs).
+func benchRunner(cfg sim.Config) error {
+	sims := len(workload.All()) * len(experiments.Schemes())
+	workers := runner.New(0).Workers()
+
+	serialCfg := cfg
+	serialCfg.Workers = 0
+	start := time.Now()
+	experiments.RunMatrix(serialCfg)
+	serialSec := time.Since(start).Seconds()
+
+	parCfg := cfg
+	parCfg.Workers = -1
+	start = time.Now()
+	experiments.RunMatrix(parCfg)
+	parSec := time.Since(start).Seconds()
+
+	out := struct {
+		Insts         uint64  `json:"insts_per_sim"`
+		Sims          int     `json:"sims"`
+		Workers       int     `json:"workers"`
+		SerialSec     float64 `json:"serial_sec"`
+		ParallelSec   float64 `json:"parallel_sec"`
+		SimsPerSecPar float64 `json:"sims_per_sec_parallel"`
+		Speedup       float64 `json:"speedup"`
+	}{
+		Insts:         cfg.MaxInsts,
+		Sims:          sims,
+		Workers:       workers,
+		SerialSec:     serialSec,
+		ParallelSec:   parSec,
+		SimsPerSecPar: float64(sims) / parSec,
+		Speedup:       serialSec / parSec,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile("BENCH_runner.json", b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "BENCH_runner.json: %d sims, serial %.2fs, parallel %.2fs (%d workers, %.2fx)\n",
+		sims, serialSec, parSec, workers, out.Speedup)
+	fmt.Println(string(b))
+	return nil
 }

@@ -158,8 +158,15 @@ type CPU struct {
 	lastWriter    [isa.NumRegs]int
 	lastWriterSeq [isa.NumRegs]uint64
 
-	fetchQ       []fetchItem
-	pending      *vm.DynInst // one-instruction lookahead into src
+	// fetchQ is a fixed-capacity ring (head fqHead, length fqLen):
+	// the queue drains from the front every cycle, and a ring avoids
+	// both re-slicing losses and per-refill array allocations.
+	fetchQ []fetchItem
+	fqHead int
+	fqLen  int
+
+	pending      vm.DynInst // one-instruction lookahead into src
+	hasPending   bool
 	srcDone      bool
 	fetchResume  uint64 // no fetch before this cycle
 	fetchBlocked bool   // waiting on a mispredicted CTI to issue
@@ -184,7 +191,7 @@ func New(cfg Config, hier *mem.Hierarchy, pf sbuf.Prefetcher, src Source) *CPU {
 		src:        src,
 		bp:         NewGshare(cfg.Gshare),
 		rob:        make([]robEntry, cfg.ROBSize),
-		fetchQ:     make([]fetchItem, 0, cfg.FetchQueueSize),
+		fetchQ:     make([]fetchItem, cfg.FetchQueueSize),
 		lastIBlock: math.MaxUint64,
 	}
 	for i := range c.lastWriter {
@@ -248,7 +255,7 @@ func (c *CPU) Run(maxInsts uint64) Stats {
 		if c.stats.Committed >= maxInsts && maxInsts > 0 {
 			break
 		}
-		if c.srcDone && c.pending == nil && c.robCount == 0 && len(c.fetchQ) == 0 {
+		if c.srcDone && !c.hasPending && c.robCount == 0 && c.fqLen == 0 {
 			break
 		}
 		c.cycle++
@@ -262,7 +269,7 @@ func (c *CPU) Run(maxInsts uint64) Stats {
 			idleCycles++
 			if idleCycles > 1_000_000 {
 				panic(fmt.Sprintf("cpu: no commit for %d cycles at cycle %d (rob=%d, fq=%d)",
-					idleCycles, c.cycle, c.robCount, len(c.fetchQ)))
+					idleCycles, c.cycle, c.robCount, c.fqLen))
 			}
 		} else {
 			idleCycles = 0
@@ -282,7 +289,7 @@ func (c *CPU) fetch() {
 	}
 	budget := c.cfg.FetchWidth
 	branches := c.cfg.BranchPredPerCycle
-	for budget > 0 && len(c.fetchQ) < c.cfg.FetchQueueSize {
+	for budget > 0 && c.fqLen < c.cfg.FetchQueueSize {
 		d, ok := c.peek()
 		if !ok {
 			return
@@ -300,12 +307,17 @@ func (c *CPU) fetch() {
 			return // out of branch-prediction bandwidth this cycle
 		}
 		c.consume()
-		item := fetchItem{d: d, availableAt: c.cycle + 1}
+		// Write the item in place in the ring, then predict through the
+		// stored copy: taking the address of a loop-local DynInst would
+		// heap-allocate it on every fetched CTI.
+		slot := (c.fqHead + c.fqLen) % len(c.fetchQ)
+		c.fqLen++
+		item := &c.fetchQ[slot]
+		*item = fetchItem{d: d, availableAt: c.cycle + 1}
 		if d.IsCTI() {
 			branches--
-			item.mispredict = c.bp.Predict(&d)
+			item.mispredict = c.bp.Predict(&item.d)
 		}
-		c.fetchQ = append(c.fetchQ, item)
 		budget--
 		if item.mispredict {
 			c.fetchBlocked = true
@@ -321,8 +333,8 @@ func (c *CPU) fetch() {
 }
 
 func (c *CPU) peek() (vm.DynInst, bool) {
-	if c.pending != nil {
-		return *c.pending, true
+	if c.hasPending {
+		return c.pending, true
 	}
 	if c.srcDone {
 		return vm.DynInst{}, false
@@ -332,18 +344,19 @@ func (c *CPU) peek() (vm.DynInst, bool) {
 		c.srcDone = true
 		return vm.DynInst{}, false
 	}
-	c.pending = &d
+	c.pending = d
+	c.hasPending = true
 	return d, true
 }
 
-func (c *CPU) consume() { c.pending = nil }
+func (c *CPU) consume() { c.hasPending = false }
 
 // dispatch moves instructions from the fetch queue into the reorder
 // buffer, renaming their register dependencies.
 func (c *CPU) dispatch() {
 	width := c.cfg.DecodeWidth
-	for width > 0 && len(c.fetchQ) > 0 {
-		item := c.fetchQ[0]
+	for width > 0 && c.fqLen > 0 {
+		item := c.fetchQ[c.fqHead]
 		if item.availableAt > c.cycle {
 			return
 		}
@@ -354,7 +367,8 @@ func (c *CPU) dispatch() {
 		if isMem && c.lsqCount >= c.cfg.LSQSize {
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+		c.fqLen--
 		width--
 
 		idx := (c.robHead + c.robCount) % len(c.rob)
@@ -373,7 +387,7 @@ func (c *CPU) dispatch() {
 			isStore:      item.d.IsStore(),
 			mispredicted: item.mispredict,
 		}
-		for i, src := range []isa.Reg{item.d.Rs1, item.d.Rs2} {
+		for i, src := range [2]isa.Reg{item.d.Rs1, item.d.Rs2} {
 			if src == isa.RegNone || src == isa.R0 {
 				continue
 			}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -27,14 +28,28 @@ func Schemes() []core.Variant {
 	return append([]core.Variant{core.None}, core.PaperVariants()...)
 }
 
-// RunMatrix simulates every benchmark under every scheme.
+// RunMatrix simulates every benchmark under every scheme, fanning the
+// independent simulations across cfg.Workers goroutines (0 = serial).
+// The assembled matrix is identical for any worker count.
 func RunMatrix(cfg sim.Config) *Matrix {
-	m := &Matrix{Cfg: cfg, Results: make(map[string]map[core.Variant]sim.Result)}
-	for _, w := range workload.All() {
-		m.Results[w.Name] = make(map[core.Variant]sim.Result)
-		for _, v := range Schemes() {
-			m.Results[w.Name][v] = sim.Run(w, v, cfg)
+	benches := workload.All()
+	schemes := Schemes()
+	jobs := make([]runner.Job, 0, len(benches)*len(schemes))
+	for _, w := range benches {
+		for _, v := range schemes {
+			jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: cfg})
 		}
+	}
+	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+
+	m := &Matrix{Cfg: cfg, Results: make(map[string]map[core.Variant]sim.Result, len(benches))}
+	for i, j := range jobs {
+		row := m.Results[j.Workload.Name]
+		if row == nil {
+			row = make(map[core.Variant]sim.Result, len(schemes))
+			m.Results[j.Workload.Name] = row
+		}
+		row[j.Variant] = results[i]
 	}
 	return m
 }
@@ -77,11 +92,16 @@ func Fig4(cfg sim.Config) *stats.Table {
 		headers = append(headers, fmt.Sprintf("%db", wdt))
 	}
 	t := stats.NewTable("Figure 4: %% of L1 misses Markov-predictable vs delta entry width", headers...)
-	for _, w := range workload.All() {
-		r := sim.Run(w, core.None, cfg)
+	benches := workload.All()
+	jobs := make([]runner.Job, len(benches))
+	for i, w := range benches {
+		jobs[i] = runner.Job{Workload: w, Variant: core.None, Config: cfg}
+	}
+	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	for i, w := range benches {
 		row := []string{w.Name}
 		for _, wdt := range Fig4Widths {
-			row = append(row, stats.Pct(r.Hist.PercentPredictable(wdt)))
+			row = append(row, stats.Pct(results[i].Hist.PercentPredictable(wdt)))
 		}
 		t.AddRow(row...)
 	}
@@ -157,15 +177,26 @@ func Fig10(cfg sim.Config) *stats.Table {
 		headers = append(headers, cc.Name+" PCstride", cc.Name+" ConfPri")
 	}
 	t := stats.NewTable("Figure 10: %% speedup varying L1D size and associativity", headers...)
-	for _, w := range workload.All() {
-		row := []string{w.Name}
+	variants := []core.Variant{core.None, core.PCStride, core.PSBConfPriority}
+	benches := workload.All()
+	var jobs []runner.Job
+	for _, w := range benches {
 		for _, cc := range Fig10Configs {
 			c := cfg
 			c.Mem.L1D.SizeBytes = cc.Size
 			c.Mem.L1D.Ways = cc.Ways
-			base := sim.Run(w, core.None, c)
-			pcs := sim.Run(w, core.PCStride, c)
-			psb := sim.Run(w, core.PSBConfPriority, c)
+			for _, v := range variants {
+				jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: c})
+			}
+		}
+	}
+	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	i := 0
+	for _, w := range benches {
+		row := []string{w.Name}
+		for range Fig10Configs {
+			base, pcs, psb := results[i], results[i+1], results[i+2]
+			i += len(variants)
 			row = append(row,
 				stats.SignedPct(pcs.SpeedupOver(base)),
 				stats.SignedPct(psb.SpeedupOver(base)))
@@ -181,15 +212,23 @@ func Fig10(cfg sim.Config) *stats.Table {
 func Fig11(cfg sim.Config) *stats.Table {
 	t := stats.NewTable("Figure 11: IPC with (Dis) and without (NoDis) perfect store sets",
 		"program", "Base-NoDis", "Base-Dis", "ConfPri-NoDis", "ConfPri-Dis")
-	for _, w := range workload.All() {
-		row := []string{w.Name}
+	benches := workload.All()
+	var jobs []runner.Job
+	for _, w := range benches {
 		for _, v := range []core.Variant{core.None, core.PSBConfPriority} {
 			for _, dis := range []cpu.Disambiguation{cpu.DisNone, cpu.DisPerfect} {
 				c := cfg
 				c.CPU.Disambiguation = dis
-				r := sim.Run(w, v, c)
-				row = append(row, stats.F2(r.IPC()))
+				jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: c})
 			}
+		}
+	}
+	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	perBench := len(jobs) / len(benches)
+	for i, w := range benches {
+		row := []string{w.Name}
+		for _, r := range results[i*perBench : (i+1)*perBench] {
+			row = append(row, stats.F2(r.IPC()))
 		}
 		t.AddRow(row...)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -86,6 +87,41 @@ func TestFig11Structure(t *testing.T) {
 	tb := Fig11(tinyConfig())
 	if len(tb.Rows) != 6 || len(tb.Headers) != 5 {
 		t.Errorf("Fig11 shape = %dx%d, want 6x5", len(tb.Rows), len(tb.Headers))
+	}
+}
+
+// TestRunMatrixParallelDeterminism guards the parallel runner's core
+// guarantee: a matrix assembled by concurrent workers is value-equal to
+// the serial one. Any shared mutable state leaking between concurrent
+// sim.Run calls (predictor tables, workload registries, statistics)
+// shows up here as a diff — and as a data race under go test -race.
+func TestRunMatrixParallelDeterminism(t *testing.T) {
+	cfg := sim.Default()
+	cfg.MaxInsts = 60_000
+	if testing.Short() {
+		cfg.MaxInsts = 15_000
+	}
+	serial := cfg
+	serial.Workers = 0
+	parallel := cfg
+	parallel.Workers = -1 // one worker per core
+
+	ms := RunMatrix(serial)
+	mp := RunMatrix(parallel)
+	if len(ms.Results) != len(mp.Results) {
+		t.Fatalf("benchmark count differs: serial %d, parallel %d", len(ms.Results), len(mp.Results))
+	}
+	for name, per := range ms.Results {
+		for v, rs := range per {
+			rp, ok := mp.Results[name][v]
+			if !ok {
+				t.Fatalf("parallel matrix missing %s/%s", name, v)
+			}
+			if !reflect.DeepEqual(rs, rp) {
+				t.Errorf("%s/%s: parallel result differs from serial\nserial:   %+v\nparallel: %+v",
+					name, v, rs, rp)
+			}
+		}
 	}
 }
 

@@ -4,9 +4,21 @@ package mem
 // An access to a block with an active MSHR is the paper's "in-flight"
 // case: it counts as a miss but merges with the pending fill rather
 // than issuing a second request.
+//
+// Entries live in a fixed slot array, not a map: files are small (4-16
+// entries) so a linear scan beats hashing on the per-access lookup
+// path, and — critically for the parallel experiment runner — victim
+// selection breaks ready-cycle ties by slot index instead of map
+// iteration order, keeping every simulation bit-deterministic.
+type mshrEntry struct {
+	block uint64
+	ready uint64 // fill-completion cycle
+	valid bool
+}
+
+// MSHRFile is a file of miss-status holding registers.
 type MSHRFile struct {
-	capacity int
-	pending  map[uint64]uint64 // block address -> ready cycle
+	slots []mshrEntry
 
 	Allocs  uint64 // fills installed
 	Merges  uint64 // accesses merged into an existing entry
@@ -18,23 +30,29 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	if capacity <= 0 {
 		panic("mem: MSHR capacity must be positive")
 	}
-	return &MSHRFile{capacity: capacity, pending: make(map[uint64]uint64, capacity)}
+	return &MSHRFile{slots: make([]mshrEntry, capacity)}
 }
 
 // Capacity returns the entry count.
-func (f *MSHRFile) Capacity() int { return f.capacity }
+func (f *MSHRFile) Capacity() int { return len(f.slots) }
 
 // InFlight returns the number of live entries at cycle (expiring stale
 // ones first).
 func (f *MSHRFile) InFlight(cycle uint64) int {
 	f.expire(cycle)
-	return len(f.pending)
+	n := 0
+	for i := range f.slots {
+		if f.slots[i].valid {
+			n++
+		}
+	}
+	return n
 }
 
 func (f *MSHRFile) expire(cycle uint64) {
-	for b, ready := range f.pending {
-		if ready <= cycle {
-			delete(f.pending, b)
+	for i := range f.slots {
+		if f.slots[i].valid && f.slots[i].ready <= cycle {
+			f.slots[i].valid = false
 		}
 	}
 }
@@ -43,48 +61,78 @@ func (f *MSHRFile) expire(cycle uint64) {
 // when it completes. A Lookup that finds an entry is a merge.
 func (f *MSHRFile) Lookup(cycle, block uint64) (ready uint64, ok bool) {
 	f.expire(cycle)
-	ready, ok = f.pending[block]
-	if ok {
-		f.Merges++
+	for i := range f.slots {
+		if f.slots[i].valid && f.slots[i].block == block {
+			f.Merges++
+			return f.slots[i].ready, true
+		}
 	}
-	return ready, ok
+	return 0, false
 }
 
 // ReserveStall makes room for a new entry at cycle. If the file is
-// full, the entry completing earliest is retired and the returned stall
-// is how many cycles the requester must wait before its request can be
-// accepted; otherwise the stall is zero.
+// full, the entry completing earliest (lowest slot index breaking
+// ties) is retired and the returned stall is how many cycles the
+// requester must wait before its request can be accepted; otherwise
+// the stall is zero.
 func (f *MSHRFile) ReserveStall(cycle uint64) (stall uint64) {
 	f.expire(cycle)
-	if len(f.pending) < f.capacity {
-		return 0
-	}
-	f.FullHit++
-	earliest := ^uint64(0)
-	var victim uint64
-	for b, r := range f.pending {
-		if r < earliest {
-			earliest, victim = r, b
+	victim := -1
+	for i := range f.slots {
+		if !f.slots[i].valid {
+			return 0
+		}
+		if victim < 0 || f.slots[i].ready < f.slots[victim].ready {
+			victim = i
 		}
 	}
-	delete(f.pending, victim)
+	f.FullHit++
+	earliest := f.slots[victim].ready
+	f.slots[victim].valid = false
 	if earliest > cycle {
 		return earliest - cycle
 	}
 	return 0
 }
 
-// Install records a fill of block completing at ready.
+// Install records a fill of block completing at ready. If the block
+// already has an entry completing no earlier, the existing entry wins;
+// if the file is unexpectedly full (callers normally make room with
+// ReserveStall first) the earliest-completing entry is replaced.
 func (f *MSHRFile) Install(block, ready uint64) {
-	if existing, ok := f.pending[block]; ok && existing >= ready {
-		return
+	free, victim := -1, 0
+	for i := range f.slots {
+		if f.slots[i].valid {
+			if f.slots[i].block == block {
+				if f.slots[i].ready >= ready {
+					return
+				}
+				free = i
+				break
+			}
+			if f.slots[victim].valid && f.slots[i].ready < f.slots[victim].ready {
+				victim = i
+			}
+			continue
+		}
+		if free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		free = victim
 	}
 	f.Allocs++
-	f.pending[block] = ready
+	f.slots[free] = mshrEntry{block: block, ready: ready, valid: true}
 }
 
 // Cancel removes block's entry (used when an in-flight prefetch is
 // promoted into a demand MSHR).
 func (f *MSHRFile) Cancel(block uint64) {
-	delete(f.pending, block)
+	for i := range f.slots {
+		if f.slots[i].valid && f.slots[i].block == block {
+			f.slots[i].valid = false
+			return
+		}
+	}
 }

@@ -154,27 +154,32 @@ func (p *Correlated) firstEntry(pc uint64) *corrFirst {
 	return &p.first[(pc>>2)&uint64(p.cfg.FirstEntries-1)]
 }
 
-// foldHistory hashes a history window into a second-level index+tag.
-func (p *Correlated) fold(hist []uint64) (int, uint32) {
+// fold hashes a history window (up to two addresses, older first; n is
+// how many are valid) into a second-level index+tag. Taking the window
+// as scalars keeps the per-prediction path allocation-free.
+func (p *Correlated) fold(a0, a1 uint64, n int) (int, uint32) {
 	var h uint64
-	for _, a := range hist {
-		h = h*0x9E3779B97F4A7C15 + (a >> p.cfg.BlockShift)
+	if n >= 1 {
+		h = h*0x9E3779B97F4A7C15 + (a0 >> p.cfg.BlockShift)
+	}
+	if n >= 2 {
+		h = h*0x9E3779B97F4A7C15 + (a1 >> p.cfg.BlockShift)
 	}
 	idx := int(h & uint64(p.cfg.SecondEntries-1))
 	tag := uint32(h >> 40)
 	return idx, tag
 }
 
-func (e *corrFirst) window(hlen int) []uint64 {
-	n := hlen
-	if e.hlen < n {
-		n = e.hlen
+// window2 returns the last two retained history addresses (older
+// first) and how many are valid.
+func (e *corrFirst) window2() (a0, a1 uint64, n int) {
+	switch {
+	case e.hlen >= 2:
+		return e.history[e.hlen-2], e.history[e.hlen-1], 2
+	case e.hlen == 1:
+		return e.history[0], 0, 1
 	}
-	out := make([]uint64, 0, n)
-	for i := e.hlen - n; i < e.hlen; i++ {
-		out = append(out, e.history[i])
-	}
-	return out
+	return 0, 0, 0
 }
 
 func (e *corrFirst) push(addr uint64, max int) {
@@ -199,7 +204,8 @@ func (p *Correlated) Train(pc, addr uint64) {
 		// The fold window is two addresses — the most the per-stream
 		// state (PrevAddr, LastAddr) can replay at prediction time;
 		// HistoryLen bounds the retained ring for future widening.
-		idx, tag := p.fold(e.window(2))
+		a0, a1, n := e.window2()
+		idx, tag := p.fold(a0, a1, n)
 		se := &p.second[idx]
 		if se.valid && se.tag == tag && se.next == blk {
 			e.conf.Inc()
@@ -229,7 +235,7 @@ func (p *Correlated) InitStream(pc, missAddr uint64) Stream {
 // NextAddr folds the stream's (PrevAddr, LastAddr) pair as the history
 // window and consults the second-level table.
 func (p *Correlated) NextAddr(s *Stream) (uint64, bool) {
-	idx, tag := p.fold([]uint64{s.PrevAddr, s.LastAddr})
+	idx, tag := p.fold(s.PrevAddr, s.LastAddr, 2)
 	se := &p.second[idx]
 	if !se.valid || se.tag != tag {
 		return 0, false

@@ -245,6 +245,8 @@ type Engine struct {
 	bufs  []buffer
 	clock uint64 // LRU timestamp source
 
+	orderBuf []int // scratch for order(): Tick runs every cycle
+
 	rrPredict  int // round-robin pointers
 	rrPrefetch int
 
@@ -259,7 +261,9 @@ func NewEngine(cfg Config, pred predict.Predictor, fetch Fetcher) *Engine {
 	if cfg.NumBuffers <= 0 || cfg.EntriesPerBuffer <= 0 || cfg.BlockBytes <= 0 {
 		panic("sbuf: bad engine geometry")
 	}
-	e := &Engine{cfg: cfg, pred: pred, fetch: fetch, bufs: make([]buffer, cfg.NumBuffers)}
+	e := &Engine{cfg: cfg, pred: pred, fetch: fetch,
+		bufs:     make([]buffer, cfg.NumBuffers),
+		orderBuf: make([]int, 0, cfg.NumBuffers)}
 	for i := range e.bufs {
 		e.bufs[i].entries = make([]entry, cfg.EntriesPerBuffer)
 		e.bufs[i].priority = predict.NewSatCounter(0, cfg.PriorityMax)
@@ -455,10 +459,11 @@ func (e *Engine) Tick(cycle uint64) {
 }
 
 // order returns buffer indices in scheduling order for the given
-// round-robin pointer.
+// round-robin pointer. The returned slice aliases the engine's scratch
+// buffer and is valid until the next order call.
 func (e *Engine) order(rr int) []int {
 	n := len(e.bufs)
-	idx := make([]int, 0, n)
+	idx := e.orderBuf[:0]
 	if e.cfg.Sched == SchedRoundRobin {
 		for i := 1; i <= n; i++ {
 			idx = append(idx, (rr+i)%n)

@@ -27,6 +27,13 @@ type Config struct {
 	Seed int64
 	// CollectFig4 attaches the Markov delta-bits histogram.
 	CollectFig4 bool
+
+	// Workers is the number of simulations the experiment drivers
+	// (internal/experiments, via internal/runner) may run concurrently:
+	// 0 means serial, n > 0 means n workers, n < 0 means one worker per
+	// available CPU. An individual Run is always single-threaded, and
+	// results do not depend on Workers (see internal/runner).
+	Workers int
 }
 
 // Default returns the paper's baseline machine with a 500K-instruction
@@ -70,6 +77,12 @@ func (r Result) SpeedupOver(base Result) float64 {
 }
 
 // Run simulates the workload under the given prefetcher variant.
+//
+// Run is safe for concurrent use: every call builds a private machine,
+// memory hierarchy and prefetcher, and the packages it draws on keep
+// no mutable package-level state (workload registration happens at
+// init time and is read-only afterwards). Two concurrent Runs with
+// equal arguments return equal Results.
 func Run(w workload.Workload, v core.Variant, cfg Config) Result {
 	machine := w.Build(cfg.Seed)
 	hier := mem.New(cfg.Mem)
