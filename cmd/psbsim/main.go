@@ -6,14 +6,22 @@
 //	psbsim -bench health -scheme ConfAlloc-Priority -insts 500000
 //	psbsim -bench all -scheme all        # full cross product
 //	psbsim -bench all -scheme all -parallel -1   # ... across all cores
+//	psbsim -bench all -scheme all -job-timeout 2m -retries 2
 //	psbsim -list                         # show benchmarks and schemes
+//
+// A run that panics or trips the -job-timeout watchdog prints a FAILED
+// line for its cell and the remaining cells still complete. Exit
+// status: 0 = clean, 1 = one or more cells failed, 2 = flag misuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -22,18 +30,44 @@ import (
 	"repro/internal/workload"
 )
 
+// usageError prints the message plus usage and exits 2, the
+// flag-misuse status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func benchNames() string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func schemeNames() string {
+	var names []string
+	for _, v := range core.Variants() {
+		names = append(names, v.String())
+	}
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
-		benchName = flag.String("bench", "health", "benchmark name, or 'all'")
-		scheme    = flag.String("scheme", "ConfAlloc-Priority", "prefetcher scheme, or 'all'")
-		insts     = flag.Uint64("insts", 500_000, "instruction budget")
-		seed      = flag.Int64("seed", 1, "workload layout seed")
-		l1Size    = flag.Int("l1-size", 32<<10, "L1 data cache bytes")
-		l1Ways    = flag.Int("l1-ways", 4, "L1 data cache associativity")
-		noDis     = flag.Bool("nodis", false, "disable perfect store sets (NoDis)")
-		parallel  = flag.Int("parallel", 0, "concurrent simulations: 0 = serial, N = N workers, -1 = all cores")
-		list      = flag.Bool("list", false, "list benchmarks and schemes")
-		verbose   = flag.Bool("v", false, "print the full statistics block")
+		benchName  = flag.String("bench", "health", "benchmark name, or 'all'")
+		scheme     = flag.String("scheme", "ConfAlloc-Priority", "prefetcher scheme, or 'all'")
+		insts      = flag.Uint64("insts", 500_000, "instruction budget")
+		seed       = flag.Int64("seed", 1, "workload layout seed")
+		l1Size     = flag.Int("l1-size", 32<<10, "L1 data cache bytes")
+		l1Ways     = flag.Int("l1-ways", 4, "L1 data cache associativity")
+		noDis      = flag.Bool("nodis", false, "disable perfect store sets (NoDis)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations: 0 = serial, N = N workers, -1 = all cores")
+		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock budget per simulation attempt (0 = unlimited)")
+		retries    = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
+		list       = flag.Bool("list", false, "list benchmarks and schemes")
+		verbose    = flag.Bool("v", false, "print the full statistics block")
 	)
 	flag.Parse()
 
@@ -54,6 +88,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Mem.L1D.SizeBytes = *l1Size
 	cfg.Mem.L1D.Ways = *l1Ways
+	cfg.Workers = *parallel
 	if *noDis {
 		cfg.CPU.Disambiguation = cpu.DisNone
 	}
@@ -64,8 +99,7 @@ func main() {
 	} else {
 		w, err := workload.ByName(*benchName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			usageError("unknown benchmark %q: valid benchmarks are %s, or 'all'", *benchName, benchNames())
 		}
 		benches = []workload.Workload{w}
 	}
@@ -76,25 +110,44 @@ func main() {
 	} else {
 		v, err := variantByName(*scheme)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			usageError("unknown scheme %q: valid schemes are %s, or 'all'", *scheme, schemeNames())
 		}
 		schemes = []core.Variant{v}
 	}
 
-	// Fan the cross product across the worker pool; results print in
-	// job order either way, so output is identical to a serial run.
+	if err := cfg.Validate(); err != nil {
+		usageError("invalid configuration: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Fan the cross product across the worker pool; cells print in job
+	// order either way, so output is identical to a serial run.
 	var jobs []runner.Job
 	for _, w := range benches {
 		for _, v := range schemes {
 			jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: cfg})
 		}
 	}
-	for _, r := range runner.ForWorkers(*parallel).Run(jobs) {
-		fmt.Println(r.Summary())
-		if *verbose {
-			printDetail(r)
+	opts := runner.Options{Timeout: *jobTimeout, Retries: *retries}
+	cells, _ := runner.ForWorkers(*parallel).RunChecked(ctx, jobs, opts)
+	failed := 0
+	for i, c := range cells {
+		if c.Err != nil {
+			failed++
+			fmt.Printf("%-10s %-22s FAILED: %v\n",
+				jobs[i].Workload.Name, jobs[i].Variant, c.Err.Err)
+			continue
 		}
+		fmt.Println(c.Result.Summary())
+		if *verbose {
+			printDetail(c.Result)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d cell(s) failed\n", failed, len(cells))
+		os.Exit(1)
 	}
 }
 

@@ -10,18 +10,30 @@
 //	psbtables -insts 1000000       # larger instruction budget
 //	psbtables -csv                 # CSV instead of aligned text
 //	psbtables -all -parallel -1    # fan simulations across all cores
+//	psbtables -all -checkpoint run.jsonl          # journal completed cells
+//	psbtables -all -checkpoint run.jsonl -resume  # skip cells already journaled
+//	psbtables -all -job-timeout 2m                # watchdog per simulation
 //	psbtables -bench-json          # time serial vs parallel, write BENCH_runner.json
 //	psbtables -all -cpuprofile cpu.out -memprofile mem.out
+//
+// A cell that panics, deadlocks or times out fails alone: its table
+// entries render as ERR, the rest of the suite completes, and the
+// failures are reported on stderr. Exit status: 0 = clean, 1 = one or
+// more cells failed, 2 = flag misuse, 130 = interrupted.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -44,7 +56,19 @@ func (l *intList) Set(s string) error {
 	return nil
 }
 
+// usageError prints the message plus usage and exits 2, the
+// flag-misuse status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var figs intList
 	var tables intList
 	var (
@@ -55,6 +79,10 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload layout seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations: 0 = serial, N = N workers, -1 = all cores")
+		checkpoint = flag.String("checkpoint", "", "journal completed cells to this JSONL file")
+		resume     = flag.Bool("resume", false, "load cells already journaled in -checkpoint instead of re-running them")
+		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock budget per simulation attempt (0 = unlimited)")
+		retries    = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
 		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel and write BENCH_runner.json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,16 +91,34 @@ func main() {
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 2)")
 	flag.Parse()
 
+	// Reject bad requests before simulating anything.
+	for _, f := range figs {
+		if f < 4 || f > 11 {
+			usageError("unknown figure %d: valid figures are 4..11", f)
+		}
+	}
+	for _, tn := range tables {
+		if tn != 2 {
+			usageError("unknown table %d: the only reproducible table is 2 (the paper's Table 1 is prose)", tn)
+		}
+	}
+	if *resume && *checkpoint == "" {
+		usageError("-resume needs -checkpoint to name the journal to resume from")
+	}
+	if *benchJSON && (*all || *ablations || *extensions || len(figs) > 0 || len(tables) > 0) {
+		usageError("-bench-json runs its own fixed matrix; drop -all/-fig/-table/-ablations/-extensions")
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -95,13 +141,16 @@ func main() {
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
+	if err := cfg.Validate(); err != nil {
+		usageError("invalid configuration: %v", err)
+	}
 
 	if *benchJSON {
 		if err := benchRunner(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *all {
@@ -109,10 +158,29 @@ func main() {
 		figs = intList{4, 5, 6, 7, 8, 9, 10, 11}
 	}
 	if len(tables) == 0 && len(figs) == 0 && !*ablations && !*extensions {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -all, -table N, -fig N, -ablations, -extensions or -bench-json")
-		flag.Usage()
-		os.Exit(2)
+		usageError("nothing to do: pass -all, -table N, -fig N, -ablations, -extensions or -bench-json")
 	}
+
+	// SIGINT/SIGTERM cancel the run: in-flight simulations stop at
+	// their next context check, completed cells stay journaled, and
+	// the tables built so far render unfinished cells as ERR.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := runner.Options{Timeout: *jobTimeout, Retries: *retries}
+	if *checkpoint != "" {
+		cp, err := runner.OpenCheckpoint(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			return 1
+		}
+		defer cp.Close()
+		if *resume && cp.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d cell(s) already journaled in %s\n", cp.Len(), *checkpoint)
+		}
+		opts.Checkpoint = cp
+	}
+	s := experiments.NewSession(ctx, cfg, opts)
 
 	emit := func(t *stats.Table) {
 		if *csv {
@@ -132,22 +200,19 @@ func main() {
 	var m *experiments.Matrix
 	if needMatrix {
 		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d schemes at %d instructions each (workers=%d)...\n",
-			6, len(experiments.Schemes()), cfg.MaxInsts, runner.ForWorkers(cfg.Workers).Workers())
-		m = experiments.RunMatrix(cfg)
+			len(workload.All()), len(experiments.Schemes()), cfg.MaxInsts, runner.ForWorkers(cfg.Workers).Workers())
+		m = s.Matrix()
 	}
 
 	for _, tn := range tables {
-		switch tn {
-		case 2:
+		if tn == 2 {
 			emit(experiments.Table2(m))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown table %d (the paper's Table 1 is prose; see workload docs)\n", tn)
 		}
 	}
 	for _, f := range figs {
 		switch f {
 		case 4:
-			emit(experiments.Fig4(cfg))
+			emit(s.Fig4())
 		case 5:
 			emit(experiments.Fig5(m))
 		case 6:
@@ -159,11 +224,9 @@ func main() {
 		case 9:
 			emit(experiments.Fig9(m))
 		case 10:
-			emit(experiments.Fig10(cfg))
+			emit(s.Fig10())
 		case 11:
-			emit(experiments.Fig11(cfg))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown figure %d\n", f)
+			emit(s.Fig11())
 		}
 	}
 
@@ -193,6 +256,22 @@ func main() {
 			emit(t)
 		}
 	}
+
+	if s.Cached() > 0 {
+		fmt.Fprintf(os.Stderr, "checkpoint satisfied %d cell(s); %d simulated\n", s.Cached(), s.Ran())
+	}
+	if report := s.FailureReport(); report != "" {
+		fmt.Fprint(os.Stderr, report)
+		if errors.Is(ctx.Err(), context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted: completed cells are journaled; re-run with -resume to continue")
+			return 130
+		}
+		return 1
+	}
+	if ctx.Err() != nil {
+		return 130
+	}
+	return 0
 }
 
 // benchRunner times one full RunMatrix serially and one with a worker

@@ -98,6 +98,10 @@ func PaperVariants() []Variant {
 	return []Variant{PCStride, PSB2MissRR, PSB2MissPriority, PSBConfRR, PSBConfPriority}
 }
 
+// Known reports whether v names one of the defined configurations —
+// the precondition for New/NewWithOptions not panicking.
+func (v Variant) Known() bool { return v >= 0 && v < numVariants }
+
 // IsPSB reports whether the variant is predictor-directed.
 func (v Variant) IsPSB() bool {
 	return v == PSB2MissRR || v == PSB2MissPriority || v == PSBConfRR || v == PSBConfPriority

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/vm"
 )
@@ -46,11 +48,32 @@ type Gshare struct {
 	TargetWrong uint64 // target mispredictions (BTB/RAS)
 }
 
-// NewGshare builds the predictor.
+// Validate reports whether the gshare geometry is constructible:
+// table bits in 1..24, a history width in 0..63, a BTB whose entry
+// count divides into its ways, and a positive RAS, all within sane
+// bounds.
+func (cfg GshareConfig) Validate() error {
+	if cfg.TableBits <= 0 || cfg.TableBits > 24 {
+		return fmt.Errorf("cpu: gshare table bits %d outside 1..24", cfg.TableBits)
+	}
+	if cfg.HistoryBits < 0 || cfg.HistoryBits > 63 {
+		return fmt.Errorf("cpu: gshare history bits %d outside 0..63", cfg.HistoryBits)
+	}
+	if cfg.BTBEntries <= 0 || cfg.BTBWays <= 0 || cfg.BTBEntries%cfg.BTBWays != 0 ||
+		cfg.BTBEntries > 1<<20 {
+		return fmt.Errorf("cpu: bad BTB geometry (entries=%d ways=%d)", cfg.BTBEntries, cfg.BTBWays)
+	}
+	if cfg.RASEntries <= 0 || cfg.RASEntries > 1<<16 {
+		return fmt.Errorf("cpu: RAS entries %d outside 1..%d", cfg.RASEntries, 1<<16)
+	}
+	return nil
+}
+
+// NewGshare builds the predictor; it panics if cfg.Validate rejects
+// the geometry.
 func NewGshare(cfg GshareConfig) *Gshare {
-	if cfg.TableBits <= 0 || cfg.BTBEntries <= 0 || cfg.BTBWays <= 0 ||
-		cfg.BTBEntries%cfg.BTBWays != 0 || cfg.RASEntries <= 0 {
-		panic("cpu: bad gshare geometry")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	g := &Gshare{
 		cfg:      cfg,

@@ -14,7 +14,11 @@
 // the paper's predictor is trained at write-back.
 package cpu
 
-import "repro/internal/isa"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
 
 // Disambiguation selects the load/store-queue ordering policy of
 // Figure 11.
@@ -59,6 +63,12 @@ type Config struct {
 	Disambiguation Disambiguation
 
 	Gshare GshareConfig
+
+	// WatchdogCycles is the no-commit watchdog threshold: a run aborts
+	// (Run panics, RunChecked returns a *DeadlockError) after this many
+	// consecutive cycles without a commit. 0 selects
+	// DefaultWatchdogCycles.
+	WatchdogCycles uint64
 
 	// FUCount[class] is the number of functional units per class;
 	// FULatency[class] their latency; FUPipelined[class] whether a
@@ -127,6 +137,56 @@ func DefaultConfig() Config {
 	c.FULatency[isa.ClassNop] = 1
 	c.FUPipelined[isa.ClassNop] = true
 	return c
+}
+
+// Validate reports whether the configuration can build and run a CPU:
+// positive pipeline widths and structure sizes within sane bounds, at
+// least one functional unit with a positive latency per class, and a
+// constructible gshare front end.
+func (c Config) Validate() error {
+	const maxWidth = 1 << 16
+	const maxSize = 1 << 20
+	for _, w := range []struct {
+		name string
+		v    int
+	}{
+		{"fetch width", c.FetchWidth},
+		{"decode width", c.DecodeWidth},
+		{"issue width", c.IssueWidth},
+		{"commit width", c.CommitWidth},
+		{"branch predictions per cycle", c.BranchPredPerCycle},
+	} {
+		if w.v <= 0 || w.v > maxWidth {
+			return fmt.Errorf("cpu: %s %d outside 1..%d", w.name, w.v, maxWidth)
+		}
+	}
+	for _, s := range []struct {
+		name string
+		v    int
+	}{
+		{"ROB size", c.ROBSize},
+		{"LSQ size", c.LSQSize},
+		{"fetch queue size", c.FetchQueueSize},
+	} {
+		if s.v <= 0 || s.v > maxSize {
+			return fmt.Errorf("cpu: %s %d outside 1..%d", s.name, s.v, maxSize)
+		}
+	}
+	if c.L1HitLatency == 0 {
+		return fmt.Errorf("cpu: L1 hit latency must be positive")
+	}
+	if c.Disambiguation != DisPerfect && c.Disambiguation != DisNone {
+		return fmt.Errorf("cpu: unknown disambiguation policy %d", int(c.Disambiguation))
+	}
+	for cl := 0; cl < int(isa.NumClasses); cl++ {
+		if c.FUCount[cl] <= 0 || c.FUCount[cl] > maxWidth {
+			return fmt.Errorf("cpu: functional unit class %d count %d outside 1..%d", cl, c.FUCount[cl], maxWidth)
+		}
+		if c.FULatency[cl] == 0 {
+			return fmt.Errorf("cpu: functional unit class %d latency must be positive", cl)
+		}
+	}
+	return c.Gshare.Validate()
 }
 
 // fuPool models a group of functional units, each busy until a given

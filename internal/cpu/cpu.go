@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -246,10 +247,49 @@ func (c *CPU) depReady(idx int, seq, cycle uint64) bool {
 	return e.issued && e.completeAt <= cycle
 }
 
+// DefaultWatchdogCycles is the no-commit watchdog threshold used when
+// Config.WatchdogCycles is zero.
+const DefaultWatchdogCycles = 1_000_000
+
+// DeadlockError reports the no-commit watchdog tripping: the simulated
+// machine went WatchdogCycles consecutive cycles without committing an
+// instruction, which a correct model never does.
+type DeadlockError struct {
+	Cycle      uint64 // cycle at which the watchdog fired
+	IdleCycles uint64 // consecutive cycles without a commit
+	ROB        int    // reorder-buffer occupancy at the time
+	FetchQueue int    // fetch-queue occupancy at the time
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("cpu: no commit for %d cycles at cycle %d (rob=%d, fq=%d)",
+		e.IdleCycles, e.Cycle, e.ROB, e.FetchQueue)
+}
+
 // Run simulates until maxInsts instructions commit or the program
-// ends, returning the final statistics.
+// ends, returning the final statistics. It panics if the no-commit
+// watchdog trips; RunChecked is the errors-as-values path.
 func (c *CPU) Run(maxInsts uint64) Stats {
-	idleCycles := 0
+	st, err := c.RunChecked(context.Background(), maxInsts)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// RunChecked simulates until maxInsts instructions commit or the
+// program ends. The statistics cover whatever was simulated, even on
+// error. A tripped no-commit watchdog returns a *DeadlockError instead
+// of panicking, and ctx cancellation (checked every few thousand
+// cycles, so a context deadline bounds a runaway simulation's wall
+// clock) aborts the run with ctx's error.
+func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
+	watchdog := c.cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = DefaultWatchdogCycles
+	}
+	idleCycles := uint64(0)
 	lastCommitted := uint64(0)
 	for {
 		if c.stats.Committed >= maxInsts && maxInsts > 0 {
@@ -265,18 +305,23 @@ func (c *CPU) Run(maxInsts uint64) Stats {
 		c.dispatch()
 		c.fetch()
 
+		if c.cycle&4095 == 0 && ctx.Err() != nil {
+			return c.Stats(), ctx.Err()
+		}
 		if c.stats.Committed == lastCommitted {
 			idleCycles++
-			if idleCycles > 1_000_000 {
-				panic(fmt.Sprintf("cpu: no commit for %d cycles at cycle %d (rob=%d, fq=%d)",
-					idleCycles, c.cycle, c.robCount, c.fqLen))
+			if idleCycles > watchdog {
+				return c.Stats(), &DeadlockError{
+					Cycle: c.cycle, IdleCycles: idleCycles,
+					ROB: c.robCount, FetchQueue: c.fqLen,
+				}
 			}
 		} else {
 			idleCycles = 0
 			lastCommitted = c.stats.Committed
 		}
 	}
-	return c.Stats()
+	return c.Stats(), nil
 }
 
 // fetch brings instructions from the source into the fetch queue,

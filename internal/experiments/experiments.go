@@ -17,10 +17,46 @@ import (
 )
 
 // Matrix holds the results of running every benchmark under every
-// prefetching scheme of Figures 5-9 (plus the no-prefetch base).
+// prefetching scheme of Figures 5-9 (plus the no-prefetch base). A
+// matrix may be partial: cells that failed (panic, deadlock, timeout,
+// invalid config) or never ran (canceled) appear in Errs instead of
+// Results, and the derived tables render them as "ERR" rather than
+// dying on the first failure.
 type Matrix struct {
 	Cfg     sim.Config
 	Results map[string]map[core.Variant]sim.Result
+	Errs    map[string]map[core.Variant]error
+}
+
+// Err returns the recorded failure for a cell (nil when it completed).
+func (m *Matrix) Err(name string, v core.Variant) error {
+	return m.Errs[name][v]
+}
+
+// Failed counts the matrix's errored cells.
+func (m *Matrix) Failed() int {
+	n := 0
+	for _, row := range m.Errs {
+		n += len(row)
+	}
+	return n
+}
+
+// cellRunner executes a batch of jobs and returns one cell per job in
+// job order. The legacy path wraps Pool.Run (panics propagate); a
+// Session wraps Pool.RunChecked (failures become per-cell errors).
+type cellRunner func(jobs []runner.Job) []runner.CellResult
+
+// plainRunner is the legacy fail-fast executor.
+func plainRunner(workers int) cellRunner {
+	return func(jobs []runner.Job) []runner.CellResult {
+		results := runner.ForWorkers(workers).Run(jobs)
+		cells := make([]runner.CellResult, len(jobs))
+		for i, r := range results {
+			cells[i] = runner.CellResult{Result: r, Attempts: 1}
+		}
+		return cells
+	}
 }
 
 // Schemes lists the configurations of the Figure 5-9 bars, base first.
@@ -30,8 +66,14 @@ func Schemes() []core.Variant {
 
 // RunMatrix simulates every benchmark under every scheme, fanning the
 // independent simulations across cfg.Workers goroutines (0 = serial).
-// The assembled matrix is identical for any worker count.
+// The assembled matrix is identical for any worker count. Any cell
+// panic propagates (fail-fast); Session.Matrix is the fault-isolating
+// path.
 func RunMatrix(cfg sim.Config) *Matrix {
+	return runMatrixWith(cfg, plainRunner(cfg.Workers))
+}
+
+func runMatrixWith(cfg sim.Config, run cellRunner) *Matrix {
 	benches := workload.All()
 	schemes := Schemes()
 	jobs := make([]runner.Job, 0, len(benches)*len(schemes))
@@ -40,16 +82,29 @@ func RunMatrix(cfg sim.Config) *Matrix {
 			jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: cfg})
 		}
 	}
-	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	cells := run(jobs)
 
-	m := &Matrix{Cfg: cfg, Results: make(map[string]map[core.Variant]sim.Result, len(benches))}
+	m := &Matrix{
+		Cfg:     cfg,
+		Results: make(map[string]map[core.Variant]sim.Result, len(benches)),
+		Errs:    make(map[string]map[core.Variant]error),
+	}
 	for i, j := range jobs {
+		if err := cells[i].Err; err != nil {
+			row := m.Errs[j.Workload.Name]
+			if row == nil {
+				row = make(map[core.Variant]error)
+				m.Errs[j.Workload.Name] = row
+			}
+			row[j.Variant] = err
+			continue
+		}
 		row := m.Results[j.Workload.Name]
 		if row == nil {
 			row = make(map[core.Variant]sim.Result, len(schemes))
 			m.Results[j.Workload.Name] = row
 		}
-		row[j.Variant] = results[i]
+		row[j.Variant] = cells[i].Result
 	}
 	return m
 }
@@ -65,6 +120,10 @@ func Table2(m *Matrix) *stats.Table {
 		"program", "#inst (Mill)", "%L1 MR", "%lds", "%sts", "IPC",
 		"L1-L2 %bus", "L2-M %bus")
 	for _, w := range workload.All() {
+		if m.Err(w.Name, core.None) != nil {
+			t.AddRow(w.Name, "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+			continue
+		}
 		r := m.Base(w.Name)
 		t.AddRow(w.Name,
 			stats.Millions(r.CPU.Committed),
@@ -86,6 +145,10 @@ var Fig4Widths = []int{4, 6, 8, 10, 12, 14, 16, 20, 24, 32}
 // width. Each benchmark runs once (base config) with the delta-bits
 // histogram attached.
 func Fig4(cfg sim.Config) *stats.Table {
+	return fig4With(cfg, plainRunner(cfg.Workers))
+}
+
+func fig4With(cfg sim.Config, run cellRunner) *stats.Table {
 	cfg.CollectFig4 = true
 	headers := []string{"program"}
 	for _, wdt := range Fig4Widths {
@@ -97,11 +160,15 @@ func Fig4(cfg sim.Config) *stats.Table {
 	for i, w := range benches {
 		jobs[i] = runner.Job{Workload: w, Variant: core.None, Config: cfg}
 	}
-	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	cells := run(jobs)
 	for i, w := range benches {
 		row := []string{w.Name}
 		for _, wdt := range Fig4Widths {
-			row = append(row, stats.Pct(results[i].Hist.PercentPredictable(wdt)))
+			if cells[i].Err != nil || cells[i].Result.Hist == nil {
+				row = append(row, "ERR")
+				continue
+			}
+			row = append(row, stats.Pct(cells[i].Result.Hist.PercentPredictable(wdt)))
 		}
 		t.AddRow(row...)
 	}
@@ -148,6 +215,10 @@ func Fig9(m *Matrix) *stats.Table {
 	for _, w := range workload.All() {
 		row := []string{w.Name}
 		for _, v := range Schemes() {
+			if m.Err(w.Name, v) != nil {
+				row = append(row, "ERR", "ERR")
+				continue
+			}
 			r := m.Results[w.Name][v]
 			row = append(row, stats.Pct(r.L1L2Util), stats.Pct(r.MemBusUtil))
 		}
@@ -172,6 +243,10 @@ var Fig10Configs = []struct {
 // ConfAlloc-Priority over a base machine with the same L1
 // configuration, across three cache geometries.
 func Fig10(cfg sim.Config) *stats.Table {
+	return fig10With(cfg, plainRunner(cfg.Workers))
+}
+
+func fig10With(cfg sim.Config, run cellRunner) *stats.Table {
 	headers := []string{"program"}
 	for _, cc := range Fig10Configs {
 		headers = append(headers, cc.Name+" PCstride", cc.Name+" ConfPri")
@@ -190,16 +265,23 @@ func Fig10(cfg sim.Config) *stats.Table {
 			}
 		}
 	}
-	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	cells := run(jobs)
 	i := 0
 	for _, w := range benches {
 		row := []string{w.Name}
 		for range Fig10Configs {
-			base, pcs, psb := results[i], results[i+1], results[i+2]
+			base, pcs, psb := cells[i], cells[i+1], cells[i+2]
 			i += len(variants)
-			row = append(row,
-				stats.SignedPct(pcs.SpeedupOver(base)),
-				stats.SignedPct(psb.SpeedupOver(base)))
+			if base.Err != nil || pcs.Err != nil {
+				row = append(row, "ERR")
+			} else {
+				row = append(row, stats.SignedPct(pcs.Result.SpeedupOver(base.Result)))
+			}
+			if base.Err != nil || psb.Err != nil {
+				row = append(row, "ERR")
+			} else {
+				row = append(row, stats.SignedPct(psb.Result.SpeedupOver(base.Result)))
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -210,6 +292,10 @@ func Fig10(cfg sim.Config) *stats.Table {
 // Fig11 regenerates Figure 11: IPC with and without perfect memory
 // disambiguation for the base machine and ConfAlloc-Priority PSB.
 func Fig11(cfg sim.Config) *stats.Table {
+	return fig11With(cfg, plainRunner(cfg.Workers))
+}
+
+func fig11With(cfg sim.Config, run cellRunner) *stats.Table {
 	t := stats.NewTable("Figure 11: IPC with (Dis) and without (NoDis) perfect store sets",
 		"program", "Base-NoDis", "Base-Dis", "ConfPri-NoDis", "ConfPri-Dis")
 	benches := workload.All()
@@ -223,12 +309,16 @@ func Fig11(cfg sim.Config) *stats.Table {
 			}
 		}
 	}
-	results := runner.ForWorkers(cfg.Workers).Run(jobs)
+	cells := run(jobs)
 	perBench := len(jobs) / len(benches)
 	for i, w := range benches {
 		row := []string{w.Name}
-		for _, r := range results[i*perBench : (i+1)*perBench] {
-			row = append(row, stats.F2(r.IPC()))
+		for _, c := range cells[i*perBench : (i+1)*perBench] {
+			if c.Err != nil {
+				row = append(row, "ERR")
+				continue
+			}
+			row = append(row, stats.F2(c.Result.IPC()))
 		}
 		t.AddRow(row...)
 	}
@@ -245,8 +335,13 @@ func schemeTable(m *Matrix, title string, cell func(r, base sim.Result) string) 
 	t := stats.NewTable(title, headers...)
 	for _, w := range workload.All() {
 		base := m.Base(w.Name)
+		baseErr := m.Err(w.Name, core.None)
 		row := []string{w.Name}
 		for _, v := range core.PaperVariants() {
+			if baseErr != nil || m.Err(w.Name, v) != nil {
+				row = append(row, "ERR")
+				continue
+			}
 			row = append(row, cell(m.Results[w.Name][v], base))
 		}
 		t.AddRow(row...)
@@ -265,6 +360,10 @@ func schemeTableWithBase(m *Matrix, title string, cell func(r sim.Result) string
 	for _, w := range workload.All() {
 		row := []string{w.Name}
 		for _, v := range Schemes() {
+			if m.Err(w.Name, v) != nil {
+				row = append(row, "ERR")
+				continue
+			}
 			row = append(row, cell(m.Results[w.Name][v]))
 		}
 		t.AddRow(row...)

@@ -29,6 +29,8 @@ func (c CacheConfig) Validate() error {
 	switch {
 	case c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0:
 		return fmt.Errorf("mem: cache %q: non-positive geometry %+v", c.Name, c)
+	case c.SizeBytes > 1<<30:
+		return fmt.Errorf("mem: cache %q: size %d exceeds 1GB limit", c.Name, c.SizeBytes)
 	case c.BlockBytes&(c.BlockBytes-1) != 0:
 		return fmt.Errorf("mem: cache %q: block size %d not a power of two", c.Name, c.BlockBytes)
 	case c.SizeBytes%(c.Ways*c.BlockBytes) != 0:

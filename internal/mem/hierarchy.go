@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // Config assembles the whole hierarchy. DefaultConfig matches the
 // paper's baseline (§5.1).
 type Config struct {
@@ -42,6 +44,50 @@ func DefaultConfig() Config {
 		PageBytes:    4096,
 		TLBWalk:      30,
 	}
+}
+
+// Validate reports whether the configuration can build a Hierarchy
+// without panicking: valid cache geometries, positive bus bandwidths,
+// a constructible L2 pipeline, positive MSHR counts and a valid TLB,
+// all within sane bounds.
+func (c Config) Validate() error {
+	for _, cc := range []CacheConfig{c.L1D, c.L1I, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	const maxLatency = 1 << 20
+	if c.L2Latency == 0 || c.L2Latency > maxLatency {
+		return fmt.Errorf("mem: L2 latency %d outside 1..%d", c.L2Latency, maxLatency)
+	}
+	if c.L2PipeDepth <= 0 || c.L2PipeDepth > 1024 {
+		return fmt.Errorf("mem: L2 pipeline depth %d outside 1..1024", c.L2PipeDepth)
+	}
+	if c.MemLatency > maxLatency {
+		return fmt.Errorf("mem: memory latency %d exceeds %d", c.MemLatency, maxLatency)
+	}
+	if c.L1L2BusBytes <= 0 || c.L1L2BusBytes > 1<<16 {
+		return fmt.Errorf("mem: L1-L2 bus bandwidth %d outside 1..%d bytes/cycle", c.L1L2BusBytes, 1<<16)
+	}
+	if c.MemBusBytes <= 0 || c.MemBusBytes > 1<<16 {
+		return fmt.Errorf("mem: memory bus bandwidth %d outside 1..%d bytes/cycle", c.MemBusBytes, 1<<16)
+	}
+	if c.DMSHRs <= 0 || c.DMSHRs > 1<<16 {
+		return fmt.Errorf("mem: D-MSHR count %d outside 1..%d", c.DMSHRs, 1<<16)
+	}
+	if c.IMSHRs <= 0 || c.IMSHRs > 1<<16 {
+		return fmt.Errorf("mem: I-MSHR count %d outside 1..%d", c.IMSHRs, 1<<16)
+	}
+	if c.TLBEntries <= 0 || c.TLBEntries > 1<<20 {
+		return fmt.Errorf("mem: TLB entries %d outside 1..%d", c.TLBEntries, 1<<20)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 || c.PageBytes > 1<<30 {
+		return fmt.Errorf("mem: page size %d must be a power of two at most 1GB", c.PageBytes)
+	}
+	if c.TLBWalk > maxLatency {
+		return fmt.Errorf("mem: TLB walk latency %d exceeds %d", c.TLBWalk, maxLatency)
+	}
+	return nil
 }
 
 // AccessResult describes one L1 access.

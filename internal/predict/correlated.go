@@ -1,5 +1,7 @@
 package predict
 
+import "fmt"
+
 // This file implements the other §2 address predictors the paper
 // simulated before settling on SFM: a pure first-order Markov
 // predictor (no stride filter) and a Bekerman-style two-level
@@ -130,14 +132,32 @@ type Correlated struct {
 	Trains uint64
 }
 
-// NewCorrelated builds the predictor.
-func NewCorrelated(cfg CorrelatedConfig) *Correlated {
-	if cfg.FirstEntries <= 0 || cfg.FirstEntries&(cfg.FirstEntries-1) != 0 ||
-		cfg.SecondEntries <= 0 || cfg.SecondEntries&(cfg.SecondEntries-1) != 0 {
-		panic("predict: correlated table sizes must be powers of two")
+// Validate reports whether the configuration can construct a
+// Correlated predictor without panicking.
+func (c CorrelatedConfig) Validate() error {
+	if c.FirstEntries <= 0 || c.FirstEntries&(c.FirstEntries-1) != 0 ||
+		c.SecondEntries <= 0 || c.SecondEntries&(c.SecondEntries-1) != 0 {
+		return fmt.Errorf("predict: correlated table sizes must be powers of two (first=%d second=%d)",
+			c.FirstEntries, c.SecondEntries)
 	}
-	if cfg.HistoryLen <= 0 || cfg.HistoryLen > 8 {
-		panic("predict: correlated history length must be in 1..8")
+	if c.FirstEntries > MaxStrideEntries || c.SecondEntries > MaxMarkovEntries {
+		return fmt.Errorf("predict: correlated table sizes exceed limits (first=%d second=%d)",
+			c.FirstEntries, c.SecondEntries)
+	}
+	if c.HistoryLen <= 0 || c.HistoryLen > 8 {
+		return fmt.Errorf("predict: correlated history length %d outside 1..8", c.HistoryLen)
+	}
+	if c.BlockShift > 32 {
+		return fmt.Errorf("predict: correlated block shift %d exceeds 32", c.BlockShift)
+	}
+	return nil
+}
+
+// NewCorrelated builds the predictor; it panics if cfg.Validate
+// rejects the configuration.
+func NewCorrelated(cfg CorrelatedConfig) *Correlated {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Correlated{
 		cfg:    cfg,

@@ -1,0 +1,80 @@
+package predict
+
+// Fuzz targets for the validate-then-construct contract: any geometry
+// the validator accepts must construct without panicking. The
+// validators' upper bounds double as allocation caps, so accepted
+// geometries are also safe to build under the fuzzer's memory limits.
+
+import "testing"
+
+func FuzzStrideGeometry(f *testing.F) {
+	f.Add(256, 4)
+	f.Add(0, 0)
+	f.Add(-8, 2)
+	f.Add(1<<20, 1)
+	f.Add(10, 4)
+	f.Fuzz(func(t *testing.T, entries, ways int) {
+		if ValidateStrideGeometry(entries, ways) != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("validated geometry (entries=%d ways=%d) panicked: %v", entries, ways, r)
+			}
+		}()
+		tbl := NewPCStrideTable(entries, ways)
+		tbl.Touch(0x1000)
+		tbl.Lookup(0x1000)
+	})
+}
+
+func FuzzMarkovGeometry(f *testing.F) {
+	f.Add(2048, 16, 16)
+	f.Add(0, 16, 16)
+	f.Add(1, 0, 0)
+	f.Add(1<<22, 64, 32)
+	f.Add(3, 16, 16)
+	f.Add(2048, -1, 70)
+	f.Fuzz(func(t *testing.T, entries, deltaBits, tagBits int) {
+		if ValidateMarkovGeometry(entries, deltaBits, tagBits) != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("validated geometry (entries=%d deltaBits=%d tagBits=%d) panicked: %v",
+					entries, deltaBits, tagBits, r)
+			}
+		}()
+		tbl := NewMarkovTable(entries, 5, deltaBits, tagBits)
+		tbl.Update(0x1000<<5, 0x1040<<5)
+		tbl.Lookup(0x1000 << 5)
+	})
+}
+
+func FuzzSFMConfig(f *testing.F) {
+	d := DefaultSFMConfig()
+	f.Add(d.StrideEntries, d.StrideWays, d.MarkovEntries, d.DeltaBits, d.TagBits, uint(d.BlockShift), d.MarkovOrder)
+	f.Add(0, 0, 0, 0, 0, uint(0), 0)
+	f.Add(-4, 3, 7, 99, -2, uint(40), 5)
+	f.Fuzz(func(t *testing.T, strideEntries, strideWays, markovEntries, deltaBits, tagBits int, blockShift uint, order int) {
+		cfg := SFMConfig{
+			StrideEntries: strideEntries,
+			StrideWays:    strideWays,
+			MarkovEntries: markovEntries,
+			DeltaBits:     deltaBits,
+			TagBits:       tagBits,
+			BlockShift:    blockShift,
+			MarkovOrder:   order,
+		}
+		if cfg.Validate() != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("validated SFM config %+v panicked: %v", cfg, r)
+			}
+		}()
+		s := NewSFM(cfg)
+		s.Train(0x40000, 0x40040)
+	})
+}

@@ -1,6 +1,10 @@
 package predict
 
-import "math/bits"
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
 
 // MarkovTable is the first-order Markov predictor used behind the
 // stride filter. It is indexed by the previous miss (block) address
@@ -30,15 +34,34 @@ type MarkovTable struct {
 	Lookups   uint64
 }
 
-// NewMarkovTable builds a direct-mapped table with the given entry
-// count (power of two), block size shift, delta width in bits
-// (0 = absolute addressing), and partial-tag width in bits.
-func NewMarkovTable(entries int, blockShift uint, deltaBits, tagBits int) *MarkovTable {
+// MaxMarkovEntries bounds Markov table sizes accepted by
+// ValidateMarkovGeometry.
+const MaxMarkovEntries = 1 << 22
+
+// ValidateMarkovGeometry reports whether a Markov table with the given
+// entry count, delta width and tag width is constructible: a positive
+// power-of-two entry count at most MaxMarkovEntries, a delta width in
+// 0..64 (0 = absolute addressing) and a tag width in 0..32.
+func ValidateMarkovGeometry(entries, deltaBits, tagBits int) error {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic("predict: Markov table entries must be a positive power of two")
+		return fmt.Errorf("predict: Markov table entries %d must be a positive power of two", entries)
+	}
+	if entries > MaxMarkovEntries {
+		return fmt.Errorf("predict: Markov table entries %d exceed limit %d", entries, MaxMarkovEntries)
 	}
 	if deltaBits < 0 || deltaBits > 64 || tagBits < 0 || tagBits > 32 {
-		panic("predict: bad Markov delta/tag width")
+		return fmt.Errorf("predict: bad Markov delta/tag width (delta=%d tag=%d)", deltaBits, tagBits)
+	}
+	return nil
+}
+
+// NewMarkovTable builds a direct-mapped table with the given entry
+// count (power of two), block size shift, delta width in bits
+// (0 = absolute addressing), and partial-tag width in bits. It panics
+// if ValidateMarkovGeometry rejects the geometry.
+func NewMarkovTable(entries int, blockShift uint, deltaBits, tagBits int) *MarkovTable {
+	if err := ValidateMarkovGeometry(entries, deltaBits, tagBits); err != nil {
+		panic(err)
 	}
 	return &MarkovTable{
 		entries:    entries,
@@ -220,3 +243,30 @@ func (h *DeltaHistogram) PercentPredictable(width int) float64 {
 
 // Misses returns the number of transitions observed.
 func (h *DeltaHistogram) Misses() uint64 { return h.misses }
+
+// deltaHistogramJSON is the serialized form of a DeltaHistogram: the
+// accumulated observation counts, without the oracle table (training
+// state that only matters while misses are still being observed).
+type deltaHistogramJSON struct {
+	Counts [65]uint64 `json:"counts"`
+	Misses uint64     `json:"misses"`
+}
+
+// MarshalJSON serializes the histogram's counts so checkpointed
+// Figure-4 results survive a resume.
+func (h *DeltaHistogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(deltaHistogramJSON{Counts: h.counts, Misses: h.misses})
+}
+
+// UnmarshalJSON restores a histogram serialized by MarshalJSON. The
+// restored histogram answers PercentPredictable/Misses queries; it has
+// no oracle table, so it must not Observe further misses.
+func (h *DeltaHistogram) UnmarshalJSON(b []byte) error {
+	var s deltaHistogramJSON
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	h.counts = s.Counts
+	h.misses = s.Misses
+	return nil
+}

@@ -1,5 +1,7 @@
 package predict
 
+import "fmt"
+
 // MinDelta is the Palacharla & Kessler non-unit stride detection
 // scheme (§3.3.2 of the paper): memory is divided into chunks, each
 // chunk carries a dynamic stride, and the stride for a miss is the
@@ -42,13 +44,30 @@ type MinDelta struct {
 	Trains  uint64
 }
 
-// NewMinDelta builds the predictor.
-func NewMinDelta(cfg MinDeltaConfig) *MinDelta {
-	if cfg.TableChunks <= 0 || cfg.TableChunks&(cfg.TableChunks-1) != 0 {
-		panic("predict: min-delta table chunks must be a power of two")
+// Validate reports whether the configuration can construct a MinDelta
+// predictor without panicking.
+func (c MinDeltaConfig) Validate() error {
+	if c.TableChunks <= 0 || c.TableChunks&(c.TableChunks-1) != 0 || c.TableChunks > MaxStrideEntries {
+		return fmt.Errorf("predict: min-delta table chunks %d must be a power of two at most %d",
+			c.TableChunks, MaxStrideEntries)
 	}
-	if cfg.HistoryLen <= 0 {
-		panic("predict: min-delta history must be positive")
+	if c.HistoryLen <= 0 || c.HistoryLen > 64 {
+		return fmt.Errorf("predict: min-delta history %d outside 1..64", c.HistoryLen)
+	}
+	if c.BlockBytes <= 0 {
+		return fmt.Errorf("predict: min-delta block size %d must be positive", c.BlockBytes)
+	}
+	if c.ChunkShift > 32 {
+		return fmt.Errorf("predict: min-delta chunk shift %d exceeds 32", c.ChunkShift)
+	}
+	return nil
+}
+
+// NewMinDelta builds the predictor; it panics if cfg.Validate rejects
+// the configuration.
+func NewMinDelta(cfg MinDeltaConfig) *MinDelta {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &MinDelta{cfg: cfg, table: make([]chunkEntry, cfg.TableChunks)}
 }

@@ -1,5 +1,7 @@
 package predict
 
+import "fmt"
+
 // SFMConfig sizes a Stride-Filtered Markov predictor. The defaults
 // match the paper: a 256-entry 4-way PC-stride table filtering a
 // 2K-entry differential Markov table with 16-bit deltas, operating at
@@ -31,6 +33,26 @@ func DefaultSFMConfig() SFMConfig {
 	}
 }
 
+// Validate reports whether the configuration can construct an SFM (or
+// PCStride) predictor without panicking: valid stride and Markov
+// geometries, a block shift of at most 32, and a Markov order in 0..4
+// (0 behaves as the paper's first order).
+func (c SFMConfig) Validate() error {
+	if err := ValidateStrideGeometry(c.StrideEntries, c.StrideWays); err != nil {
+		return err
+	}
+	if err := ValidateMarkovGeometry(c.MarkovEntries, c.DeltaBits, c.TagBits); err != nil {
+		return err
+	}
+	if c.BlockShift > 32 {
+		return fmt.Errorf("predict: block shift %d exceeds 32", c.BlockShift)
+	}
+	if c.MarkovOrder < 0 || c.MarkovOrder > 4 {
+		return fmt.Errorf("predict: Markov order %d outside 0..4", c.MarkovOrder)
+	}
+	return nil
+}
+
 // SFM is the Stride-Filtered Markov predictor (§4.2): a two-delta
 // stride table in front of a first-order Markov table. Loads whose
 // misses are stride-predictable never pollute the Markov table; the
@@ -48,8 +70,12 @@ type SFM struct {
 	MarkovTrained  uint64 // updates written to the Markov table
 }
 
-// NewSFM builds an SFM predictor.
+// NewSFM builds an SFM predictor; it panics if cfg.Validate rejects
+// the configuration.
 func NewSFM(cfg SFMConfig) *SFM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	return &SFM{
 		cfg:    cfg,
 		stride: NewPCStrideTable(cfg.StrideEntries, cfg.StrideWays),
@@ -182,7 +208,7 @@ type PCStride struct {
 }
 
 // NewPCStride builds the baseline predictor (Markov fields of cfg are
-// ignored).
+// ignored); it panics if the stride geometry is invalid.
 func NewPCStride(cfg SFMConfig) *PCStride {
 	return &PCStride{cfg: cfg, stride: NewPCStrideTable(cfg.StrideEntries, cfg.StrideWays)}
 }

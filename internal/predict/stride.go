@@ -1,5 +1,7 @@
 package predict
 
+import "fmt"
+
 // StrideEntry is one two-delta stride predictor entry. The two-delta
 // scheme [Eickemeyer & Vassiliadis; Sazeides & Smith] replaces the
 // predicted stride only when a new stride has been observed twice in a
@@ -45,18 +47,35 @@ type PCStrideTable struct {
 	clock uint64
 }
 
-// NewPCStrideTable builds a table with the given total entries and
-// associativity; entries must be a multiple of ways with a power-of-two
-// set count.
-func NewPCStrideTable(entries, ways int) *PCStrideTable {
+// MaxStrideEntries bounds stride table sizes accepted by
+// ValidateStrideGeometry — far above any hardware-plausible
+// configuration, low enough that a validated table always allocates.
+const MaxStrideEntries = 1 << 20
+
+// ValidateStrideGeometry reports whether a stride table of the given
+// total entries and associativity is constructible: both positive,
+// entries a multiple of ways, a power-of-two set count, and at most
+// MaxStrideEntries entries.
+func ValidateStrideGeometry(entries, ways int) error {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
-		panic("predict: bad stride table geometry")
+		return fmt.Errorf("predict: bad stride table geometry (entries=%d ways=%d)", entries, ways)
 	}
-	sets := entries / ways
-	if sets&(sets-1) != 0 {
-		panic("predict: stride table set count must be a power of two")
+	if entries > MaxStrideEntries {
+		return fmt.Errorf("predict: stride table entries %d exceed limit %d", entries, MaxStrideEntries)
 	}
-	return &PCStrideTable{sets: sets, ways: ways, table: make([]StrideEntry, entries)}
+	if sets := entries / ways; sets&(sets-1) != 0 {
+		return fmt.Errorf("predict: stride table set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// NewPCStrideTable builds a table with the given total entries and
+// associativity; it panics if ValidateStrideGeometry rejects them.
+func NewPCStrideTable(entries, ways int) *PCStrideTable {
+	if err := ValidateStrideGeometry(entries, ways); err != nil {
+		panic(err)
+	}
+	return &PCStrideTable{sets: entries / ways, ways: ways, table: make([]StrideEntry, entries)}
 }
 
 func (t *PCStrideTable) set(pc uint64) []StrideEntry {

@@ -1,0 +1,274 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PanicError wraps a panic recovered from a job (or a Map call) with
+// the goroutine stack captured at recover time, so a cell failure in a
+// parallel run is as debuggable as a crash in a serial one.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// JobError ties one cell's failure to the job that caused it.
+type JobError struct {
+	Workload    string
+	Variant     core.Variant
+	Fingerprint string
+	Attempts    int   // simulation attempts consumed (0 = never started)
+	Err         error // *PanicError, *cpu.DeadlockError, *sim.ConfigError, or a context error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %s/%s [%s] failed after %d attempt(s): %v",
+		e.Workload, e.Variant, e.Fingerprint, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// CellResult is the outcome of one matrix cell under RunChecked.
+type CellResult struct {
+	Result sim.Result
+	// Err is nil on success; a *JobError describing the failure (or,
+	// for cells that never ran because the run was canceled, the
+	// cancellation) otherwise.
+	Err *JobError
+	// Cached reports the result came from the checkpoint, not a run.
+	Cached bool
+	// Attempts is the number of simulation attempts consumed.
+	Attempts int
+}
+
+// OK reports whether the cell completed.
+func (c CellResult) OK() bool { return c.Err == nil }
+
+// Options parameterizes the checked execution path.
+type Options struct {
+	// Timeout bounds each job attempt's wall clock; 0 = unlimited.
+	// Enforcement is cooperative: the simulator checks its context
+	// every few thousand simulated cycles.
+	Timeout time.Duration
+	// Retries is how many times a job is re-run after a transient
+	// failure (a panic or a tripped wall-clock timeout); deterministic
+	// failures — invalid configs, simulated deadlocks — are never
+	// retried. Negative means 0.
+	Retries int
+	// Checkpoint, when non-nil, supplies cached results for jobs
+	// already completed and records each newly completed cell as it
+	// finishes.
+	Checkpoint *Checkpoint
+}
+
+// DefaultOptions returns the checked path's defaults: no timeout, one
+// retry, no checkpoint.
+func DefaultOptions() Options { return Options{Retries: 1} }
+
+// Fingerprint returns the job's deterministic identity: a hash of the
+// workload name, variant and configuration. Two jobs that must produce
+// equal results have equal fingerprints; Config.Workers is excluded
+// because concurrency does not affect results. Checkpoint entries are
+// keyed by this.
+func (j Job) Fingerprint() string {
+	key := struct {
+		Workload string
+		Variant  int
+		Config   sim.Config
+	}{j.Workload.Name, int(j.Variant), j.Config}
+	key.Config.Workers = 0
+	b, err := json.Marshal(key)
+	if err != nil {
+		// sim.Config is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// RunChecked executes every job with per-cell fault isolation and
+// returns one CellResult per job, in job order. A job that panics,
+// deadlocks, times out or carries an invalid configuration fails only
+// its own cell; the rest of the matrix completes. Completed cells are
+// looked up in and recorded to opts.Checkpoint when one is set.
+//
+// Cancelling ctx drains gracefully: no new jobs start, running
+// simulations abort at their next context check, already-recorded
+// checkpoint lines stay flushed, and RunChecked returns ctx's error
+// with cells that never ran marked as failed by that error. The only
+// non-nil error RunChecked itself returns is ctx's; per-cell failures
+// live in the cells.
+func (p *Pool) RunChecked(ctx context.Context, jobs []Job, opts Options) ([]CellResult, error) {
+	cells := make([]CellResult, len(jobs))
+	fps := make([]string, len(jobs))
+	pending := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		fps[i] = j.Fingerprint()
+		if opts.Checkpoint != nil {
+			if res, ok := opts.Checkpoint.Lookup(fps[i]); ok {
+				cells[i] = CellResult{Result: res, Cached: true}
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	p.mapCtx(ctx, len(pending), func(k int) {
+		i := pending[k]
+		cells[i] = runCell(ctx, jobs[i], fps[i], opts)
+		if cells[i].OK() && opts.Checkpoint != nil {
+			if err := opts.Checkpoint.Record(fps[i], jobs[i], cells[i].Result); err != nil {
+				cells[i].Err = &JobError{
+					Workload: jobs[i].Workload.Name, Variant: jobs[i].Variant,
+					Fingerprint: fps[i], Attempts: cells[i].Attempts,
+					Err: fmt.Errorf("checkpoint write: %w", err),
+				}
+			}
+		}
+	})
+
+	if err := ctx.Err(); err != nil {
+		for _, i := range pending {
+			if cells[i].Attempts == 0 && cells[i].Err == nil {
+				cells[i].Err = &JobError{
+					Workload: jobs[i].Workload.Name, Variant: jobs[i].Variant,
+					Fingerprint: fps[i], Err: err,
+				}
+			}
+		}
+		return cells, err
+	}
+	return cells, nil
+}
+
+// Failures extracts the failed cells' errors, in cell order.
+func Failures(cells []CellResult) []*JobError {
+	var fails []*JobError
+	for _, c := range cells {
+		if c.Err != nil {
+			fails = append(fails, c.Err)
+		}
+	}
+	return fails
+}
+
+// runCell runs one job with panic recovery, a per-attempt timeout and
+// the retry policy.
+func runCell(ctx context.Context, j Job, fp string, opts Options) CellResult {
+	retries := opts.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	var cell CellResult
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			break
+		}
+		cell.Attempts++
+		res, err := runJobOnce(ctx, j, opts.Timeout)
+		if err == nil {
+			cell.Result = res
+			return cell
+		}
+		lastErr = err
+		if !transient(ctx, err) {
+			break
+		}
+	}
+	cell.Err = &JobError{
+		Workload: j.Workload.Name, Variant: j.Variant,
+		Fingerprint: fp, Attempts: cell.Attempts, Err: lastErr,
+	}
+	return cell
+}
+
+// transient reports whether err is worth a retry: panics and per-job
+// wall-clock timeouts might be environmental, while config errors and
+// simulated deadlocks are deterministic. Nothing is transient once the
+// parent context is done.
+func transient(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}
+
+// runJobOnce runs one simulation attempt, converting panics (with
+// their stacks) into errors and applying the wall-clock timeout.
+func runJobOnce(ctx context.Context, j Job, timeout time.Duration) (res sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return sim.RunChecked(ctx, j.Workload, j.Variant, j.Config)
+}
+
+// mapCtx is Map with cooperative cancellation: workers stop claiming
+// new indices once ctx is done. f is responsible for its own panic
+// handling (runCell recovers everything).
+func (p *Pool) mapCtx(ctx context.Context, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			f(i)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

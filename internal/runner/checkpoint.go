@@ -1,0 +1,129 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// checkpointRecord is one completed cell in the JSONL checkpoint.
+// Workload and Variant are informational (they make the journal
+// greppable); lookup is by fingerprint alone.
+type checkpointRecord struct {
+	Fingerprint string       `json:"fp"`
+	Workload    string       `json:"workload"`
+	Variant     core.Variant `json:"variant"`
+	Result      sim.Result   `json:"result"`
+}
+
+// Checkpoint is an append-only JSONL journal of completed matrix
+// cells, keyed by Job.Fingerprint. Each Record call writes and flushes
+// one line, so a killed run loses at most the cells still in flight;
+// reopening with resume=true restores every completed cell and a
+// subsequent run skips them, reproducing the uninterrupted run's
+// results exactly (results round-trip JSON losslessly).
+type Checkpoint struct {
+	mu    sync.Mutex
+	f     *os.File
+	cache map[string]sim.Result
+}
+
+// OpenCheckpoint opens the journal at path for appending. With resume
+// set, existing records are loaded first — tolerating (and truncating
+// away) a torn final line from a killed writer; without it any
+// existing file is truncated to empty.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	flags := os.O_CREATE | os.O_RDWR
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{f: f, cache: make(map[string]sim.Result)}
+	if resume {
+		if err := c.load(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load replays intact records and positions the file for appending
+// after the last one, dropping a torn or corrupt tail.
+func (c *Checkpoint) load() error {
+	r := bufio.NewReader(c.f)
+	off := int64(0)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A record without its newline is a torn tail from a
+			// killed run; drop it.
+			break
+		}
+		if err != nil {
+			return err
+		}
+		var rec checkpointRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Fingerprint == "" {
+			// Corrupt line: everything before it is intact, nothing
+			// after it is trustworthy.
+			break
+		}
+		c.cache[rec.Fingerprint] = rec.Result
+		off += int64(len(line))
+	}
+	if err := c.f.Truncate(off); err != nil {
+		return err
+	}
+	_, err := c.f.Seek(off, io.SeekStart)
+	return err
+}
+
+// Lookup returns the cached result for a fingerprint.
+func (c *Checkpoint) Lookup(fp string) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.cache[fp]
+	return res, ok
+}
+
+// Len returns the number of cached cells.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Record appends one completed cell and flushes it to the OS, so the
+// line survives the process dying right after.
+func (c *Checkpoint) Record(fp string, j Job, res sim.Result) error {
+	b, err := json.Marshal(checkpointRecord{
+		Fingerprint: fp, Workload: j.Workload.Name, Variant: j.Variant, Result: res,
+	})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(b); err != nil {
+		return err
+	}
+	c.cache[fp] = res
+	return nil
+}
+
+// Close closes the journal file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

@@ -13,6 +13,7 @@ package runner
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -77,8 +78,11 @@ func (p *Pool) Run(jobs []Job) []sim.Result {
 // pool. Workers claim indices from a shared counter, so a fast worker
 // steals the tail of the index space left behind by slow ones and no
 // static partition can go idle early. Map returns once every call has
-// completed; if any call panics, the first panic value is re-raised on
-// the caller after the remaining workers drain.
+// completed; if any call panics, the first panic is re-raised on the
+// caller — wrapped in a *PanicError carrying the worker goroutine's
+// stack captured at recover time, since the re-raise on the caller's
+// goroutine would otherwise lose the frames that identify the failing
+// call — after the remaining workers drain.
 func (p *Pool) Map(n int, f func(i int)) {
 	if n <= 0 {
 		return
@@ -93,7 +97,7 @@ func (p *Pool) Map(n int, f func(i int)) {
 		next      atomic.Int64
 		wg        sync.WaitGroup
 		panicOnce sync.Once
-		panicked  any
+		panicked  *PanicError
 	)
 	workers := p.workers
 	if workers > n {
@@ -105,7 +109,8 @@ func (p *Pool) Map(n int, f func(i int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = r })
+					pe := &PanicError{Value: r, Stack: debug.Stack()}
+					panicOnce.Do(func() { panicked = pe })
 				}
 			}()
 			for {

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -34,8 +35,18 @@ func TestMapEmptyAndSingle(t *testing.T) {
 
 func TestMapPropagatesPanic(t *testing.T) {
 	defer func() {
-		if r := recover(); r != "boom" {
-			t.Fatalf("recovered %v, want boom", r)
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", pe)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("panic value = %v, want boom", pe.Value)
+		}
+		// The stack must be the worker's, captured at recover time:
+		// it names the panicking closure in this file, which the
+		// caller-side re-raise alone would have lost.
+		if !strings.Contains(string(pe.Stack), "runner_test.go") {
+			t.Errorf("panic stack does not reach the failing call:\n%s", pe.Stack)
 		}
 	}()
 	New(4).Map(16, func(i int) {

@@ -12,7 +12,11 @@
 // original design.
 package sbuf
 
-import "repro/internal/predict"
+import (
+	"fmt"
+
+	"repro/internal/predict"
+)
 
 // AllocPolicy selects the stream-buffer allocation filter (§4.3).
 type AllocPolicy int
@@ -110,6 +114,41 @@ func DefaultConfig() Config {
 		NonOverlapCheck:  true,
 		PageBytes:        4096,
 	}
+}
+
+// Validate reports whether the configuration can build an Engine
+// without panicking: positive buffer geometry within sane bounds,
+// recognized policies, non-negative counter parameters, and — when
+// the per-buffer TLB cache is enabled — a power-of-two page size.
+func (c Config) Validate() error {
+	const maxGeom = 1 << 12
+	if c.NumBuffers <= 0 || c.NumBuffers > maxGeom {
+		return fmt.Errorf("sbuf: buffer count %d outside 1..%d", c.NumBuffers, maxGeom)
+	}
+	if c.EntriesPerBuffer <= 0 || c.EntriesPerBuffer > maxGeom {
+		return fmt.Errorf("sbuf: entries per buffer %d outside 1..%d", c.EntriesPerBuffer, maxGeom)
+	}
+	if c.BlockBytes <= 0 || c.BlockBytes > 1<<20 {
+		return fmt.Errorf("sbuf: block size %d outside 1..%d", c.BlockBytes, 1<<20)
+	}
+	switch c.Alloc {
+	case AllocAlways, AllocTwoMiss, AllocConfidence:
+	default:
+		return fmt.Errorf("sbuf: unknown allocation policy %d", int(c.Alloc))
+	}
+	switch c.Sched {
+	case SchedRoundRobin, SchedPriority:
+	default:
+		return fmt.Errorf("sbuf: unknown scheduling policy %d", int(c.Sched))
+	}
+	if c.ConfThreshold < 0 || c.PriorityMax < 0 || c.HitIncrement < 0 || c.AgingPeriod < 0 {
+		return fmt.Errorf("sbuf: negative counter parameter (conf=%d prioMax=%d hitInc=%d aging=%d)",
+			c.ConfThreshold, c.PriorityMax, c.HitIncrement, c.AgingPeriod)
+	}
+	if c.CacheTLBInBuffer && (c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0) {
+		return fmt.Errorf("sbuf: per-buffer TLB cache needs a power-of-two page size, got %d", c.PageBytes)
+	}
+	return nil
 }
 
 // Fetcher is the slice of the memory system a stream buffer engine
@@ -256,10 +295,11 @@ type Engine struct {
 }
 
 // NewEngine builds an engine directing prefetches with pred and
-// issuing them through fetch.
+// issuing them through fetch; it panics if cfg.Validate rejects the
+// configuration.
 func NewEngine(cfg Config, pred predict.Predictor, fetch Fetcher) *Engine {
-	if cfg.NumBuffers <= 0 || cfg.EntriesPerBuffer <= 0 || cfg.BlockBytes <= 0 {
-		panic("sbuf: bad engine geometry")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	e := &Engine{cfg: cfg, pred: pred, fetch: fetch,
 		bufs:     make([]buffer, cfg.NumBuffers),

@@ -76,15 +76,17 @@ func (r Result) SpeedupOver(base Result) float64 {
 	return (r.IPC()/base.IPC() - 1) * 100
 }
 
-// Run simulates the workload under the given prefetcher variant.
-//
-// Run is safe for concurrent use: every call builds a private machine,
-// memory hierarchy and prefetcher, and the packages it draws on keep
-// no mutable package-level state (workload registration happens at
-// init time and is read-only afterwards). Two concurrent Runs with
-// equal arguments return equal Results.
-func Run(w workload.Workload, v core.Variant, cfg Config) Result {
-	machine := w.Build(cfg.Seed)
+// machine bundles the private simulated machine one Run builds.
+type machine struct {
+	cpu  *cpu.CPU
+	hier *mem.Hierarchy
+	pf   sbuf.Prefetcher
+	hist *predict.DeltaHistogram
+}
+
+// build constructs a fresh machine for one run.
+func build(w workload.Workload, v core.Variant, cfg Config) machine {
+	guest := w.Build(cfg.Seed)
 	hier := mem.New(cfg.Mem)
 	// Keep the stream-buffer block size in sync with the L1D line.
 	opts := cfg.Opts
@@ -92,27 +94,45 @@ func Run(w workload.Workload, v core.Variant, cfg Config) Result {
 	opts.SFM.BlockShift = blockShift(cfg.Mem.L1D.BlockBytes)
 	pf := core.NewWithOptions(v, opts, hier)
 
-	c := cpu.New(cfg.CPU, hier, pf, cpu.MachineSource{M: machine})
+	c := cpu.New(cfg.CPU, hier, pf, cpu.MachineSource{M: guest})
 	var hist *predict.DeltaHistogram
 	if cfg.CollectFig4 {
 		hist = predict.NewDeltaHistogram(1<<16, opts.SFM.BlockShift)
 		c.SetDeltaHistogram(hist)
 	}
-	st := c.Run(cfg.MaxInsts)
+	return machine{cpu: c, hier: hier, pf: pf, hist: hist}
+}
 
+// result assembles the Result of a finished (or aborted) run.
+func (m machine) result(w workload.Workload, v core.Variant, st cpu.Stats) Result {
 	return Result{
 		Workload:    w.Name,
 		Variant:     v,
 		CPU:         st,
-		SB:          pf.Stats(),
-		L1D:         hier.L1D.Stats(),
-		L1I:         hier.L1I.Stats(),
-		L2:          hier.L2.Stats(),
-		L1L2Util:    hier.L1L2.Utilization(st.Cycles),
-		MemBusUtil:  hier.MemBus.Utilization(st.Cycles),
-		TLBMissRate: hier.DTLB.MissRate(),
-		Hist:        hist,
+		SB:          m.pf.Stats(),
+		L1D:         m.hier.L1D.Stats(),
+		L1I:         m.hier.L1I.Stats(),
+		L2:          m.hier.L2.Stats(),
+		L1L2Util:    m.hier.L1L2.Utilization(st.Cycles),
+		MemBusUtil:  m.hier.MemBus.Utilization(st.Cycles),
+		TLBMissRate: m.hier.DTLB.MissRate(),
+		Hist:        m.hist,
 	}
+}
+
+// Run simulates the workload under the given prefetcher variant.
+//
+// Run is safe for concurrent use: every call builds a private machine,
+// memory hierarchy and prefetcher, and the packages it draws on keep
+// no mutable package-level state (workload registration happens at
+// init time and is read-only afterwards). Two concurrent Runs with
+// equal arguments return equal Results.
+//
+// Run panics on invalid configurations and simulated deadlocks;
+// RunChecked is the errors-as-values path.
+func Run(w workload.Workload, v core.Variant, cfg Config) Result {
+	m := build(w, v, cfg)
+	return m.result(w, v, m.cpu.Run(cfg.MaxInsts))
 }
 
 // RunWithPrefetcher simulates the workload with a caller-constructed

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ConfigError reports an invalid simulation configuration, detected by
+// Validate before any simulation work starts. It is the errors-as-
+// values form of the geometry panics the component constructors raise.
+type ConfigError struct {
+	// Field is the dotted path of the offending component, e.g.
+	// "Mem.L1D" or "Opts.SFM".
+	Field string
+	// Err is the component's own validation error.
+	Err error
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid config at %s: %v", e.Field, e.Err)
+}
+
+// Unwrap exposes the component error to errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// Validate reports whether the configuration can build and run a
+// simulation without a geometry panic. It applies the same block-size
+// synchronization Run applies (stream-buffer blocks track the L1D
+// line), so fields Run overrides are not a reason to reject a config.
+// Every error is a *ConfigError naming the offending component.
+func (cfg Config) Validate() error {
+	if err := cfg.CPU.Validate(); err != nil {
+		return &ConfigError{Field: "CPU", Err: err}
+	}
+	if err := cfg.Mem.Validate(); err != nil {
+		return &ConfigError{Field: "Mem", Err: err}
+	}
+	opts := cfg.Opts
+	opts.Buffers.BlockBytes = cfg.Mem.L1D.BlockBytes
+	opts.SFM.BlockShift = blockShift(cfg.Mem.L1D.BlockBytes)
+	if err := opts.Buffers.Validate(); err != nil {
+		return &ConfigError{Field: "Opts.Buffers", Err: err}
+	}
+	if err := opts.SFM.Validate(); err != nil {
+		return &ConfigError{Field: "Opts.SFM", Err: err}
+	}
+	if cfg.MaxInsts == 0 {
+		return &ConfigError{Field: "MaxInsts",
+			Err: errors.New("instruction budget must be positive (the benchmarks loop forever)")}
+	}
+	return nil
+}
+
+// RunChecked is Run with errors as values: the configuration is
+// validated up front (returning a *ConfigError before any simulation
+// work), the cpu no-commit watchdog surfaces as a *cpu.DeadlockError
+// instead of a panic, and ctx cancellation or deadline aborts the run
+// with ctx's error. On error the Result still carries whatever was
+// simulated up to the abort. Like Run, RunChecked is safe for
+// concurrent use and deterministic for equal arguments.
+func RunChecked(ctx context.Context, w workload.Workload, v core.Variant, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !v.Known() {
+		return Result{}, &ConfigError{Field: "Variant",
+			Err: fmt.Errorf("unknown variant %d", int(v))}
+	}
+	m := build(w, v, cfg)
+	st, err := m.cpu.RunChecked(ctx, cfg.MaxInsts)
+	return m.result(w, v, st), err
+}
