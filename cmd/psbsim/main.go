@@ -7,6 +7,7 @@
 //	psbsim -bench all -scheme all        # full cross product
 //	psbsim -bench all -scheme all -parallel -1   # ... across all cores
 //	psbsim -bench all -scheme all -job-timeout 2m -retries 2
+//	psbsim -bench all -scheme all -trace-dir traces/   # persist and reuse .psbtrace recordings
 //	psbsim -list                         # show benchmarks and schemes
 //
 // A run that panics or trips the -job-timeout watchdog prints a FAILED
@@ -68,6 +69,8 @@ func main() {
 		retries    = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
 		list       = flag.Bool("list", false, "list benchmarks and schemes")
 		verbose    = flag.Bool("v", false, "print the full statistics block")
+		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
+		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
 	)
 	flag.Parse()
 
@@ -92,6 +95,18 @@ func main() {
 	if *noDis {
 		cfg.CPU.Disambiguation = cpu.DisNone
 	}
+	traceMode, err := sim.ParseTraceMode(*traceFlag)
+	if err != nil {
+		usageError("%v", err)
+	}
+	if *traceDir != "" && traceMode == sim.TraceMemory {
+		traceMode = sim.TraceDisk
+	}
+	if traceMode == sim.TraceDisk && *traceDir == "" {
+		usageError("-trace disk needs -trace-dir to name the recording directory")
+	}
+	cfg.TraceMode = traceMode
+	cfg.TraceDir = *traceDir
 
 	var benches []workload.Workload
 	if *benchName == "all" {

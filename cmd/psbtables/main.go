@@ -10,6 +10,8 @@
 //	psbtables -insts 1000000       # larger instruction budget
 //	psbtables -csv                 # CSV instead of aligned text
 //	psbtables -all -parallel -1    # fan simulations across all cores
+//	psbtables -all -trace off      # re-run the functional VM per cell (pre-trace behavior)
+//	psbtables -all -trace-dir traces/   # persist .psbtrace recordings and reuse them next run
 //	psbtables -all -checkpoint run.jsonl          # journal completed cells
 //	psbtables -all -checkpoint run.jsonl -resume  # skip cells already journaled
 //	psbtables -all -job-timeout 2m                # watchdog per simulation
@@ -40,6 +42,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -83,7 +86,9 @@ func run() int {
 		resume     = flag.Bool("resume", false, "load cells already journaled in -checkpoint instead of re-running them")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock budget per simulation attempt (0 = unlimited)")
 		retries    = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
-		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel and write BENCH_runner.json")
+		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel, live vs traced, and write BENCH_runner.json")
+		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
+		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -137,10 +142,23 @@ func run() int {
 		}()
 	}
 
+	traceMode, err := sim.ParseTraceMode(*traceFlag)
+	if err != nil {
+		usageError("%v", err)
+	}
+	if *traceDir != "" && traceMode == sim.TraceMemory {
+		traceMode = sim.TraceDisk
+	}
+	if traceMode == sim.TraceDisk && *traceDir == "" {
+		usageError("-trace disk needs -trace-dir to name the recording directory")
+	}
+
 	cfg := sim.Default()
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
+	cfg.TraceMode = traceMode
+	cfg.TraceDir = *traceDir
 	if err := cfg.Validate(); err != nil {
 		usageError("invalid configuration: %v", err)
 	}
@@ -199,8 +217,9 @@ func run() int {
 	}
 	var m *experiments.Matrix
 	if needMatrix {
-		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d schemes at %d instructions each (workers=%d)...\n",
-			len(workload.All()), len(experiments.Schemes()), cfg.MaxInsts, runner.ForWorkers(cfg.Workers).Workers())
+		fmt.Fprintf(os.Stderr, "running %d benchmarks x %d schemes at %d instructions each (workers=%d, trace=%s)...\n",
+			len(workload.All()), len(experiments.Schemes()), cfg.MaxInsts,
+			runner.ForWorkers(cfg.Workers).Workers(), cfg.TraceMode)
 		m = s.Matrix()
 	}
 
@@ -274,41 +293,72 @@ func run() int {
 	return 0
 }
 
-// benchRunner times one full RunMatrix serially and one with a worker
-// per core, then records the headline runner numbers in
-// BENCH_runner.json (consumed by EXPERIMENTS.md and future perf PRs).
+// benchRunner times four full RunMatrix configurations — serial and
+// all-cores, each with tracing off and with the in-memory trace cache —
+// and records the headline runner numbers in BENCH_runner.json
+// (consumed by EXPERIMENTS.md and future perf PRs). The traced legs
+// include the one-time recording cost: the cache starts cold for the
+// serial traced run, so its time is what a user sees on a first traced
+// invocation, and the parallel traced leg then measures the warm
+// steady state.
 func benchRunner(cfg sim.Config) error {
 	sims := len(workload.All()) * len(experiments.Schemes())
-	workers := runner.New(0).Workers()
 
-	serialCfg := cfg
-	serialCfg.Workers = 0
-	start := time.Now()
-	experiments.RunMatrix(serialCfg)
-	serialSec := time.Since(start).Seconds()
+	matrix := func(workers int, mode sim.TraceMode) float64 {
+		c := cfg
+		c.Workers = workers
+		c.TraceMode = mode
+		c.TraceDir = ""
+		start := time.Now()
+		experiments.RunMatrix(c)
+		return time.Since(start).Seconds()
+	}
 
-	parCfg := cfg
-	parCfg.Workers = -1
-	start = time.Now()
-	experiments.RunMatrix(parCfg)
-	parSec := time.Since(start).Seconds()
+	serialSec := matrix(0, sim.TraceOff)
+	parSec := matrix(-1, sim.TraceOff)
+	serialTracedSec := matrix(0, sim.TraceMemory)
+	parTracedSec := matrix(-1, sim.TraceMemory)
+	ts := trace.Shared().Stats()
 
+	totalInsts := float64(cfg.MaxInsts) * float64(sims)
 	out := struct {
-		Insts         uint64  `json:"insts_per_sim"`
-		Sims          int     `json:"sims"`
-		Workers       int     `json:"workers"`
-		SerialSec     float64 `json:"serial_sec"`
-		ParallelSec   float64 `json:"parallel_sec"`
-		SimsPerSecPar float64 `json:"sims_per_sec_parallel"`
-		Speedup       float64 `json:"speedup"`
+		Insts            uint64  `json:"insts_per_sim"`
+		Sims             int     `json:"sims"`
+		WorkersFlag      int     `json:"workers_flag"`
+		Workers          int     `json:"workers"`
+		GOMAXPROCS       int     `json:"gomaxprocs"`
+		SerialSec        float64 `json:"serial_sec"`
+		ParallelSec      float64 `json:"parallel_sec"`
+		SerialTracedSec  float64 `json:"serial_traced_sec"`
+		ParTracedSec     float64 `json:"parallel_traced_sec"`
+		SimsPerSecPar    float64 `json:"sims_per_sec_parallel"`
+		SimsPerSecBest   float64 `json:"sims_per_sec_parallel_traced"`
+		InstsPerSecBest  float64 `json:"insts_per_sec_parallel_traced"`
+		SpeedupParallel  float64 `json:"speedup_parallel"`
+		SpeedupTrace     float64 `json:"speedup_trace"`
+		SpeedupCombined  float64 `json:"speedup_combined"`
+		TraceHits        uint64  `json:"trace_hits"`
+		TraceMisses      uint64  `json:"trace_misses"`
+		TraceRecordedIns uint64  `json:"trace_recorded_insts"`
 	}{
-		Insts:         cfg.MaxInsts,
-		Sims:          sims,
-		Workers:       workers,
-		SerialSec:     serialSec,
-		ParallelSec:   parSec,
-		SimsPerSecPar: float64(sims) / parSec,
-		Speedup:       serialSec / parSec,
+		Insts:            cfg.MaxInsts,
+		Sims:             sims,
+		WorkersFlag:      -1,
+		Workers:          runner.ForWorkers(-1).Workers(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		SerialSec:        serialSec,
+		ParallelSec:      parSec,
+		SerialTracedSec:  serialTracedSec,
+		ParTracedSec:     parTracedSec,
+		SimsPerSecPar:    float64(sims) / parSec,
+		SimsPerSecBest:   float64(sims) / parTracedSec,
+		InstsPerSecBest:  totalInsts / parTracedSec,
+		SpeedupParallel:  serialSec / parSec,
+		SpeedupTrace:     serialSec / serialTracedSec,
+		SpeedupCombined:  serialSec / parTracedSec,
+		TraceHits:        ts.Hits,
+		TraceMisses:      ts.Misses,
+		TraceRecordedIns: ts.RecordedInsts,
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -318,8 +368,9 @@ func benchRunner(cfg sim.Config) error {
 	if err := os.WriteFile("BENCH_runner.json", b, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "BENCH_runner.json: %d sims, serial %.2fs, parallel %.2fs (%d workers, %.2fx)\n",
-		sims, serialSec, parSec, workers, out.Speedup)
+	fmt.Fprintf(os.Stderr,
+		"BENCH_runner.json: %d sims, serial %.2fs, parallel %.2fs, traced serial %.2fs, traced parallel %.2fs (%d workers, %.2fx combined)\n",
+		sims, serialSec, parSec, serialTracedSec, parTracedSec, out.Workers, out.SpeedupCombined)
 	fmt.Println(string(b))
 	return nil
 }

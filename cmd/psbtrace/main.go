@@ -1,14 +1,17 @@
-// Command psbtrace characterizes a benchmark's miss stream: it runs
-// the functional simulator, filters the reference stream through a
-// standalone L1 model, and reports the properties that determine how
-// prefetchable the program is — miss rate, the block-delta mix
-// (stride vs pointer), the Markov working set, and oracle
-// predictability. It is the analysis companion to the timing tools.
+// Command psbtrace characterizes a benchmark's miss stream: it obtains
+// the committed-path instruction trace (recording it via the shared
+// trace cache, or replaying a .psbtrace file recorded earlier), filters
+// the reference stream through a standalone L1 model, and reports the
+// properties that determine how prefetchable the program is — miss
+// rate, the block-delta mix (stride vs pointer), the Markov working
+// set, and oracle predictability. It is the analysis companion to the
+// timing tools.
 //
 // Usage:
 //
 //	psbtrace -bench health -insts 500000
 //	psbtrace -bench all
+//	psbtrace -bench all -trace-dir traces/   # reuse recordings across runs and tools
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/predict"
+	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -28,6 +33,7 @@ func main() {
 		insts     = flag.Uint64("insts", 500_000, "instructions to trace")
 		seed      = flag.Int64("seed", 1, "workload layout seed")
 		topN      = flag.Int("top", 8, "block deltas to list")
+		traceDir  = flag.String("trace-dir", "", "directory for .psbtrace recordings (shared with psbtables/psbsim)")
 	)
 	flag.Parse()
 
@@ -43,12 +49,20 @@ func main() {
 		benches = []workload.Workload{w}
 	}
 	for _, w := range benches {
-		analyze(w, *insts, *seed, *topN)
+		if err := analyze(w, *insts, *seed, *topN, *traceDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
-func analyze(w workload.Workload, insts uint64, seed int64, topN int) {
-	m := w.Build(seed)
+func analyze(w workload.Workload, insts uint64, seed int64, topN int, dir string) error {
+	key := trace.Key{Workload: w.Name, Seed: seed, MaxInsts: insts}
+	replay, err := trace.Shared().Source(key, insts, dir,
+		func() *vm.Machine { return w.Build(seed) })
+	if err != nil {
+		return err
+	}
 	l1 := mem.NewCache(mem.DefaultConfig().L1D)
 	hist := predict.NewDeltaHistogram(1<<16, 5)
 
@@ -59,23 +73,15 @@ func analyze(w workload.Workload, insts uint64, seed int64, topN int) {
 	var lastMissBlk uint64
 	haveLast := false
 
-	for i := uint64(0); i < insts; i++ {
-		d, err := m.Step()
-		if err != nil {
-			break
-		}
-		if !d.Op.IsMem() {
-			continue
-		}
+	trace.FilterL1(trace.Limit(replay, insts), l1, func(d vm.DynInst, miss bool) {
 		if d.IsLoad() {
 			loads++
 		} else {
 			stores++
 		}
-		if l1.Access(d.EffAddr) {
-			continue
+		if !miss {
+			return
 		}
-		l1.Insert(d.EffAddr)
 		misses++
 		blk := d.EffAddr >> 5
 		missBlocks[blk] = struct{}{}
@@ -88,7 +94,7 @@ func analyze(w workload.Workload, insts uint64, seed int64, topN int) {
 			lastMissBlk = blk
 			haveLast = true
 		}
-	}
+	})
 
 	fmt.Printf("=== %s (%d instructions) ===\n", w.Name, insts)
 	fmt.Printf("loads %d (%.1f%%)  stores %d (%.1f%%)  L1 misses %d (%.1f%% of refs)\n",
@@ -110,7 +116,14 @@ func analyze(w workload.Workload, insts uint64, seed int64, topN int) {
 		sorted = append(sorted, dc{d, c})
 		total += c
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].count > sorted[j].count })
+	// Tie-break equal counts by delta so the report is deterministic
+	// (the map's iteration order is not).
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].count != sorted[j].count {
+			return sorted[i].count > sorted[j].count
+		}
+		return sorted[i].delta < sorted[j].delta
+	})
 	fmt.Printf("top miss-stream block deltas:\n")
 	for i, e := range sorted {
 		if i >= topN {
@@ -127,6 +140,7 @@ func analyze(w workload.Workload, insts uint64, seed int64, topN int) {
 	}
 	fmt.Printf("  (top %d deltas cover %.1f%% — higher means stride-friendlier)\n\n",
 		topN, pct(covered, total))
+	return nil
 }
 
 func pct(a, b uint64) float64 {

@@ -116,6 +116,9 @@ func (s Stats) PctStores() float64 {
 
 const noDep = -1
 
+// noList terminates the un-issued and store index lists.
+const noList = int32(-1)
+
 type robEntry struct {
 	d   vm.DynInst
 	seq uint64
@@ -124,8 +127,16 @@ type robEntry struct {
 	issued     bool
 	completeAt uint64
 
+	// Dependencies are resolved against the register scoreboard at
+	// dispatch when the producer has already issued: dep[i] == noDep
+	// and depAt[i] holds the cycle the value is ready (0 = ready from
+	// the start). Otherwise dep[i]/depSeq[i] name the producing ROB
+	// entry, and the first issue-scan that observes the producer
+	// issued collapses the link into depAt[i] — after that the
+	// wake-up check is a scalar compare, never a ROB dereference.
 	dep    [2]int
 	depSeq [2]uint64
+	depAt  [2]uint64
 
 	isLoad, isStore bool
 	mispredicted    bool
@@ -158,6 +169,31 @@ type CPU struct {
 
 	lastWriter    [isa.NumRegs]int
 	lastWriterSeq [isa.NumRegs]uint64
+
+	// Register scoreboard: regKnown is a ready bitmask over the
+	// unified 64-register name space — bit r set means the cycle at
+	// which r's architectural value is (or becomes) available is
+	// known and stored in regReadyAt[r]. Dispatch clears the writer's
+	// bit; issue (writeback scheduling) sets it with the writer's
+	// completion cycle. Consumers dispatching while the bit is set
+	// capture the ready cycle directly and never touch the producer's
+	// ROB entry.
+	regKnown   uint64
+	regReadyAt [isa.NumRegs]uint64
+
+	// issueQ threads the un-issued ROB entries in age order (indices
+	// into rob; noList-terminated), so the issue scan visits only
+	// candidates instead of walking completed entries every cycle.
+	issueQ    []int32
+	issueHead int32
+	issueTail int32
+
+	// storeQ is a ring of the ROB indices of in-flight stores in age
+	// order (stores dispatch and commit in order), so load/store
+	// disambiguation scans stores only, not the whole window.
+	storeQ     []int32
+	storeHead  int
+	storeCount int
 
 	// fetchQ is a fixed-capacity ring (head fqHead, length fqLen):
 	// the queue drains from the front every cycle, and a ring avoids
@@ -193,11 +229,17 @@ func New(cfg Config, hier *mem.Hierarchy, pf sbuf.Prefetcher, src Source) *CPU {
 		bp:         NewGshare(cfg.Gshare),
 		rob:        make([]robEntry, cfg.ROBSize),
 		fetchQ:     make([]fetchItem, cfg.FetchQueueSize),
+		issueQ:     make([]int32, cfg.ROBSize),
+		storeQ:     make([]int32, cfg.ROBSize),
+		issueHead:  noList,
+		issueTail:  noList,
 		lastIBlock: math.MaxUint64,
 	}
 	for i := range c.lastWriter {
 		c.lastWriter[i] = noDep
 	}
+	// Every register starts architectural: ready since cycle 0.
+	c.regKnown = ^uint64(0)
 	// Build FU pools; divides share their multiplier's units and
 	// branches execute on the integer ALUs, as in the paper.
 	c.pools[isa.ClassNop] = newFUPool(cfg.FUCount[isa.ClassNop])
@@ -232,19 +274,31 @@ func (c *CPU) Hierarchy() *mem.Hierarchy { return c.hier }
 // Prefetcher returns the prefetcher under study.
 func (c *CPU) Prefetcher() sbuf.Prefetcher { return c.pf }
 
-// depReady reports whether the dependency (idx,seq) has produced its
-// value by cycle.
-func (c *CPU) depReady(idx int, seq, cycle uint64) bool {
+// depSatisfied reports whether dependency i of e has produced its
+// value by the current cycle. Readiness is monotonic — a producer's
+// completion cycle never changes once it issues, and a recycled slot
+// means the value went architectural — so the first observation that
+// pins the ready cycle collapses the ROB link into depAt[i] and every
+// later check is a scalar compare.
+func (c *CPU) depSatisfied(e *robEntry, i int) bool {
+	idx := e.dep[i]
 	if idx == noDep {
-		return true
+		return e.depAt[i] <= c.cycle
 	}
-	e := &c.rob[idx]
-	if e.seq != seq {
+	p := &c.rob[idx]
+	if p.seq != e.depSeq[i] {
 		// The producer committed and its slot was recycled; the value
 		// is architectural.
+		e.dep[i] = noDep
+		e.depAt[i] = 0
 		return true
 	}
-	return e.issued && e.completeAt <= cycle
+	if !p.issued {
+		return false
+	}
+	e.dep[i] = noDep
+	e.depAt[i] = p.completeAt
+	return p.completeAt <= c.cycle
 }
 
 // DefaultWatchdogCycles is the no-commit watchdog threshold used when
@@ -437,40 +491,61 @@ func (c *CPU) dispatch() {
 				continue
 			}
 			if w := c.lastWriter[src]; w != noDep {
-				e.dep[i] = w
-				e.depSeq[i] = c.lastWriterSeq[src]
+				if c.regKnown&(1<<src) != 0 {
+					// The producer already issued: capture its ready
+					// cycle from the scoreboard instead of its entry.
+					e.depAt[i] = c.regReadyAt[src]
+				} else {
+					e.dep[i] = w
+					e.depSeq[i] = c.lastWriterSeq[src]
+				}
 			}
 		}
 		if rd := item.d.Rd; rd != isa.RegNone && rd != isa.R0 {
 			c.lastWriter[rd] = idx
 			c.lastWriterSeq[rd] = c.seq
+			c.regKnown &^= 1 << rd
+		}
+		// Thread the entry onto the age-ordered un-issued list (and
+		// the store ring for disambiguation).
+		c.issueQ[idx] = noList
+		if c.issueTail == noList {
+			c.issueHead = int32(idx)
+		} else {
+			c.issueQ[c.issueTail] = int32(idx)
+		}
+		c.issueTail = int32(idx)
+		if e.isStore {
+			c.storeQ[(c.storeHead+c.storeCount)%len(c.storeQ)] = int32(idx)
+			c.storeCount++
 		}
 	}
 }
 
-// issue wakes up and selects ready instructions, oldest first.
+// issue wakes up and selects ready instructions, oldest first. It
+// walks the age-ordered un-issued list — completed entries waiting to
+// commit are never revisited — and unlinks each entry as it issues.
 func (c *CPU) issue() {
 	budget := c.cfg.IssueWidth
-	for i := 0; i < c.robCount && budget > 0; i++ {
-		idx := (c.robHead + i) % len(c.rob)
-		e := &c.rob[idx]
-		if e.issued {
-			continue
-		}
+	prev := noList
+	for cur := c.issueHead; cur != noList && budget > 0; {
+		e := &c.rob[cur]
 		if e.dispatched >= c.cycle {
 			break // this and everything younger dispatched too recently
 		}
-		if !c.depReady(e.dep[0], e.depSeq[0], c.cycle) ||
-			!c.depReady(e.dep[1], e.depSeq[1], c.cycle) {
+		if !c.depSatisfied(e, 0) || !c.depSatisfied(e, 1) {
+			prev, cur = cur, c.issueQ[cur]
 			continue
 		}
 		switch {
 		case e.isLoad:
-			if !c.issueLoad(idx, e) {
+			if !c.issueLoad(e) {
+				prev, cur = cur, c.issueQ[cur]
 				continue
 			}
 		case e.isStore:
 			if !c.issueStore(e) {
+				prev, cur = cur, c.issueQ[cur]
 				continue
 			}
 		default:
@@ -480,10 +555,29 @@ func (c *CPU) issue() {
 				occ = c.cfg.FULatency[class]
 			}
 			if !c.pools[class].tryIssue(c.cycle, occ) {
+				prev, cur = cur, c.issueQ[cur]
 				continue
 			}
 			e.issued = true
 			e.completeAt = c.cycle + c.cfg.FULatency[class]
+		}
+		// Unlink the issued entry from the un-issued list.
+		next := c.issueQ[cur]
+		if prev == noList {
+			c.issueHead = next
+		} else {
+			c.issueQ[prev] = next
+		}
+		if next == noList {
+			c.issueTail = prev
+		}
+		// Writeback scheduling: the destination's ready cycle is now
+		// known — publish it on the scoreboard unless a younger
+		// writer has already renamed the register.
+		if rd := e.d.Rd; rd != isa.RegNone && rd != isa.R0 &&
+			c.lastWriter[rd] == int(cur) && c.lastWriterSeq[rd] == e.seq {
+			c.regReadyAt[rd] = e.completeAt
+			c.regKnown |= 1 << rd
 		}
 		budget--
 		if e.mispredicted {
@@ -493,20 +587,21 @@ func (c *CPU) issue() {
 			c.fetchResume = e.completeAt + c.cfg.MispredictPenalty
 			c.lastIBlock = math.MaxUint64
 		}
+		cur = next
 	}
 }
 
-// olderStoreConflict scans stores older than the entry at robOffset.
+// olderStores scans the in-flight stores older than e (youngest
+// first, via the age-ordered store ring rather than the whole window).
 // It returns the youngest conflicting store (overlapping address) and
 // whether any older store has not yet issued (for DisNone and for
 // unresolved conflicts).
-func (c *CPU) olderStores(pos int, e *robEntry) (conflict *robEntry, anyUnissued bool) {
+func (c *CPU) olderStores(e *robEntry) (conflict *robEntry, anyUnissued bool) {
 	lo, hi := e.d.EffAddr, e.d.EffAddr+uint64(e.d.MemSize)
-	for i := pos - 1; i >= 0; i-- {
-		idx := (c.robHead + i) % len(c.rob)
-		s := &c.rob[idx]
-		if !s.isStore {
-			continue
+	for i := c.storeCount - 1; i >= 0; i-- {
+		s := &c.rob[c.storeQ[(c.storeHead+i)%len(c.storeQ)]]
+		if s.seq >= e.seq {
+			continue // younger than the load
 		}
 		if !s.issued {
 			anyUnissued = true
@@ -515,16 +610,17 @@ func (c *CPU) olderStores(pos int, e *robEntry) (conflict *robEntry, anyUnissued
 		if lo < sHi && sLo < hi && conflict == nil {
 			conflict = s
 		}
+		if conflict != nil && anyUnissued {
+			break // both answers are pinned; older stores can't change them
+		}
 	}
 	return conflict, anyUnissued
 }
 
-// issueLoad attempts to issue the load at ROB slot idx; it reports
-// whether the load issued this cycle.
-func (c *CPU) issueLoad(idx int, e *robEntry) bool {
-	// Position of idx relative to robHead.
-	pos := (idx - c.robHead + len(c.rob)) % len(c.rob)
-	conflict, anyUnissued := c.olderStores(pos, e)
+// issueLoad attempts to issue the load e; it reports whether the load
+// issued this cycle.
+func (c *CPU) issueLoad(e *robEntry) bool {
+	conflict, anyUnissued := c.olderStores(e)
 
 	switch c.cfg.Disambiguation {
 	case DisNone:
@@ -663,6 +759,10 @@ func (c *CPU) commit() {
 		}
 		if e.isStore {
 			c.stats.Stores++
+			// Stores commit in age order, so this store is the ring's
+			// oldest entry.
+			c.storeHead = (c.storeHead + 1) % len(c.storeQ)
+			c.storeCount--
 		}
 		if rd := e.d.Rd; rd != isa.RegNone && rd != isa.R0 {
 			if c.lastWriter[rd] == c.robHead && c.lastWriterSeq[rd] == e.seq {

@@ -82,6 +82,7 @@ func runMatrixWith(cfg sim.Config, run cellRunner) *Matrix {
 			jobs = append(jobs, runner.Job{Workload: w, Variant: v, Config: cfg})
 		}
 	}
+	warmTraces(jobs, cfg.Workers)
 	cells := run(jobs)
 
 	m := &Matrix{
@@ -160,6 +161,7 @@ func fig4With(cfg sim.Config, run cellRunner) *stats.Table {
 	for i, w := range benches {
 		jobs[i] = runner.Job{Workload: w, Variant: core.None, Config: cfg}
 	}
+	warmTraces(jobs, cfg.Workers)
 	cells := run(jobs)
 	for i, w := range benches {
 		row := []string{w.Name}
@@ -265,6 +267,7 @@ func fig10With(cfg sim.Config, run cellRunner) *stats.Table {
 			}
 		}
 	}
+	warmTraces(jobs, cfg.Workers)
 	cells := run(jobs)
 	i := 0
 	for _, w := range benches {
@@ -309,6 +312,7 @@ func fig11With(cfg sim.Config, run cellRunner) *stats.Table {
 			}
 		}
 	}
+	warmTraces(jobs, cfg.Workers)
 	cells := run(jobs)
 	perBench := len(jobs) / len(benches)
 	for i, w := range benches {

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// warmTraces pre-records the trace of every distinct (workload, seed,
+// budget) stream a job list draws on, spreading the recordings across
+// workers. It is a no-op for jobs with tracing off. Without warming,
+// the first wave of parallel cells would all block on the handful of
+// per-key recorders; with it, recording itself is parallel across
+// workloads and every subsequent cell is a pure replay. Recording
+// failures (disk I/O) are deliberately swallowed here: the affected
+// cells hit the same error themselves and report it with full cell
+// attribution.
+func warmTraces(jobs []runner.Job, workers int) {
+	type item struct {
+		w   workload.Workload
+		cfg sim.Config
+	}
+	seen := make(map[trace.Key]bool)
+	var items []item
+	for _, j := range jobs {
+		if j.Config.TraceMode == sim.TraceOff {
+			continue
+		}
+		k := sim.TraceKey(j.Workload, j.Config)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		items = append(items, item{j.Workload, j.Config})
+	}
+	runner.ForWorkers(workers).Map(len(items), func(i int) {
+		_ = sim.WarmTrace(items[i].w, items[i].cfg)
+	})
+}

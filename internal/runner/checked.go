@@ -86,9 +86,10 @@ func DefaultOptions() Options { return Options{Retries: 1} }
 
 // Fingerprint returns the job's deterministic identity: a hash of the
 // workload name, variant and configuration. Two jobs that must produce
-// equal results have equal fingerprints; Config.Workers is excluded
-// because concurrency does not affect results. Checkpoint entries are
-// keyed by this.
+// equal results have equal fingerprints; Config.Workers and the trace
+// fields are excluded because neither concurrency nor the stream's
+// provenance (live vs replayed) affects results. Checkpoint entries
+// are keyed by this.
 func (j Job) Fingerprint() string {
 	key := struct {
 		Workload string
@@ -96,6 +97,8 @@ func (j Job) Fingerprint() string {
 		Config   sim.Config
 	}{j.Workload.Name, int(j.Variant), j.Config}
 	key.Config.Workers = 0
+	key.Config.TraceMode = sim.TraceOff
+	key.Config.TraceDir = ""
 	b, err := json.Marshal(key)
 	if err != nil {
 		// sim.Config is plain data; Marshal cannot fail on it.

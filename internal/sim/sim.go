@@ -34,6 +34,16 @@ type Config struct {
 	// available CPU. An individual Run is always single-threaded, and
 	// results do not depend on Workers (see internal/runner).
 	Workers int
+
+	// TraceMode selects how the run obtains its instruction stream:
+	// live functional execution (TraceOff), the process-wide trace
+	// cache (TraceMemory), or the cache backed by .psbtrace files in
+	// TraceDir (TraceDisk). Results are identical in every mode; see
+	// internal/trace.
+	TraceMode TraceMode
+	// TraceDir is the trace directory TraceDisk loads from and saves
+	// to. Ignored in the other modes.
+	TraceDir string
 }
 
 // Default returns the paper's baseline machine with a 500K-instruction
@@ -84,9 +94,13 @@ type machine struct {
 	hist *predict.DeltaHistogram
 }
 
-// build constructs a fresh machine for one run.
-func build(w workload.Workload, v core.Variant, cfg Config) machine {
-	guest := w.Build(cfg.Seed)
+// build constructs a fresh machine for one run. The only error source
+// is the trace cache (disk I/O); with TraceOff it never fails.
+func build(w workload.Workload, v core.Variant, cfg Config) (machine, error) {
+	src, err := source(w, cfg)
+	if err != nil {
+		return machine{}, err
+	}
 	hier := mem.New(cfg.Mem)
 	// Keep the stream-buffer block size in sync with the L1D line.
 	opts := cfg.Opts
@@ -94,13 +108,13 @@ func build(w workload.Workload, v core.Variant, cfg Config) machine {
 	opts.SFM.BlockShift = blockShift(cfg.Mem.L1D.BlockBytes)
 	pf := core.NewWithOptions(v, opts, hier)
 
-	c := cpu.New(cfg.CPU, hier, pf, cpu.MachineSource{M: guest})
+	c := cpu.New(cfg.CPU, hier, pf, src)
 	var hist *predict.DeltaHistogram
 	if cfg.CollectFig4 {
 		hist = predict.NewDeltaHistogram(1<<16, opts.SFM.BlockShift)
 		c.SetDeltaHistogram(hist)
 	}
-	return machine{cpu: c, hier: hier, pf: pf, hist: hist}
+	return machine{cpu: c, hier: hier, pf: pf, hist: hist}, nil
 }
 
 // result assembles the Result of a finished (or aborted) run.
@@ -131,7 +145,10 @@ func (m machine) result(w workload.Workload, v core.Variant, st cpu.Stats) Resul
 // Run panics on invalid configurations and simulated deadlocks;
 // RunChecked is the errors-as-values path.
 func Run(w workload.Workload, v core.Variant, cfg Config) Result {
-	m := build(w, v, cfg)
+	m, err := build(w, v, cfg)
+	if err != nil {
+		panic(err)
+	}
 	return m.result(w, v, m.cpu.Run(cfg.MaxInsts))
 }
 
@@ -141,10 +158,13 @@ func Run(w workload.Workload, v core.Variant, cfg Config) Result {
 // reported Variant is core.None since no named variant applies.
 func RunWithPrefetcher(w workload.Workload, cfg Config,
 	build func(fetch sbuf.Fetcher) sbuf.Prefetcher) Result {
-	machine := w.Build(cfg.Seed)
+	src, err := source(w, cfg)
+	if err != nil {
+		panic(err)
+	}
 	hier := mem.New(cfg.Mem)
 	pf := build(hier)
-	c := cpu.New(cfg.CPU, hier, pf, cpu.MachineSource{M: machine})
+	c := cpu.New(cfg.CPU, hier, pf, src)
 	st := c.Run(cfg.MaxInsts)
 	return Result{
 		Workload:    w.Name,

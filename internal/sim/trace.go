@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TraceMode selects how Run obtains the dynamic instruction stream.
+type TraceMode int
+
+const (
+	// TraceOff executes the functional simulator live, as the seed
+	// harness always did.
+	TraceOff TraceMode = iota
+	// TraceMemory records each (workload, seed, MaxInsts) stream once
+	// in the process-wide trace cache and replays it for every other
+	// run sharing the key. Results are bit-identical to TraceOff.
+	TraceMemory
+	// TraceDisk is TraceMemory plus persistence: recordings are loaded
+	// from and saved to Config.TraceDir as .psbtrace files, so repeat
+	// invocations skip functional execution entirely.
+	TraceDisk
+)
+
+// String renders the mode the way the -trace command-line flags spell
+// it.
+func (m TraceMode) String() string {
+	switch m {
+	case TraceOff:
+		return "off"
+	case TraceMemory:
+		return "memory"
+	case TraceDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("TraceMode(%d)", int(m))
+}
+
+// ParseTraceMode inverts String, for command-line flags.
+func ParseTraceMode(s string) (TraceMode, error) {
+	switch s {
+	case "off":
+		return TraceOff, nil
+	case "memory":
+		return TraceMemory, nil
+	case "disk":
+		return TraceDisk, nil
+	}
+	return TraceOff, fmt.Errorf("sim: unknown trace mode %q (want off, memory or disk)", s)
+}
+
+// TraceKey is the trace-cache identity of a run: the committed path
+// depends only on the workload, its heap seed and the instruction
+// budget — never on the prefetcher or machine geometry.
+func TraceKey(w workload.Workload, cfg Config) trace.Key {
+	return trace.Key{Workload: w.Name, Seed: cfg.Seed, MaxInsts: cfg.MaxInsts}
+}
+
+// TraceNeed returns how many instructions a recording must hold to
+// replace live execution for this configuration. The core fetches past
+// the commit point — speculatively issued loads shape the stats — so
+// the recording extends MaxInsts by the maximum number of in-flight
+// instructions (ROB + fetch queue + one commit group, plus slack).
+// Zero means "to program completion" (MaxInsts == 0 runs unbounded).
+func TraceNeed(cfg Config) uint64 {
+	if cfg.MaxInsts == 0 {
+		return 0
+	}
+	margin := cfg.CPU.ROBSize + cfg.CPU.FetchQueueSize + cfg.CPU.CommitWidth
+	if margin < 0 {
+		margin = 0
+	}
+	return cfg.MaxInsts + uint64(margin) + 8
+}
+
+// source returns the instruction stream for one run: the live
+// functional machine when tracing is off, otherwise a zero-copy replay
+// of the shared cache's recording (recording it first if this is the
+// key's first run).
+func source(w workload.Workload, cfg Config) (cpu.Source, error) {
+	if cfg.TraceMode == TraceOff {
+		return cpu.MachineSource{M: w.Build(cfg.Seed)}, nil
+	}
+	dir := ""
+	if cfg.TraceMode == TraceDisk {
+		dir = cfg.TraceDir
+	}
+	return trace.Shared().Source(TraceKey(w, cfg), TraceNeed(cfg), dir,
+		func() *vm.Machine { return w.Build(cfg.Seed) })
+}
+
+// WarmTrace ensures the workload's stream is recorded in the shared
+// trace cache (a no-op when cfg.TraceMode is TraceOff), so subsequent
+// Runs replay instead of racing to record. Experiment drivers call it
+// once per workload before fanning a matrix out across workers; any
+// panic from workload construction is returned as an error.
+func WarmTrace(w workload.Workload, cfg Config) (err error) {
+	if cfg.TraceMode == TraceOff {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: warming trace for %s: %v", w.Name, r)
+		}
+	}()
+	_, err = source(w, cfg)
+	return err
+}

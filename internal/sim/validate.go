@@ -53,6 +53,14 @@ func (cfg Config) Validate() error {
 		return &ConfigError{Field: "MaxInsts",
 			Err: errors.New("instruction budget must be positive (the benchmarks loop forever)")}
 	}
+	if cfg.TraceMode < TraceOff || cfg.TraceMode > TraceDisk {
+		return &ConfigError{Field: "TraceMode",
+			Err: fmt.Errorf("unknown trace mode %d (want off, memory or disk)", int(cfg.TraceMode))}
+	}
+	if cfg.TraceMode == TraceDisk && cfg.TraceDir == "" {
+		return &ConfigError{Field: "TraceDir",
+			Err: errors.New("disk trace mode requires a trace directory")}
+	}
 	return nil
 }
 
@@ -71,7 +79,10 @@ func RunChecked(ctx context.Context, w workload.Workload, v core.Variant, cfg Co
 		return Result{}, &ConfigError{Field: "Variant",
 			Err: fmt.Errorf("unknown variant %d", int(v))}
 	}
-	m := build(w, v, cfg)
+	m, err := build(w, v, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	st, err := m.cpu.RunChecked(ctx, cfg.MaxInsts)
 	return m.result(w, v, st), err
 }

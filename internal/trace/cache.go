@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vm"
+)
+
+// Key identifies one recorded stream: the committed path is a pure
+// function of the workload, its heap-layout seed and the instruction
+// budget, so two runs sharing a Key share a trace no matter which
+// prefetcher or machine geometry they evaluate.
+type Key struct {
+	Workload string
+	Seed     int64
+	MaxInsts uint64
+}
+
+// filename is the on-disk name of the key's trace.
+func (k Key) filename() string {
+	return fmt.Sprintf("%s-seed%d-n%d%s", k.Workload, k.Seed, k.MaxInsts, FileExt)
+}
+
+// Stats counts cache traffic (atomic snapshots; safe to read while
+// simulations run).
+type Stats struct {
+	// Hits is the number of requests served by replaying an existing
+	// recording; Misses the number that had to record (or extend) one.
+	Hits, Misses uint64
+	// DiskLoads counts recordings satisfied from a trace directory;
+	// DiskWrites counts .psbtrace files written.
+	DiskLoads, DiskWrites uint64
+	// RecordedInsts is the total number of instructions executed by
+	// the functional simulator on behalf of the cache — the work every
+	// hit avoided repeating.
+	RecordedInsts uint64
+}
+
+// entry is one key's recording. mu serializes recording: the first
+// requester becomes the recorder while every concurrent requester for
+// the same key blocks on mu and then replays the finished recording.
+type entry struct {
+	mu       sync.Mutex
+	insts    []vm.DynInst
+	complete bool
+	m        *vm.Machine // live recorder, kept until complete for extension
+}
+
+// satisfies reports whether the recording can serve a consumer that
+// may pull up to need instructions (need == 0 means "the whole run").
+func (e *entry) satisfies(need uint64) bool {
+	if e.complete {
+		return true
+	}
+	return need > 0 && uint64(len(e.insts)) >= need
+}
+
+// Cache records each workload's dynamic instruction stream once and
+// hands out zero-copy replay sources. The zero value is ready to use;
+// Shared returns the process-wide instance the simulator uses.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	hits, misses, diskLoads, diskWrites, recorded atomic.Uint64
+}
+
+var shared Cache
+
+// Shared returns the process-wide cache: every simulation in the
+// process (all matrix cells, across all worker goroutines) draws on
+// the same set of recordings.
+func Shared() *Cache { return &shared }
+
+// Stats returns a snapshot of the cache's traffic counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		DiskLoads:     c.diskLoads.Load(),
+		DiskWrites:    c.diskWrites.Load(),
+		RecordedInsts: c.recorded.Load(),
+	}
+}
+
+func (c *Cache) entry(k Key) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[Key]*entry)
+	}
+	e := c.entries[k]
+	if e == nil {
+		e = &entry{}
+		c.entries[k] = e
+	}
+	return e
+}
+
+// Source returns a replay source for the key's stream, recording it
+// first if no sufficient recording exists. need is the largest number
+// of instructions the consumer may pull (0 = the whole run, which
+// requires the program to halt); build constructs a fresh functional
+// machine positioned at the program's first instruction. When dir is
+// non-empty, recordings are loaded from and persisted to
+// <dir>/<workload>-seed<seed>-n<insts>.psbtrace.
+//
+// Concurrent calls with the same key serialize on the recording: one
+// caller records while the rest block, then every caller replays the
+// same backing slice without copying it.
+func (c *Cache) Source(k Key, need uint64, dir string, build func() *vm.Machine) (*Replay, error) {
+	e := c.entry(k)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if e.satisfies(need) {
+		c.hits.Add(1)
+		return &Replay{insts: e.insts}, nil
+	}
+	if dir != "" && e.insts == nil && e.m == nil {
+		if insts, complete, err := c.load(k, dir); err == nil {
+			e.insts, e.complete = insts, complete
+			if e.satisfies(need) {
+				c.diskLoads.Add(1)
+				return &Replay{insts: e.insts}, nil
+			}
+			// The file is too short for this consumer: re-record from
+			// scratch (the functional machine cannot resume mid-file).
+			e.insts, e.complete = nil, false
+		}
+	}
+
+	c.misses.Add(1)
+	if e.m == nil {
+		// Either nothing recorded yet, or a short disk trace was
+		// discarded above; start a fresh recorder.
+		e.insts, e.complete = nil, false
+		e.m = build()
+	}
+	for !e.complete && (need == 0 || uint64(len(e.insts)) < need) {
+		d, err := e.m.Step()
+		if err != nil {
+			// HALT or a functional fault: the stream ends here for
+			// every consumer, exactly as a live source would end.
+			e.complete = true
+			break
+		}
+		e.insts = append(e.insts, d)
+		c.recorded.Add(1)
+	}
+	if e.complete {
+		e.m = nil // free the guest machine; the recording is final
+	}
+	if dir != "" {
+		if err := c.store(k, dir, e.insts, e.complete); err != nil {
+			return nil, err
+		}
+	}
+	return &Replay{insts: e.insts}, nil
+}
+
+// load reads a persisted recording, returning an error when the file
+// is missing, unreadable, corrupt, or recorded under a different key.
+func (c *Cache) load(k Key, dir string) ([]vm.DynInst, bool, error) {
+	f, err := os.Open(filepath.Join(dir, k.filename()))
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	dec, err := NewDecoder(f)
+	if err != nil {
+		return nil, false, err
+	}
+	hdr := dec.Header()
+	if hdr.Workload != k.Workload || hdr.Seed != k.Seed || hdr.MaxInsts != k.MaxInsts {
+		return nil, false, fmt.Errorf("trace: %s was recorded for %s/seed=%d/n=%d",
+			k.filename(), hdr.Workload, hdr.Seed, hdr.MaxInsts)
+	}
+	insts, err := dec.ReadAll()
+	if err != nil {
+		return nil, false, err
+	}
+	return insts, hdr.Complete, nil
+}
+
+// store persists a recording via write-to-temp-then-rename, so a
+// crashed or concurrent writer never leaves a torn file behind.
+func (c *Cache) store(k Key, dir string, insts []vm.DynInst, complete bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, k.filename()+".tmp*")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	err = writeTrace(tmp, Header{
+		Workload: k.Workload, Seed: k.Seed, MaxInsts: k.MaxInsts,
+		Count: uint64(len(insts)), Complete: complete,
+	}, insts)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", k.filename(), err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, k.filename())); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	c.diskWrites.Add(1)
+	return nil
+}
+
+// writeTrace encodes a whole stream to w.
+func writeTrace(w io.Writer, hdr Header, insts []vm.DynInst) error {
+	enc, err := NewEncoder(w, hdr)
+	if err != nil {
+		return err
+	}
+	for _, d := range insts {
+		if err := enc.Write(d); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// Replay serves a recorded stream. It structurally satisfies the
+// timing core's Source interface (Next() (vm.DynInst, bool)) without
+// importing it, and shares the cache's backing slice — constructing a
+// replay copies two words, not the trace.
+type Replay struct {
+	insts []vm.DynInst
+	pos   int
+}
+
+// Next implements the dynamic-instruction source contract.
+func (r *Replay) Next() (vm.DynInst, bool) {
+	if r.pos >= len(r.insts) {
+		return vm.DynInst{}, false
+	}
+	d := r.insts[r.pos]
+	r.pos++
+	return d, true
+}
+
+// Len returns the number of instructions in the recording.
+func (r *Replay) Len() int { return len(r.insts) }

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Source is the dynamic-instruction stream contract shared with the
+// timing core: Next returns the next committed instruction, or
+// ok == false once the program has ended. Replay, the decoder adapter
+// and the core's own sources all satisfy it.
+type Source interface {
+	Next() (vm.DynInst, bool)
+}
+
+// DecoderSource adapts a Decoder to Source, for consumers that stream
+// a .psbtrace file without materializing it. Decoding errors
+// (including corruption) end the stream; Err reports what stopped it.
+type DecoderSource struct {
+	D   *Decoder
+	err error
+}
+
+// Next implements Source.
+func (s *DecoderSource) Next() (vm.DynInst, bool) {
+	d, err := s.D.Next()
+	if err != nil {
+		s.err = err
+		return vm.DynInst{}, false
+	}
+	return d, true
+}
+
+// Err returns the error that ended the stream (nil or io.EOF for a
+// clean end).
+func (s *DecoderSource) Err() error { return s.err }
+
+// Limit caps a source at n instructions — the stream-level analogue of
+// an instruction budget.
+func Limit(s Source, n uint64) Source { return &limited{s: s, left: n} }
+
+type limited struct {
+	s    Source
+	left uint64
+}
+
+func (l *limited) Next() (vm.DynInst, bool) {
+	if l.left == 0 {
+		return vm.DynInst{}, false
+	}
+	l.left--
+	return l.s.Next()
+}
+
+// FilterL1 drains src through a standalone L1 filter model: every
+// memory reference probes l1 and, on a miss, is inserted (fetch on
+// miss). fn observes each reference with the filter's verdict. This is
+// the shared miss-stream front end of the trace-analysis tools — the
+// stream that reaches a prefetcher in the full timing model, minus
+// timing.
+func FilterL1(src Source, l1 *mem.Cache, fn func(d vm.DynInst, miss bool)) {
+	for {
+		d, ok := src.Next()
+		if !ok {
+			return
+		}
+		if !d.Op.IsMem() {
+			continue
+		}
+		miss := !l1.Access(d.EffAddr)
+		if miss {
+			l1.Insert(d.EffAddr)
+		}
+		fn(d, miss)
+	}
+}
