@@ -71,6 +71,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the full statistics block")
 		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
 		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
+		cycleMode  = flag.String("cycle-mode", "", "clock advancement: event = skip to the next event (default), accurate = tick every cycle (debug fallback; results are bit-identical)")
 	)
 	flag.Parse()
 
@@ -95,6 +96,11 @@ func main() {
 	if *noDis {
 		cfg.CPU.Disambiguation = cpu.DisNone
 	}
+	mode, err := cpu.ParseCycleMode(*cycleMode)
+	if err != nil {
+		usageError("%v", err)
+	}
+	cfg.CPU.CycleMode = mode
 	traceMode, err := sim.ParseTraceMode(*traceFlag)
 	if err != nil {
 		usageError("%v", err)

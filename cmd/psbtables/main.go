@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -89,6 +90,7 @@ func run() int {
 		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel, live vs traced, and write BENCH_runner.json")
 		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
 		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
+		cycleMode  = flag.String("cycle-mode", "", "clock advancement: event = skip to the next event (default), accurate = tick every cycle (debug fallback; results are bit-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -153,12 +155,18 @@ func run() int {
 		usageError("-trace disk needs -trace-dir to name the recording directory")
 	}
 
+	mode, err := cpu.ParseCycleMode(*cycleMode)
+	if err != nil {
+		usageError("%v", err)
+	}
+
 	cfg := sim.Default()
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
 	cfg.TraceMode = traceMode
 	cfg.TraceDir = *traceDir
+	cfg.CPU.CycleMode = mode
 	if err := cfg.Validate(); err != nil {
 		usageError("invalid configuration: %v", err)
 	}
@@ -293,32 +301,59 @@ func run() int {
 	return 0
 }
 
-// benchRunner times four full RunMatrix configurations — serial and
-// all-cores, each with tracing off and with the in-memory trace cache —
-// and records the headline runner numbers in BENCH_runner.json
-// (consumed by EXPERIMENTS.md and future perf PRs). The traced legs
-// include the one-time recording cost: the cache starts cold for the
-// serial traced run, so its time is what a user sees on a first traced
-// invocation, and the parallel traced leg then measures the warm
-// steady state.
+// benchRunner times six full RunMatrix configurations — serial and
+// all-cores with tracing off and with the in-memory trace cache, then
+// warm-cache serial legs in accurate and event cycle modes — and
+// records the headline runner numbers in BENCH_runner.json (consumed
+// by EXPERIMENTS.md and future perf PRs). The first traced leg
+// includes the one-time recording cost: the cache starts cold, so its
+// time is what a user sees on a first traced invocation; every later
+// leg measures the warm steady state, which is also what makes the
+// accurate-vs-event comparison apples-to-apples.
 func benchRunner(cfg sim.Config) error {
 	sims := len(workload.All()) * len(experiments.Schemes())
 
-	matrix := func(workers int, mode sim.TraceMode) float64 {
+	matrix := func(workers int, tm sim.TraceMode, cm cpu.CycleMode) (float64, *experiments.Matrix) {
 		c := cfg
 		c.Workers = workers
-		c.TraceMode = mode
+		c.TraceMode = tm
 		c.TraceDir = ""
+		c.CPU.CycleMode = cm
 		start := time.Now()
-		experiments.RunMatrix(c)
-		return time.Since(start).Seconds()
+		m := experiments.RunMatrix(c)
+		return time.Since(start).Seconds(), m
 	}
 
-	serialSec := matrix(0, sim.TraceOff)
-	parSec := matrix(-1, sim.TraceOff)
-	serialTracedSec := matrix(0, sim.TraceMemory)
-	parTracedSec := matrix(-1, sim.TraceMemory)
+	serialSec, _ := matrix(0, sim.TraceOff, cfg.CPU.CycleMode)
+	parSec, _ := matrix(-1, sim.TraceOff, cfg.CPU.CycleMode)
+	serialTracedSec, _ := matrix(0, sim.TraceMemory, cfg.CPU.CycleMode)
+	parTracedSec, _ := matrix(-1, sim.TraceMemory, cfg.CPU.CycleMode)
+	accurateSec, _ := matrix(0, sim.TraceMemory, cpu.CycleModeAccurate)
+	eventSec, em := matrix(0, sim.TraceMemory, cpu.CycleModeEvent)
 	ts := trace.Shared().Stats()
+
+	// Aggregate the event loop's telemetry across the matrix.
+	var totalCycles, skipped, jumps, committed uint64
+	for _, row := range em.Results {
+		for _, r := range row {
+			totalCycles += r.CPU.Cycles
+			skipped += r.CPU.SkippedCycles
+			jumps += r.CPU.Jumps
+			committed += r.CPU.Committed
+		}
+	}
+	skipFrac := 0.0
+	if totalCycles > 0 {
+		skipFrac = float64(skipped) / float64(totalCycles)
+	}
+
+	workers := runner.ForWorkers(-1).Workers()
+	degraded := workers == 1
+	if degraded {
+		fmt.Fprintf(os.Stderr,
+			"warning: only 1 worker available (GOMAXPROCS=%d); parallel legs are degraded to serial and their speedups are meaningless\n",
+			runtime.GOMAXPROCS(0))
+	}
 
 	totalInsts := float64(cfg.MaxInsts) * float64(sims)
 	out := struct {
@@ -327,16 +362,26 @@ func benchRunner(cfg sim.Config) error {
 		WorkersFlag      int     `json:"workers_flag"`
 		Workers          int     `json:"workers"`
 		GOMAXPROCS       int     `json:"gomaxprocs"`
+		Degraded         bool    `json:"degraded"`
+		CycleMode        string  `json:"cycle_mode"`
 		SerialSec        float64 `json:"serial_sec"`
 		ParallelSec      float64 `json:"parallel_sec"`
 		SerialTracedSec  float64 `json:"serial_traced_sec"`
 		ParTracedSec     float64 `json:"parallel_traced_sec"`
+		AccurateSec      float64 `json:"serial_traced_accurate_sec"`
+		EventSec         float64 `json:"serial_traced_event_sec"`
 		SimsPerSecPar    float64 `json:"sims_per_sec_parallel"`
 		SimsPerSecBest   float64 `json:"sims_per_sec_parallel_traced"`
 		InstsPerSecBest  float64 `json:"insts_per_sec_parallel_traced"`
+		InstsPerSecEvent float64 `json:"insts_per_sec_serial_event"`
 		SpeedupParallel  float64 `json:"speedup_parallel"`
 		SpeedupTrace     float64 `json:"speedup_trace"`
 		SpeedupCombined  float64 `json:"speedup_combined"`
+		SpeedupEvent     float64 `json:"speedup_event"`
+		TotalCycles      uint64  `json:"total_cycles"`
+		SkippedCycles    uint64  `json:"skipped_cycles"`
+		Jumps            uint64  `json:"jumps"`
+		SkipFraction     float64 `json:"skip_fraction"`
 		TraceHits        uint64  `json:"trace_hits"`
 		TraceMisses      uint64  `json:"trace_misses"`
 		TraceRecordedIns uint64  `json:"trace_recorded_insts"`
@@ -344,18 +389,28 @@ func benchRunner(cfg sim.Config) error {
 		Insts:            cfg.MaxInsts,
 		Sims:             sims,
 		WorkersFlag:      -1,
-		Workers:          runner.ForWorkers(-1).Workers(),
+		Workers:          workers,
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Degraded:         degraded,
+		CycleMode:        cfg.CPU.CycleMode.String(),
 		SerialSec:        serialSec,
 		ParallelSec:      parSec,
 		SerialTracedSec:  serialTracedSec,
 		ParTracedSec:     parTracedSec,
+		AccurateSec:      accurateSec,
+		EventSec:         eventSec,
 		SimsPerSecPar:    float64(sims) / parSec,
 		SimsPerSecBest:   float64(sims) / parTracedSec,
 		InstsPerSecBest:  totalInsts / parTracedSec,
+		InstsPerSecEvent: totalInsts / eventSec,
 		SpeedupParallel:  serialSec / parSec,
 		SpeedupTrace:     serialSec / serialTracedSec,
 		SpeedupCombined:  serialSec / parTracedSec,
+		SpeedupEvent:     accurateSec / eventSec,
+		TotalCycles:      totalCycles,
+		SkippedCycles:    skipped,
+		Jumps:            jumps,
+		SkipFraction:     skipFrac,
 		TraceHits:        ts.Hits,
 		TraceMisses:      ts.Misses,
 		TraceRecordedIns: ts.RecordedInsts,
@@ -369,8 +424,9 @@ func benchRunner(cfg sim.Config) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"BENCH_runner.json: %d sims, serial %.2fs, parallel %.2fs, traced serial %.2fs, traced parallel %.2fs (%d workers, %.2fx combined)\n",
-		sims, serialSec, parSec, serialTracedSec, parTracedSec, out.Workers, out.SpeedupCombined)
+		"BENCH_runner.json: %d sims, serial %.2fs, parallel %.2fs, traced serial %.2fs, traced parallel %.2fs, accurate %.2fs vs event %.2fs (%.2fx, %.0f%% cycles skipped, %d workers)\n",
+		sims, serialSec, parSec, serialTracedSec, parTracedSec,
+		accurateSec, eventSec, out.SpeedupEvent, skipFrac*100, out.Workers)
 	fmt.Println(string(b))
 	return nil
 }

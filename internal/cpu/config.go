@@ -70,6 +70,11 @@ type Config struct {
 	// DefaultWatchdogCycles.
 	WatchdogCycles uint64
 
+	// CycleMode selects how the clock advances: event-driven skipping
+	// (the zero-value default) or the cycle-by-cycle accurate loop.
+	// Both produce bit-identical results; see CycleMode's docs.
+	CycleMode CycleMode
+
 	// FUCount[class] is the number of functional units per class;
 	// FULatency[class] their latency; FUPipelined[class] whether a
 	// unit can accept a new operation every cycle.
@@ -178,6 +183,9 @@ func (c Config) Validate() error {
 	if c.Disambiguation != DisPerfect && c.Disambiguation != DisNone {
 		return fmt.Errorf("cpu: unknown disambiguation policy %d", int(c.Disambiguation))
 	}
+	if err := c.CycleMode.Validate(); err != nil {
+		return err
+	}
 	for cl := 0; cl < int(isa.NumClasses); cl++ {
 		if c.FUCount[cl] <= 0 || c.FUCount[cl] > maxWidth {
 			return fmt.Errorf("cpu: functional unit class %d count %d outside 1..%d", cl, c.FUCount[cl], maxWidth)
@@ -212,4 +220,16 @@ func (p *fuPool) tryIssue(cycle, occupancy uint64) bool {
 		}
 	}
 	return false
+}
+
+// earliestFree returns the first cycle at which some unit in the pool
+// can accept an operation (tryIssue at that cycle succeeds).
+func (p *fuPool) earliestFree() uint64 {
+	m := p.busyUntil[0]
+	for _, b := range p.busyUntil[1:] {
+		if b < m {
+			m = b
+		}
+	}
+	return m
 }

@@ -72,6 +72,30 @@ type Stats struct {
 	Mispredicts uint64
 
 	TrainEvents uint64
+
+	// Event-driven cycle-skipping telemetry (zero in accurate mode).
+	// Skipped cycles are simulated — they are included in Cycles and
+	// are bit-identical to ticking through them — just never executed
+	// one by one. The differential tests in internal/sim zero these
+	// fields before comparing modes.
+	SkippedCycles uint64 // cycles jumped over by the event-driven loop
+	Jumps         uint64 // number of clock jumps taken
+}
+
+// AvgJumpLen returns the mean length of an event-driven clock jump.
+func (s Stats) AvgJumpLen() float64 {
+	if s.Jumps == 0 {
+		return 0
+	}
+	return float64(s.SkippedCycles) / float64(s.Jumps)
+}
+
+// SkipFraction returns skipped cycles as a fraction of all cycles.
+func (s Stats) SkipFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.SkippedCycles) / float64(s.Cycles)
 }
 
 // IPC returns committed instructions per cycle.
@@ -156,6 +180,7 @@ type CPU struct {
 	cfg  Config
 	hier *mem.Hierarchy
 	pf   sbuf.Prefetcher
+	rt   rangeTicker // pf's batched-tick fast path, nil if unsupported
 	src  Source
 	bp   *Gshare
 
@@ -235,6 +260,7 @@ func New(cfg Config, hier *mem.Hierarchy, pf sbuf.Prefetcher, src Source) *CPU {
 		issueTail:  noList,
 		lastIBlock: math.MaxUint64,
 	}
+	c.rt, _ = pf.(rangeTicker)
 	for i := range c.lastWriter {
 		c.lastWriter[i] = noDep
 	}
@@ -338,11 +364,20 @@ func (c *CPU) Run(maxInsts uint64) Stats {
 // of panicking, and ctx cancellation (checked every few thousand
 // cycles, so a context deadline bounds a runaway simulation's wall
 // clock) aborts the run with ctx's error.
+//
+// Under Config.CycleMode's event-driven mode (the default), a cycle in
+// which no stage makes progress triggers a clock jump to the earliest
+// future cycle at which any component can change state (see event.go),
+// replaying the prefetcher's per-cycle work across the gap. Jumps are
+// capped at the watchdog's firing cycle and at the next ctx-check
+// boundary, so deadlock detection and cancellation behave exactly as
+// in accurate mode, and results are bit-identical between the modes.
 func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 	watchdog := c.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = DefaultWatchdogCycles
 	}
+	eventDriven := c.cfg.CycleMode.eventDriven()
 	idleCycles := uint64(0)
 	lastCommitted := uint64(0)
 	for {
@@ -354,10 +389,16 @@ func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 		}
 		c.cycle++
 		c.pf.Tick(c.cycle)
-		c.commit()
-		c.issue()
-		c.dispatch()
-		c.fetch()
+		prog := c.commit()
+		if c.issue() {
+			prog = true
+		}
+		if c.dispatch() {
+			prog = true
+		}
+		if c.fetch() {
+			prog = true
+		}
 
 		if c.cycle&4095 == 0 && ctx.Err() != nil {
 			return c.Stats(), ctx.Err()
@@ -374,6 +415,27 @@ func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 			idleCycles = 0
 			lastCommitted = c.stats.Committed
 		}
+
+		if eventDriven && !prog {
+			next := c.nextEventCycle()
+			// Land exactly on the watchdog's firing cycle if nothing
+			// fires earlier, and on every 4096-cycle boundary the
+			// accurate loop checks ctx at.
+			if fire := c.cycle + (watchdog + 1 - idleCycles); next > fire {
+				next = fire
+			}
+			if bound := (c.cycle | 4095) + 1; next > bound {
+				next = bound
+			}
+			if next > c.cycle+1 {
+				c.tickPrefetcher(c.cycle+1, next-1)
+				skipped := next - 1 - c.cycle
+				c.cycle = next - 1
+				idleCycles += skipped
+				c.stats.SkippedCycles += skipped
+				c.stats.Jumps++
+			}
+		}
 	}
 	return c.Stats(), nil
 }
@@ -381,29 +443,36 @@ func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 // fetch brings instructions from the source into the fetch queue,
 // following the branch predictor: a mispredicted control transfer
 // blocks further fetch until it issues (resolve) plus the refill
-// penalty; an I-cache miss blocks fetch until the line arrives.
-func (c *CPU) fetch() {
+// penalty; an I-cache miss blocks fetch until the line arrives. It
+// reports whether it did any observable work this cycle — consuming
+// an instruction or touching the I-cache; discovering the source has
+// run dry is not progress (the discovery is idempotent, and the cycle
+// it happens on is never skipped: a cycle with open fetch gates and a
+// live source always fetches).
+func (c *CPU) fetch() bool {
 	if c.fetchBlocked || c.cycle < c.fetchResume {
-		return
+		return false
 	}
+	active := false
 	budget := c.cfg.FetchWidth
 	branches := c.cfg.BranchPredPerCycle
 	for budget > 0 && c.fqLen < c.cfg.FetchQueueSize {
 		d, ok := c.peek()
 		if !ok {
-			return
+			return active
 		}
+		active = true
 		// Instruction cache: one access per new block touched.
 		if blk := c.hier.L1I.BlockAddr(d.PC); blk != c.lastIBlock {
 			res := c.hier.AccessI(c.cycle, d.PC)
 			c.lastIBlock = blk
 			if !res.Hit {
 				c.fetchResume = res.Ready
-				return
+				return true
 			}
 		}
 		if d.IsCTI() && branches == 0 {
-			return // out of branch-prediction bandwidth this cycle
+			return true // out of branch-prediction bandwidth this cycle
 		}
 		c.consume()
 		// Write the item in place in the ring, then predict through the
@@ -420,15 +489,16 @@ func (c *CPU) fetch() {
 		budget--
 		if item.mispredict {
 			c.fetchBlocked = true
-			return
+			return true
 		}
 		if d.Taken {
 			// The fetch group cannot run past a taken control
 			// transfer within a cycle.
 			c.lastIBlock = math.MaxUint64
-			return
+			return true
 		}
 	}
+	return active
 }
 
 func (c *CPU) peek() (vm.DynInst, bool) {
@@ -451,21 +521,24 @@ func (c *CPU) peek() (vm.DynInst, bool) {
 func (c *CPU) consume() { c.hasPending = false }
 
 // dispatch moves instructions from the fetch queue into the reorder
-// buffer, renaming their register dependencies.
-func (c *CPU) dispatch() {
+// buffer, renaming their register dependencies. It reports whether any
+// instruction dispatched.
+func (c *CPU) dispatch() bool {
 	width := c.cfg.DecodeWidth
+	dispatched := false
 	for width > 0 && c.fqLen > 0 {
 		item := c.fetchQ[c.fqHead]
 		if item.availableAt > c.cycle {
-			return
+			return dispatched
 		}
 		if c.robCount >= c.cfg.ROBSize {
-			return
+			return dispatched
 		}
 		isMem := item.d.Op.IsMem()
 		if isMem && c.lsqCount >= c.cfg.LSQSize {
-			return
+			return dispatched
 		}
+		dispatched = true
 		c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
 		c.fqLen--
 		width--
@@ -520,12 +593,14 @@ func (c *CPU) dispatch() {
 			c.storeCount++
 		}
 	}
+	return dispatched
 }
 
 // issue wakes up and selects ready instructions, oldest first. It
 // walks the age-ordered un-issued list — completed entries waiting to
 // commit are never revisited — and unlinks each entry as it issues.
-func (c *CPU) issue() {
+// It reports whether any instruction issued.
+func (c *CPU) issue() bool {
 	budget := c.cfg.IssueWidth
 	prev := noList
 	for cur := c.issueHead; cur != noList && budget > 0; {
@@ -589,6 +664,7 @@ func (c *CPU) issue() {
 		}
 		cur = next
 	}
+	return budget < c.cfg.IssueWidth
 }
 
 // olderStores scans the in-flight stores older than e (youngest
@@ -740,13 +816,15 @@ func (c *CPU) issueStore(e *robEntry) bool {
 
 // commit retires completed instructions in order, training the
 // prefetcher's predictor with the in-order miss stream (the paper's
-// write-back update).
-func (c *CPU) commit() {
+// write-back update). It reports whether any instruction retired.
+func (c *CPU) commit() bool {
+	committed := false
 	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
 		e := &c.rob[c.robHead]
 		if !e.issued || e.completeAt > c.cycle {
-			return
+			return committed
 		}
+		committed = true
 		if e.isLoad {
 			c.stats.Loads++
 			if e.trainMiss && !e.forwarded {
@@ -776,6 +854,7 @@ func (c *CPU) commit() {
 		c.robHead = (c.robHead + 1) % len(c.rob)
 		c.robCount--
 	}
+	return committed
 }
 
 func maxU64(a, b uint64) uint64 {

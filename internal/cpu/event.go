@@ -1,0 +1,173 @@
+package cpu
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Event-driven cycle skipping.
+//
+// RunChecked's event mode jumps the clock over cycles in which no
+// pipeline stage can change observable state. The jump target is a
+// sound lower bound on the next cycle at which anything could happen:
+// every candidate below is derived from state that is frozen while the
+// machine makes no progress (ROB completion cycles, scoreboard-snapshot
+// dependency ready cycles, functional-unit busy-until cycles, fetch
+// queue availability, the front-end resume cycle), so jumping to the
+// minimum can never pass over a cycle where the cycle-accurate loop
+// would have acted. Landing on a candidate that turns out not to fire
+// (for example an entry whose operands are ready but whose port is
+// taken at the landing cycle by an older instruction) is harmless: the
+// stages run, possibly doing nothing, and the next bound is computed
+// from there.
+//
+// The prefetch engine is not a candidate source: its per-cycle work
+// (predictions and prefetches) mutates only stream-buffer, L2, bus and
+// TLB state, none of which gates a pipeline stage — the CPU reads that
+// state only inside load/store issue, which happens at event cycles.
+// Its ticks are replayed for every skipped cycle (batched through
+// TickRange when the prefetcher supports it) before the landing cycle
+// executes, so bus and cache state at every event cycle is exactly what
+// the cycle-accurate loop would have produced.
+
+// neverCycle marks an event source with nothing scheduled.
+const neverCycle = math.MaxUint64
+
+// rangeTicker is implemented by prefetchers (sbuf.Engine, sbuf.Null)
+// that can advance many cycles in one call; prefetchers without it are
+// ticked cycle by cycle, which keeps any Prefetcher implementation
+// correct under event mode.
+type rangeTicker interface {
+	// TickRange must be exactly equivalent to calling Tick once for
+	// every cycle in [from, to], in order.
+	TickRange(from, to uint64)
+}
+
+// tickPrefetcher replays the prefetcher's per-cycle work for every
+// cycle in [from, to].
+func (c *CPU) tickPrefetcher(from, to uint64) {
+	if c.rt != nil {
+		c.rt.TickRange(from, to)
+		return
+	}
+	for cy := from; cy <= to; cy++ {
+		c.pf.Tick(cy)
+	}
+}
+
+// issuePool returns the functional-unit pool e competes for, mirroring
+// the selection in issue().
+func (c *CPU) issuePool(e *robEntry) *fuPool {
+	switch {
+	case e.isLoad:
+		return c.pools[isa.ClassLoad]
+	case e.isStore:
+		return c.pools[isa.ClassStore]
+	}
+	return c.pools[isa.ClassOf(e.d.Op)]
+}
+
+// nextEventCycle returns a lower bound (> c.cycle) on the next cycle at
+// which any pipeline stage can change observable state, or neverCycle
+// when the machine is provably stuck (the caller's watchdog cap then
+// bounds the jump). It must only be called after a cycle in which no
+// stage made progress, and it never mutates the core.
+func (c *CPU) nextEventCycle() uint64 {
+	next := uint64(neverCycle)
+
+	// Commit: the oldest instruction's completion.
+	if c.robCount > 0 {
+		if h := &c.rob[c.robHead]; h.issued && h.completeAt > c.cycle {
+			next = h.completeAt
+		}
+	}
+
+	// Issue: for every un-issued entry, the earliest cycle its operands
+	// are ready and a unit could be free. Entries gated on another
+	// un-issued instruction (a producer, or an older store under the
+	// disambiguation policy) contribute nothing: the gating entry's own
+	// candidate wakes the machine first.
+	for cur := c.issueHead; cur != noList; cur = c.issueQ[cur] {
+		e := &c.rob[cur]
+		t := e.dispatched + 1
+		ready := true
+		for i := 0; i < 2; i++ {
+			if idx := e.dep[i]; idx == noDep {
+				if at := e.depAt[i]; at > t {
+					t = at
+				}
+			} else if p := &c.rob[idx]; p.seq == e.depSeq[i] {
+				if !p.issued {
+					ready = false
+					break
+				}
+				if p.completeAt > t {
+					t = p.completeAt
+				}
+			}
+			// A recycled producer slot means the value went
+			// architectural long ago: ready since cycle 0.
+		}
+		if !ready {
+			continue
+		}
+		if e.isLoad {
+			conflict, anyUnissued := c.olderStores(e)
+			switch c.cfg.Disambiguation {
+			case DisNone:
+				if anyUnissued {
+					continue
+				}
+			case DisPerfect:
+				if conflict != nil && !conflict.issued {
+					continue
+				}
+			}
+		}
+		if f := c.issuePool(e).earliestFree(); f > t {
+			t = f
+		}
+		if t <= c.cycle {
+			// Operands and a unit look ready now yet nothing issued
+			// this cycle (e.g. width races); do not skip.
+			t = c.cycle + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+
+	// Dispatch: the fetch-queue head becoming available, when the ROB
+	// and LSQ have room. A full ROB/LSQ is gated on commit, which the
+	// commit candidate covers.
+	if c.fqLen > 0 && c.robCount < c.cfg.ROBSize {
+		head := &c.fetchQ[c.fqHead]
+		if !(head.d.Op.IsMem() && c.lsqCount >= c.cfg.LSQSize) {
+			t := head.availableAt
+			if t <= c.cycle {
+				t = c.cycle + 1
+			}
+			if t < next {
+				next = t
+			}
+		}
+	}
+
+	// Fetch: the front end resuming after an I-miss refill or
+	// misprediction penalty. A blocked front end (unresolved
+	// mispredicted CTI) is gated on that CTI's issue, covered above; a
+	// full fetch queue is gated on dispatch; a dry source never fetches
+	// again.
+	if !c.fetchBlocked && c.fqLen < c.cfg.FetchQueueSize && (c.hasPending || !c.srcDone) {
+		t := c.fetchResume
+		if t <= c.cycle {
+			t = c.cycle + 1
+		}
+		if t < next {
+			next = t
+		}
+	}
+
+	return next
+}

@@ -1,0 +1,135 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/sbuf"
+	"repro/internal/vm"
+)
+
+// runMode assembles and runs one program twice — accurate and event —
+// and returns both outcomes.
+func runModes(t *testing.T, cfg Config, build func(b *asm.Builder)) (acc, ev Stats, accErr, evErr error) {
+	t.Helper()
+	one := func(mode CycleMode) (Stats, error) {
+		b := asm.New()
+		build(b)
+		b.Halt()
+		machine := vm.New(b.MustBuild(), vm.NewGuestMem())
+		c := cfg
+		c.CycleMode = mode
+		cp := New(c, mem.New(mem.DefaultConfig()), sbuf.Null{}, MachineSource{M: machine})
+		return cp.RunChecked(context.Background(), 0)
+	}
+	acc, accErr = one(CycleModeAccurate)
+	ev, evErr = one(CycleModeEvent)
+	return
+}
+
+// stripSkips removes the event loop's telemetry, the only permitted
+// difference between modes.
+func stripSkips(s Stats) Stats {
+	s.SkippedCycles, s.Jumps = 0, 0
+	return s
+}
+
+// TestEventModeMatchesAccurate: dependent-load chains with long memory
+// stalls are the skip loop's bread and butter; every stat must match
+// the cycle-by-cycle run exactly.
+func TestEventModeMatchesAccurate(t *testing.T) {
+	acc, ev, accErr, evErr := runModes(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Li(isa.R(1), 0x10000)
+		b.Li(isa.R(3), 64)
+		for i := 0; i < 40; i++ {
+			b.Ld(isa.R(2), isa.R(1), 0)
+			b.Add(isa.R(1), isa.R(1), isa.R(3))
+			b.Mul(isa.R(4), isa.R(2), isa.R(3))
+		}
+	})
+	if accErr != nil || evErr != nil {
+		t.Fatalf("errors: accurate=%v event=%v", accErr, evErr)
+	}
+	if ev.Jumps == 0 {
+		t.Error("event mode never jumped on a miss-heavy program")
+	}
+	if got, want := stripSkips(ev), stripSkips(acc); !reflect.DeepEqual(got, want) {
+		t.Errorf("stats diverge\nevent:    %+v\naccurate: %+v", got, want)
+	}
+}
+
+// TestEventModeWatchdogIdentical: the watchdog must fire at the same
+// cycle with the same idle count in both modes — jumps count toward
+// idle time and are capped at the fire cycle.
+func TestEventModeWatchdogIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 40 // shorter than one memory miss
+	acc, ev, accErr, evErr := runModes(t, cfg, func(b *asm.Builder) {
+		b.Li(isa.R(1), 0x40000)
+		b.Ld(isa.R(2), isa.R(1), 0)
+		b.Add(isa.R(3), isa.R(2), isa.R(2))
+	})
+	var da, de *DeadlockError
+	if !errors.As(accErr, &da) {
+		t.Fatalf("accurate mode err = %v, want DeadlockError", accErr)
+	}
+	if !errors.As(evErr, &de) {
+		t.Fatalf("event mode err = %v, want DeadlockError", evErr)
+	}
+	if !reflect.DeepEqual(da, de) {
+		t.Errorf("deadlock reports diverge\nevent:    %+v\naccurate: %+v", de, da)
+	}
+	if got, want := stripSkips(ev), stripSkips(acc); !reflect.DeepEqual(got, want) {
+		t.Errorf("stats at abort diverge\nevent:    %+v\naccurate: %+v", got, want)
+	}
+}
+
+// rangeSpyPF is a prefetcher that records TickRange spans, proving the
+// CPU hands batched ticks to prefetchers that support them.
+type rangeSpyPF struct {
+	spyPF
+	spans [][2]uint64
+}
+
+func (s *rangeSpyPF) TickRange(from, to uint64) {
+	s.spans = append(s.spans, [2]uint64{from, to})
+	s.ticks += int(to - from + 1)
+}
+
+// TestEventModeBatchesPrefetcherTicks: with a range-capable prefetcher
+// the skipped cycles arrive as TickRange spans; the total tick count
+// still equals the cycle count, and spans never overlap or regress.
+func TestEventModeBatchesPrefetcherTicks(t *testing.T) {
+	b := asm.New()
+	b.Li(isa.R(1), 0x10000)
+	for i := 0; i < 20; i++ {
+		b.Ld(isa.R(2), isa.R(1), 0)
+		b.Add(isa.R(1), isa.R(2), isa.R(1))
+	}
+	b.Halt()
+	machine := vm.New(b.MustBuild(), vm.NewGuestMem())
+	cfg := DefaultConfig()
+	cfg.CycleMode = CycleModeEvent
+	spy := &rangeSpyPF{}
+	c := New(cfg, mem.New(mem.DefaultConfig()), spy, MachineSource{M: machine})
+	st := c.Run(0)
+	if st.Jumps == 0 || len(spy.spans) == 0 {
+		t.Fatalf("no jumps taken (jumps=%d spans=%d)", st.Jumps, len(spy.spans))
+	}
+	if uint64(spy.ticks) != st.Cycles {
+		t.Errorf("prefetcher saw %d ticks over %d cycles", spy.ticks, st.Cycles)
+	}
+	for i, sp := range spy.spans {
+		if sp[0] > sp[1] {
+			t.Errorf("span %d inverted: %v", i, sp)
+		}
+		if i > 0 && sp[0] <= spy.spans[i-1][1] {
+			t.Errorf("span %d overlaps predecessor: %v after %v", i, sp, spy.spans[i-1])
+		}
+	}
+}

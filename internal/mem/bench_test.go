@@ -47,6 +47,22 @@ func BenchmarkHierarchyMissPath(b *testing.B) {
 	}
 }
 
+// BenchmarkHierarchyAccessD drives the demand-access path with a mixed
+// hit/miss address stream — the Probe/Access/Insert triple over the
+// same set that the findWay hoist targets.
+func BenchmarkHierarchyAccessD(b *testing.B) {
+	h := New(DefaultConfig())
+	r := rand.New(rand.NewSource(7))
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessD(uint64(i)*4, addrs[i%len(addrs)])
+	}
+}
+
 func BenchmarkTLBTranslate(b *testing.B) {
 	t := NewTLB(64, 4096, 30)
 	b.ResetTimer()

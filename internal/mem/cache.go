@@ -112,16 +112,23 @@ func (c *Cache) set(addr uint64) []cacheLine {
 	return c.lines[idx*uint64(c.cfg.Ways) : (idx+1)*uint64(c.cfg.Ways)]
 }
 
+// findWay returns the way index of tag in set, or -1. The set slice is
+// derived once by the caller: demand accesses probe, then access, then
+// possibly insert the same block, and re-deriving the set bounds inside
+// each loop iteration is measurable on that hot path.
+func findWay(set []cacheLine, tag uint64) int {
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
 // Probe reports whether addr's block is resident, without touching LRU
 // state or statistics. Used by prefetchers to avoid redundant requests.
 func (c *Cache) Probe(addr uint64) bool {
-	tag := addr >> c.blockShift
-	for i := range c.set(addr) {
-		if l := &c.set(addr)[i]; l.valid && l.tag == tag {
-			return true
-		}
-	}
-	return false
+	return findWay(c.set(addr), addr>>c.blockShift) >= 0
 }
 
 // Access looks up addr, updating LRU and statistics. It reports a hit.
@@ -129,13 +136,10 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	c.stats.Accesses++
-	tag := addr >> c.blockShift
 	set := c.set(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lastUse = c.clock
-			return true
-		}
+	if i := findWay(set, addr>>c.blockShift); i >= 0 {
+		set[i].lastUse = c.clock
+		return true
 	}
 	c.stats.Misses++
 	return false
@@ -172,13 +176,10 @@ func (c *Cache) Insert(addr uint64) (evicted uint64, wasValid bool) {
 
 // Invalidate removes addr's block if resident, reporting whether it was.
 func (c *Cache) Invalidate(addr uint64) bool {
-	tag := addr >> c.blockShift
 	set := c.set(addr)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].valid = false
-			return true
-		}
+	if i := findWay(set, addr>>c.blockShift); i >= 0 {
+		set[i].valid = false
+		return true
 	}
 	return false
 }

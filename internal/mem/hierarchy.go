@@ -243,6 +243,42 @@ func (h *Hierarchy) Prefetch(cycle, addr uint64) (ready uint64, l2hit bool) {
 // cycle (the gating condition for stream-buffer prefetches).
 func (h *Hierarchy) BusFreeAt(cycle uint64) bool { return h.L1L2.FreeAt(cycle) }
 
+// NextBusFree returns the first cycle >= cycle at which the L1-L2 bus
+// is idle. The stream-buffer engine's batched TickRange jumps directly
+// to it instead of polling BusFreeAt cycle by cycle.
+func (h *Hierarchy) NextBusFree(cycle uint64) uint64 {
+	if b := h.L1L2.BusyUntil(); b > cycle {
+		return b
+	}
+	return cycle
+}
+
+// NextMSHRReady returns the completion cycle of the earliest
+// outstanding L1 fill (data or instruction) still in flight after
+// cycle, and whether one exists. Together with NextBusFree it is the
+// hierarchy's event horizon: the earliest future cycle at which its
+// state can change without a new request arriving. The CPU's jump
+// computation does not need it — every MSHR fill's architectural
+// consequence is already pinned in a ROB completion cycle or the
+// fetch-resume cycle — but it is exposed for debugging skip bugs and
+// for the invariant tests that cross-check skipped ranges.
+func (h *Hierarchy) NextMSHRReady(cycle uint64) (ready uint64, ok bool) {
+	d, dok := h.DMSHR.EarliestReady(cycle)
+	i, iok := h.IMSHR.EarliestReady(cycle)
+	switch {
+	case dok && iok:
+		if i < d {
+			return i, true
+		}
+		return d, true
+	case dok:
+		return d, true
+	case iok:
+		return i, true
+	}
+	return 0, false
+}
+
 // L1Resident reports whether addr's block is in the L1 data cache,
 // without perturbing LRU state or statistics.
 func (h *Hierarchy) L1Resident(addr uint64) bool { return h.L1D.Probe(addr) }

@@ -1,0 +1,90 @@
+package mem
+
+import "testing"
+
+// TestMSHREarliestReady: the read-only horizon query must report the
+// minimum outstanding ready cycle without expiring entries or bumping
+// counters.
+func TestMSHREarliestReady(t *testing.T) {
+	f := NewMSHRFile(4)
+	if _, ok := f.EarliestReady(0); ok {
+		t.Fatal("empty file reported a horizon")
+	}
+	f.Install(0x100, 50)
+	f.Install(0x200, 30)
+	f.Install(0x300, 90)
+
+	if r, ok := f.EarliestReady(0); !ok || r != 30 {
+		t.Fatalf("EarliestReady(0) = (%d,%v), want (30,true)", r, ok)
+	}
+	// Entries at or before cycle don't count (they'd expire on the next
+	// mutating call), but later ones still do.
+	if r, ok := f.EarliestReady(30); !ok || r != 50 {
+		t.Fatalf("EarliestReady(30) = (%d,%v), want (50,true)", r, ok)
+	}
+	if r, ok := f.EarliestReady(89); !ok || r != 90 {
+		t.Fatalf("EarliestReady(89) = (%d,%v), want (90,true)", r, ok)
+	}
+	if _, ok := f.EarliestReady(90); ok {
+		t.Fatal("horizon past all entries reported ready")
+	}
+
+	// Read-only: all three entries must still be live for Lookup, and
+	// the stat counters untouched by the queries above.
+	before := *f
+	if _, ok := f.Lookup(0, 0x200); !ok {
+		t.Fatal("EarliestReady expired a live entry")
+	}
+	if before.Allocs != 3 || before.FullHit != 0 {
+		t.Fatalf("EarliestReady perturbed counters: %+v", before)
+	}
+}
+
+// TestHierarchyNextBusFree: the horizon must agree with BusFreeAt —
+// NextBusFree(c) is the first cycle >= c where BusFreeAt holds.
+func TestHierarchyNextBusFree(t *testing.T) {
+	h := New(DefaultConfig())
+	if nf := h.NextBusFree(5); nf != 5 {
+		t.Fatalf("idle bus NextBusFree(5) = %d, want 5", nf)
+	}
+	// Occupy the L1-L2 bus with a fill.
+	_, done := h.L1L2.Acquire(10, 64)
+	if done <= 10 {
+		t.Fatalf("acquire done = %d, want > 10", done)
+	}
+	for cy := uint64(10); cy <= done+2; cy++ {
+		nf := h.NextBusFree(cy)
+		if nf < cy {
+			t.Fatalf("NextBusFree(%d) = %d went backwards", cy, nf)
+		}
+		if got, want := h.BusFreeAt(nf), true; got != want {
+			t.Fatalf("bus not free at its own horizon %d", nf)
+		}
+		if cy < done && h.BusFreeAt(cy) {
+			t.Fatalf("bus unexpectedly free at %d (busy until %d)", cy, done)
+		}
+		if cy < done && nf != done {
+			t.Fatalf("NextBusFree(%d) = %d, want %d", cy, nf, done)
+		}
+	}
+}
+
+// TestHierarchyNextMSHRReady: min across the data and instruction
+// files.
+func TestHierarchyNextMSHRReady(t *testing.T) {
+	h := New(DefaultConfig())
+	if _, ok := h.NextMSHRReady(0); ok {
+		t.Fatal("idle hierarchy reported an MSHR horizon")
+	}
+	h.DMSHR.Install(0x1000, 200)
+	h.IMSHR.Install(0x2000, 140)
+	if r, ok := h.NextMSHRReady(0); !ok || r != 140 {
+		t.Fatalf("NextMSHRReady(0) = (%d,%v), want (140,true)", r, ok)
+	}
+	if r, ok := h.NextMSHRReady(150); !ok || r != 200 {
+		t.Fatalf("NextMSHRReady(150) = (%d,%v), want (200,true)", r, ok)
+	}
+	if _, ok := h.NextMSHRReady(400); ok {
+		t.Fatal("horizon past all fills reported ready")
+	}
+}

@@ -126,6 +126,20 @@ func (f *MSHRFile) Install(block, ready uint64) {
 	f.slots[free] = mshrEntry{block: block, ready: ready, valid: true}
 }
 
+// EarliestReady returns the completion cycle of the earliest in-flight
+// fill still outstanding after cycle, and whether one exists. It is
+// read-only (no expiry, no counters): the event-driven cycle loop uses
+// it to report the file's horizon without perturbing state.
+func (f *MSHRFile) EarliestReady(cycle uint64) (ready uint64, ok bool) {
+	for i := range f.slots {
+		s := &f.slots[i]
+		if s.valid && s.ready > cycle && (!ok || s.ready < ready) {
+			ready, ok = s.ready, true
+		}
+	}
+	return ready, ok
+}
+
 // Cancel removes block's entry (used when an in-flight prefetch is
 // promoted into a demand MSHR).
 func (f *MSHRFile) Cancel(block uint64) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/sim"
 )
 
@@ -86,10 +87,11 @@ func DefaultOptions() Options { return Options{Retries: 1} }
 
 // Fingerprint returns the job's deterministic identity: a hash of the
 // workload name, variant and configuration. Two jobs that must produce
-// equal results have equal fingerprints; Config.Workers and the trace
-// fields are excluded because neither concurrency nor the stream's
-// provenance (live vs replayed) affects results. Checkpoint entries
-// are keyed by this.
+// equal results have equal fingerprints; Config.Workers, the trace
+// fields and CycleMode are excluded because neither concurrency, the
+// stream's provenance (live vs replayed), nor how the clock advances
+// (event-driven skipping is bit-identical to accurate ticking) affects
+// results. Checkpoint entries are keyed by this.
 func (j Job) Fingerprint() string {
 	key := struct {
 		Workload string
@@ -99,6 +101,7 @@ func (j Job) Fingerprint() string {
 	key.Config.Workers = 0
 	key.Config.TraceMode = sim.TraceOff
 	key.Config.TraceDir = ""
+	key.Config.CPU.CycleMode = cpu.CycleModeDefault
 	b, err := json.Marshal(key)
 	if err != nil {
 		// sim.Config is plain data; Marshal cannot fail on it.

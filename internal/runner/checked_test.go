@@ -182,6 +182,11 @@ func TestFingerprint(t *testing.T) {
 	if j.Fingerprint() == tweaked.Fingerprint() {
 		t.Error("different budgets share a fingerprint")
 	}
+	mode := j
+	mode.Config.CPU.CycleMode = cpu.CycleModeAccurate
+	if j.Fingerprint() != mode.Fingerprint() {
+		t.Error("CycleMode changed the fingerprint; resume across -cycle-mode values would re-run everything")
+	}
 }
 
 func matrixJobs(cfg sim.Config) []Job {

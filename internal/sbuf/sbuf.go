@@ -250,6 +250,10 @@ func (Null) Train(pc, addr uint64) {}
 // Tick is a no-op.
 func (Null) Tick(cycle uint64) {}
 
+// TickRange is a no-op (the batched form of Tick the event-driven
+// cycle loop uses).
+func (Null) TickRange(from, to uint64) {}
+
 // Stats returns zeros.
 func (Null) Stats() Stats { return Stats{} }
 
@@ -280,6 +284,12 @@ type Engine struct {
 	cfg   Config
 	pred  predict.Predictor
 	fetch Fetcher
+	// busH is fetch's bus-horizon fast path (nil when unsupported):
+	// TickRange uses it to jump straight to the next bus-free cycle
+	// instead of polling BusFreeAt cycle by cycle.
+	busH interface {
+		NextBusFree(cycle uint64) uint64
+	}
 
 	bufs  []buffer
 	clock uint64 // LRU timestamp source
@@ -304,6 +314,9 @@ func NewEngine(cfg Config, pred predict.Predictor, fetch Fetcher) *Engine {
 	e := &Engine{cfg: cfg, pred: pred, fetch: fetch,
 		bufs:     make([]buffer, cfg.NumBuffers),
 		orderBuf: make([]int, 0, cfg.NumBuffers)}
+	e.busH, _ = fetch.(interface {
+		NextBusFree(cycle uint64) uint64
+	})
 	for i := range e.bufs {
 		e.bufs[i].entries = make([]entry, cfg.EntriesPerBuffer)
 		e.bufs[i].priority = predict.NewSatCounter(0, cfg.PriorityMax)
@@ -495,6 +508,80 @@ func (e *Engine) Tick(cycle uint64) {
 	e.predictOne(cycle)
 	if e.fetch.BusFreeAt(cycle) {
 		e.prefetchOne(cycle)
+	}
+}
+
+// predQuiescent reports that the prediction port is dead: every buffer
+// is either unallocated or has declared predDone (all entries hold
+// predictions), so predictOne is a strict no-op at any cycle until an
+// external call (Lookup, AllocationRequest) changes buffer state.
+func (e *Engine) predQuiescent() bool {
+	for i := range e.bufs {
+		if b := &e.bufs[i]; b.allocated && !b.predDone {
+			return false
+		}
+	}
+	return true
+}
+
+// anyUnprefetched reports whether some entry still holds a prediction
+// whose prefetch has not been issued (work for prefetchOne).
+func (e *Engine) anyUnprefetched() bool {
+	for i := range e.bufs {
+		b := &e.bufs[i]
+		if !b.allocated {
+			continue
+		}
+		for j := range b.entries {
+			if en := &b.entries[j]; en.valid && !en.prefetched {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TickRange advances the engine across the closed cycle range
+// [from, to], with state mutations exactly equivalent to calling Tick
+// once per cycle in order. The event-driven cycle loop uses it to
+// replay the engine's per-cycle work over skipped stall cycles without
+// re-entering the core: while the prediction port is live the range is
+// replayed in a tight per-cycle loop (stream generation can depend on
+// every predictor probe), and once the engine is prediction-quiescent
+// it either returns immediately (nothing pending at all — a strict
+// no-op for the rest of the range) or jumps straight to each bus-free
+// cycle and issues the pending prefetches there.
+func (e *Engine) TickRange(from, to uint64) {
+	for cy := from; cy <= to; {
+		if !e.predQuiescent() {
+			e.Tick(cy)
+			cy++
+			continue
+		}
+		if !e.anyUnprefetched() {
+			// Fully quiescent: every remaining Tick in the range is a
+			// no-op (only the CPU's Lookup/AllocationRequest calls can
+			// change engine state, and none happen inside a skipped
+			// range).
+			return
+		}
+		if !e.fetch.BusFreeAt(cy) {
+			if e.busH == nil {
+				cy++ // poll cycle by cycle; correct for any Fetcher
+				continue
+			}
+			nf := e.busH.NextBusFree(cy)
+			if nf > to {
+				return
+			}
+			cy = nf
+		}
+		// predictOne is a no-op while prediction-quiescent, so Tick at
+		// cy reduces to this single prefetch. A prefetch can re-open
+		// the prediction port (the L1-residence ablation clears
+		// predDone), so the loop re-checks quiescence each iteration.
+		e.prefetchOne(cy)
+		cy++
 	}
 }
 

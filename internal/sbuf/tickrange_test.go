@@ -1,0 +1,127 @@
+package sbuf
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/predict"
+)
+
+// horizonFetch is a fakeFetch that also exposes NextBusFree, enabling
+// TickRange's bus-jump fast path.
+type horizonFetch struct {
+	*fakeFetch
+	busyUntil uint64
+}
+
+func (f *horizonFetch) NextBusFree(cycle uint64) uint64 {
+	if f.busyUntil > cycle {
+		return f.busyUntil
+	}
+	return cycle
+}
+
+// stimulus drives an engine through a fixed script of allocation
+// requests and lookups, advancing the clock between events either with
+// per-cycle Tick or with batched TickRange.
+func runScript(e *Engine, batched bool) {
+	advance := func(from, to uint64) {
+		if from > to {
+			return
+		}
+		if batched {
+			e.TickRange(from, to)
+			return
+		}
+		for cy := from; cy <= to; cy++ {
+			e.Tick(cy)
+		}
+	}
+	e.AllocationRequest(0, 0x40, 0x1000)
+	advance(1, 40)
+	e.AllocationRequest(41, 0x80, 0x9000)
+	advance(42, 120)
+	e.Lookup(121, 0x1020)
+	e.Lookup(121, 0x9040)
+	advance(122, 400)
+	e.AllocationRequest(401, 0xc0, 0x20000)
+	advance(402, 2000)
+	e.Lookup(2001, 0x20020)
+	advance(2002, 5000)
+}
+
+// TestTickRangeMatchesTickLoop: batched advancement must be externally
+// indistinguishable from ticking every cycle — same stats, same buffer
+// snapshots, same prefetch traffic — both with and without the
+// NextBusFree fast path.
+func TestTickRangeMatchesTickLoop(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		fetch   func(busyUntil uint64) Fetcher
+		latency uint64
+	}{
+		{"poll-fallback", func(bu uint64) Fetcher {
+			f := newFakeFetch(10)
+			for cy := uint64(0); cy < bu; cy++ {
+				f.busBusyAt[cy] = true
+			}
+			return f
+		}, 10},
+		{"bus-horizon", func(bu uint64) Fetcher {
+			f := &horizonFetch{fakeFetch: newFakeFetch(10), busyUntil: bu}
+			for cy := uint64(0); cy < bu; cy++ {
+				f.busBusyAt[cy] = true
+			}
+			return f
+		}, 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, busyUntil := range []uint64{0, 37, 350} {
+				fa := tc.fetch(busyUntil)
+				fb := tc.fetch(busyUntil)
+				ea := seqEngine(AllocAlways, SchedPriority, fa)
+				eb := seqEngine(AllocAlways, SchedPriority, fb)
+				runScript(ea, false)
+				runScript(eb, true)
+				if !reflect.DeepEqual(ea.Stats(), eb.Stats()) {
+					t.Errorf("busyUntil=%d: stats diverge\ntick:  %+v\nrange: %+v",
+						busyUntil, ea.Stats(), eb.Stats())
+				}
+				if !reflect.DeepEqual(ea.Snapshot(6000), eb.Snapshot(6000)) {
+					t.Errorf("busyUntil=%d: snapshots diverge", busyUntil)
+				}
+				issuedA := issuedOf(fa)
+				issuedB := issuedOf(fb)
+				if !reflect.DeepEqual(issuedA, issuedB) {
+					t.Errorf("busyUntil=%d: prefetch streams diverge\ntick:  %#v\nrange: %#v",
+						busyUntil, issuedA, issuedB)
+				}
+			}
+		})
+	}
+}
+
+func issuedOf(f Fetcher) []uint64 {
+	switch v := f.(type) {
+	case *fakeFetch:
+		return v.issued
+	case *horizonFetch:
+		return v.issued
+	}
+	return nil
+}
+
+// TestTickRangeQuiescent: an engine with nothing allocated must treat
+// TickRange as a no-op regardless of span length.
+func TestTickRangeQuiescent(t *testing.T) {
+	f := newFakeFetch(10)
+	cfg := DefaultConfig()
+	e := NewEngine(cfg, predict.NewSequential(cfg.BlockBytes), f)
+	e.TickRange(0, 1_000_000)
+	if len(f.issued) != 0 {
+		t.Fatalf("quiescent engine issued prefetches: %#v", f.issued)
+	}
+	if st := e.Stats(); st.Predictions != 0 {
+		t.Fatalf("quiescent engine predicted: %+v", st)
+	}
+}

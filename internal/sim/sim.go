@@ -208,8 +208,13 @@ func blockShift(blockBytes int) uint {
 
 // Summary renders the headline numbers of a result in one line.
 func (r Result) Summary() string {
-	return fmt.Sprintf("%-10s %-18s IPC=%.3f MR=%.1f%% loadLat=%.1f acc=%.1f%% L1L2=%.1f%% mem=%.1f%%",
+	s := fmt.Sprintf("%-10s %-18s IPC=%.3f MR=%.1f%% loadLat=%.1f acc=%.1f%% L1L2=%.1f%% mem=%.1f%%",
 		r.Workload, r.Variant, r.IPC(), r.CPU.DMissRate()*100,
 		r.CPU.AvgLoadLatency(), r.SB.Accuracy()*100,
 		r.L1L2Util*100, r.MemBusUtil*100)
+	if r.CPU.Jumps > 0 {
+		s += fmt.Sprintf(" skip=%.1f%%/%dj/%.1fc",
+			r.CPU.SkipFraction()*100, r.CPU.Jumps, r.CPU.AvgJumpLen())
+	}
+	return s
 }
