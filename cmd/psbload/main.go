@@ -1,0 +1,297 @@
+// Command psbload benchmarks the serving layer: it drives psbserved's
+// HTTP API through a cold pass (every cell simulated), a hot pass
+// (every cell cache-served) and a dedup burst (concurrent identical
+// requests), then writes BENCH_serve.json with throughput, latency
+// percentiles, cache hit rate and dedup savings.
+//
+// Usage:
+//
+//	psbload                          # self-hosted: spins up the server in-process
+//	psbload -url http://host:8724    # drive an already-running psbserved
+//	psbload -insts 60000 -concurrency 8 -hot-iters 10 -out BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// request is one scheduled cell fetch.
+type request struct {
+	body string
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	latency time.Duration
+	tier    string // X-Psb-Cache: sim, dedup, mem, disk
+	status  int
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	InstsPerSim uint64 `json:"insts_per_sim"`
+	Cells       int    `json:"cells"`
+	Concurrency int    `json:"concurrency"`
+	HotIters    int    `json:"hot_iters"`
+	Workers     int    `json:"workers"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// Degraded flags a single-worker box: parallel service still works
+	// but concurrency measurements are meaningless.
+	Degraded bool `json:"degraded"`
+
+	ColdRequests int     `json:"cold_requests"`
+	ColdP50Us    float64 `json:"cold_p50_us"`
+	ColdP95Us    float64 `json:"cold_p95_us"`
+	ColdP99Us    float64 `json:"cold_p99_us"`
+
+	HotRequests int     `json:"hot_requests"`
+	HotP50Us    float64 `json:"hot_p50_us"`
+	HotP95Us    float64 `json:"hot_p95_us"`
+	HotP99Us    float64 `json:"hot_p99_us"`
+	HotRPS      float64 `json:"hot_rps"`
+
+	// SpeedupHot is cold p50 over hot p50: how much faster a cache hit
+	// answers than a fresh simulation, HTTP round trip included.
+	SpeedupHot float64 `json:"speedup_hot"`
+
+	// CacheHitRate is (mem+disk hits) / all cache lookups, from the
+	// server's own counters.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// The dedup burst: DedupRequests concurrent identical requests for
+	// an uncached cell cost DedupSims simulations (want exactly 1).
+	DedupRequests int    `json:"dedup_requests"`
+	DedupSims     uint64 `json:"dedup_sims"`
+	DedupSaved    uint64 `json:"dedup_saved"`
+
+	Errors int `json:"errors"`
+}
+
+func main() {
+	var (
+		url         = flag.String("url", "", "psbserved base URL (empty = start an in-process server)")
+		insts       = flag.Uint64("insts", 60_000, "instruction budget per cell")
+		seed        = flag.Int64("seed", 1, "workload layout seed")
+		workers     = flag.Int("workers", -1, "in-process server concurrency (-1 = all cores; ignored with -url)")
+		cacheDir    = flag.String("cache-dir", "", "in-process server on-disk result tier (ignored with -url)")
+		concurrency = flag.Int("concurrency", 8, "concurrent client requests")
+		hotIters    = flag.Int("hot-iters", 12, "hot passes over the cell set")
+		out         = flag.String("out", "BENCH_serve.json", "output path")
+	)
+	flag.Parse()
+
+	nWorkers := runtime.GOMAXPROCS(0)
+	base := *url
+	if base == "" {
+		cfg := sim.Default()
+		cfg.MaxInsts = *insts
+		cfg.Seed = *seed
+		cfg.TraceMode = sim.TraceMemory
+		s := serve.New(serve.Config{Base: cfg, Workers: *workers, CacheDir: *cacheDir})
+		defer s.Close()
+		nWorkers = s.Stats().Queue.Workers
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go http.Serve(ln, s.Handler())
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "psbload: in-process server on %s (workers=%d)\n", base, nWorkers)
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency}}
+
+	// The cell set: every benchmark x every scheme at the given budget.
+	var cells []request
+	for _, w := range workload.All() {
+		for _, v := range core.Variants() {
+			cells = append(cells, request{body: fmt.Sprintf(
+				`{"bench":%q,"scheme":%q,"insts":%d,"seed":%d}`, w.Name, v.String(), *insts, *seed)})
+		}
+	}
+
+	cold := fire(client, base, cells, *concurrency)
+	var hot []sample
+	hotStart := time.Now()
+	for i := 0; i < *hotIters; i++ {
+		hot = append(hot, fire(client, base, cells, *concurrency)...)
+	}
+	hotElapsed := time.Since(hotStart)
+
+	// Dedup burst: one uncached cell (fresh seed), many concurrent
+	// identical requests.
+	before := fetchStats(client, base)
+	burst := request{body: fmt.Sprintf(
+		`{"bench":%q,"scheme":%q,"insts":%d,"seed":%d}`,
+		workload.All()[0].Name, core.Variants()[0].String(), *insts, *seed+1)}
+	burstReqs := make([]request, *concurrency)
+	for i := range burstReqs {
+		burstReqs[i] = burst
+	}
+	burstSamples := fire(client, base, burstReqs, *concurrency)
+	after := fetchStats(client, base)
+
+	errors := 0
+	tally := func(ss []sample, wantTiers string) {
+		for _, s := range ss {
+			if s.status != http.StatusOK || !strings.Contains(wantTiers, s.tier) {
+				errors++
+			}
+		}
+	}
+	tally(cold, "sim dedup")
+	tally(hot, "mem disk")
+	tally(burstSamples, "sim dedup mem disk")
+
+	cacheStats := after.Cache
+	lookups := cacheStats.MemHits + cacheStats.DiskHits + cacheStats.Misses
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(cacheStats.MemHits+cacheStats.DiskHits) / float64(lookups)
+	}
+
+	coldP := percentiles(cold)
+	hotP := percentiles(hot)
+	r := report{
+		InstsPerSim:   *insts,
+		Cells:         len(cells),
+		Concurrency:   *concurrency,
+		HotIters:      *hotIters,
+		Workers:       nWorkers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Degraded:      nWorkers == 1,
+		ColdRequests:  len(cold),
+		ColdP50Us:     coldP[0],
+		ColdP95Us:     coldP[1],
+		ColdP99Us:     coldP[2],
+		HotRequests:   len(hot),
+		HotP50Us:      hotP[0],
+		HotP95Us:      hotP[1],
+		HotP99Us:      hotP[2],
+		HotRPS:        float64(len(hot)) / hotElapsed.Seconds(),
+		SpeedupHot:    coldP[0] / hotP[0],
+		CacheHitRate:  hitRate,
+		DedupRequests: len(burstReqs),
+		DedupSims:     after.Cells.Sim - before.Cells.Sim,
+		DedupSaved:    after.Cells.Dedup - before.Cells.Dedup,
+		Errors:        errors,
+	}
+	if r.Degraded {
+		fmt.Fprintf(os.Stderr,
+			"warning: only 1 worker available (GOMAXPROCS=%d); concurrency measurements are degraded\n",
+			r.GOMAXPROCS)
+	}
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %d cells, cold p50 %.0fus, hot p50 %.0fus (%.0fx), %.0f hot req/s, hit rate %.3f, dedup %d->%d sims, %d errors\n",
+		*out, r.Cells, r.ColdP50Us, r.HotP50Us, r.SpeedupHot, r.HotRPS, r.CacheHitRate,
+		r.DedupRequests, r.DedupSims, r.Errors)
+	if errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// fire sends every request through a bounded worker set and returns
+// one sample per request.
+func fire(client *http.Client, base string, reqs []request, concurrency int) []sample {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	samples := make([]sample, len(reqs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				samples[i] = one(client, base, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return samples
+}
+
+// one sends a single /v1/sim request. Overloaded (429) requests are
+// retried after the server's Retry-After hint; the retry wait counts
+// into the sample's latency, as a real client would experience it.
+func one(client *http.Client, base string, r request) sample {
+	start := time.Now()
+	for {
+		resp, err := client.Post(base+"/v1/sim", "application/json", strings.NewReader(r.body))
+		if err != nil {
+			return sample{latency: time.Since(start), tier: "error", status: 0}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		return sample{
+			latency: time.Since(start),
+			tier:    resp.Header.Get("X-Psb-Cache"),
+			status:  resp.StatusCode,
+		}
+	}
+}
+
+// percentiles returns the p50/p95/p99 latencies in microseconds.
+func percentiles(ss []sample) [3]float64 {
+	if len(ss) == 0 {
+		return [3]float64{}
+	}
+	lat := make([]time.Duration, len(ss))
+	for i, s := range ss {
+		lat[i] = s.latency
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1e3
+	}
+	return [3]float64{pick(0.50), pick(0.95), pick(0.99)}
+}
+
+// fetchStats snapshots /v1/stats.
+func fetchStats(client *http.Client, base string) serve.ServerStats {
+	var st serve.ServerStats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(&st)
+	return st
+}

@@ -1,0 +1,120 @@
+// Command psbserved is the simulation daemon: an HTTP/JSON front end
+// over the simulator with a fingerprint-keyed result cache and
+// singleflight deduplication, so repeated and concurrent identical
+// requests cost one simulation.
+//
+// Usage:
+//
+//	psbserved -addr :8724
+//	psbserved -addr :8724 -workers -1 -cache-dir results/ -trace-dir traces/
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/stats     cache / queue / dedup counters
+//	POST /v1/sim       one cell; body {"bench":"health","scheme":"ConfAlloc-Priority"}
+//	POST /v1/batch     many cells; body {"jobs":[...]}
+//	POST /v1/artifact  a named table or figure; body {"name":"fig5"}
+//
+// Responses from /v1/sim are byte-identical to `psbsim -json` for the
+// same cell, whether simulated, deduplicated or cache-served (the
+// X-Psb-Cache header says which). Overload is signalled with 429 +
+// Retry-After once the submission queue is full. SIGINT/SIGTERM drain
+// gracefully: the listener stops accepting, in-flight requests finish,
+// then the workers exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8724", "listen address")
+		workers      = flag.Int("workers", -1, "simulation concurrency: N workers, -1 = all cores")
+		queueCap     = flag.Int("queue", 0, "admission queue capacity (0 = 4*workers+64)")
+		cacheEntries = flag.Int("cache-entries", 0, "in-memory result cache entries (0 = 4096)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the on-disk result tier (empty = memory only)")
+		insts        = flag.Uint64("insts", 500_000, "default instruction budget (requests may override)")
+		seed         = flag.Int64("seed", 1, "default workload layout seed (requests may override)")
+		traceFlag    = flag.String("trace", "memory", "instruction stream source: off, memory, disk (see psbsim -trace)")
+		traceDir     = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "wall-clock budget per simulation attempt (0 = unlimited)")
+		retries      = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before in-flight requests are cut")
+	)
+	flag.Parse()
+
+	cfg := sim.Default()
+	cfg.MaxInsts = *insts
+	cfg.Seed = *seed
+	traceMode, err := sim.ParseTraceMode(*traceFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *traceDir != "" && traceMode == sim.TraceMemory {
+		traceMode = sim.TraceDisk
+	}
+	if traceMode == sim.TraceDisk && *traceDir == "" {
+		fmt.Fprintln(os.Stderr, "-trace disk needs -trace-dir to name the recording directory")
+		os.Exit(2)
+	}
+	cfg.TraceMode = traceMode
+	cfg.TraceDir = *traceDir
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "invalid base configuration: %v\n", err)
+		os.Exit(2)
+	}
+
+	s := serve.New(serve.Config{
+		Base:         cfg,
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		JobTimeout:   *jobTimeout,
+		Retries:      *retries,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "psbserved: draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "psbserved: listening on %s (workers=%d queue=%d cache=%s)\n",
+		*addr, s.Stats().Queue.Workers, s.Stats().Queue.Capacity, cacheLabel(*cacheDir))
+	err = httpSrv.ListenAndServe()
+	// Shutdown finished or the listener failed; either way release the
+	// simulation workers before exiting.
+	s.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "psbserved: stopped")
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return "memory+" + dir
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -69,6 +70,7 @@ func main() {
 		retries    = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
 		list       = flag.Bool("list", false, "list benchmarks and schemes")
 		verbose    = flag.Bool("v", false, "print the full statistics block")
+		jsonOut    = flag.Bool("json", false, "print each cell as canonical JSON (the exact bytes psbserved returns for the same cell)")
 		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
 		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
 		cycleMode  = flag.String("cycle-mode", "", "clock advancement: event = skip to the next event (default), accurate = tick every cycle (debug fallback; results are bit-identical)")
@@ -129,7 +131,7 @@ func main() {
 	if *scheme == "all" {
 		schemes = core.Variants()
 	} else {
-		v, err := variantByName(*scheme)
+		v, err := core.VariantByName(*scheme)
 		if err != nil {
 			usageError("unknown scheme %q: valid schemes are %s, or 'all'", *scheme, schemeNames())
 		}
@@ -157,8 +159,12 @@ func main() {
 	for i, c := range cells {
 		if c.Err != nil {
 			failed++
-			fmt.Printf("%-10s %-22s FAILED: %v\n",
+			fmt.Fprintf(os.Stderr, "%-10s %-22s FAILED: %v\n",
 				jobs[i].Workload.Name, jobs[i].Variant, c.Err.Err)
+			continue
+		}
+		if *jsonOut {
+			os.Stdout.Write(serve.EncodeResult(c.Result))
 			continue
 		}
 		fmt.Println(c.Result.Summary())
@@ -170,15 +176,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d of %d cell(s) failed\n", failed, len(cells))
 		os.Exit(1)
 	}
-}
-
-func variantByName(name string) (core.Variant, error) {
-	for _, v := range core.Variants() {
-		if strings.EqualFold(v.String(), name) {
-			return v, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheme %q (try -list)", name)
 }
 
 func printDetail(r sim.Result) {

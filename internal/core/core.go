@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/demand"
 	"repro/internal/predict"
@@ -101,6 +102,19 @@ func PaperVariants() []Variant {
 // Known reports whether v names one of the defined configurations —
 // the precondition for New/NewWithOptions not panicking.
 func (v Variant) Known() bool { return v >= 0 && v < numVariants }
+
+// VariantByName resolves a configuration by its String name,
+// case-insensitively. It is the inverse of String for every Known
+// variant, shared by the command-line flags and the serving layer's
+// request decoder.
+func VariantByName(name string) (Variant, error) {
+	for _, v := range Variants() {
+		if strings.EqualFold(v.String(), name) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}
 
 // IsPSB reports whether the variant is predictor-directed.
 func (v Variant) IsPSB() bool {

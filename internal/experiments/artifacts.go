@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ArtifactNames lists the named evaluation artifacts Artifact can
+// regenerate, in the paper's presentation order.
+func ArtifactNames() []string {
+	return []string{"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+}
+
+// Artifact regenerates one named table or figure, executing every
+// simulation cell through run. It is the serving layer's entry point
+// to the evaluation suite: cmd/psbserved passes an executor backed by
+// its result cache and work pool, so a whole-figure request costs only
+// the cells not already cached. Matrix-backed artifacts (table2,
+// fig5-fig9) submit the full benchmark x scheme matrix; fig4, fig10
+// and fig11 submit their own sweeps. Unknown names return an error
+// naming the valid artifacts.
+func Artifact(name string, cfg sim.Config, run CellRunner) (*stats.Table, error) {
+	switch strings.ToLower(name) {
+	case "table2":
+		return Table2(runMatrixWith(cfg, run)), nil
+	case "fig4":
+		return fig4With(cfg, run), nil
+	case "fig5":
+		return Fig5(runMatrixWith(cfg, run)), nil
+	case "fig6":
+		return Fig6(runMatrixWith(cfg, run)), nil
+	case "fig7":
+		return Fig7(runMatrixWith(cfg, run)), nil
+	case "fig8":
+		return Fig8(runMatrixWith(cfg, run)), nil
+	case "fig9":
+		return Fig9(runMatrixWith(cfg, run)), nil
+	case "fig10":
+		return fig10With(cfg, run), nil
+	case "fig11":
+		return fig11With(cfg, run), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown artifact %q (valid artifacts: %s)",
+		name, strings.Join(ArtifactNames(), ", "))
+}

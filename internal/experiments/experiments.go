@@ -42,13 +42,16 @@ func (m *Matrix) Failed() int {
 	return n
 }
 
-// cellRunner executes a batch of jobs and returns one cell per job in
+// CellRunner executes a batch of jobs and returns one cell per job in
 // job order. The legacy path wraps Pool.Run (panics propagate); a
-// Session wraps Pool.RunChecked (failures become per-cell errors).
-type cellRunner func(jobs []runner.Job) []runner.CellResult
+// Session wraps Pool.RunChecked (failures become per-cell errors); the
+// serving layer (internal/serve) supplies an executor backed by its
+// fingerprint-keyed result cache, so repeated artifact requests never
+// re-simulate a cell.
+type CellRunner func(jobs []runner.Job) []runner.CellResult
 
 // plainRunner is the legacy fail-fast executor.
-func plainRunner(workers int) cellRunner {
+func plainRunner(workers int) CellRunner {
 	return func(jobs []runner.Job) []runner.CellResult {
 		results := runner.ForWorkers(workers).Run(jobs)
 		cells := make([]runner.CellResult, len(jobs))
@@ -73,7 +76,7 @@ func RunMatrix(cfg sim.Config) *Matrix {
 	return runMatrixWith(cfg, plainRunner(cfg.Workers))
 }
 
-func runMatrixWith(cfg sim.Config, run cellRunner) *Matrix {
+func runMatrixWith(cfg sim.Config, run CellRunner) *Matrix {
 	benches := workload.All()
 	schemes := Schemes()
 	jobs := make([]runner.Job, 0, len(benches)*len(schemes))
@@ -149,7 +152,7 @@ func Fig4(cfg sim.Config) *stats.Table {
 	return fig4With(cfg, plainRunner(cfg.Workers))
 }
 
-func fig4With(cfg sim.Config, run cellRunner) *stats.Table {
+func fig4With(cfg sim.Config, run CellRunner) *stats.Table {
 	cfg.CollectFig4 = true
 	headers := []string{"program"}
 	for _, wdt := range Fig4Widths {
@@ -248,7 +251,7 @@ func Fig10(cfg sim.Config) *stats.Table {
 	return fig10With(cfg, plainRunner(cfg.Workers))
 }
 
-func fig10With(cfg sim.Config, run cellRunner) *stats.Table {
+func fig10With(cfg sim.Config, run CellRunner) *stats.Table {
 	headers := []string{"program"}
 	for _, cc := range Fig10Configs {
 		headers = append(headers, cc.Name+" PCstride", cc.Name+" ConfPri")
@@ -298,7 +301,7 @@ func Fig11(cfg sim.Config) *stats.Table {
 	return fig11With(cfg, plainRunner(cfg.Workers))
 }
 
-func fig11With(cfg sim.Config, run cellRunner) *stats.Table {
+func fig11With(cfg sim.Config, run CellRunner) *stats.Table {
 	t := stats.NewTable("Figure 11: IPC with (Dis) and without (NoDis) perfect store sets",
 		"program", "Base-NoDis", "Base-Dis", "ConfPri-NoDis", "ConfPri-Dis")
 	benches := workload.All()

@@ -15,7 +15,7 @@ import (
 // faultyRunner fails the cells selected by bad (keyed by
 // workload/variant) and executes the rest normally — fault injection
 // for the table renderers without needing a cell to actually crash.
-func faultyRunner(bad func(j runner.Job) bool) cellRunner {
+func faultyRunner(bad func(j runner.Job) bool) CellRunner {
 	return func(jobs []runner.Job) []runner.CellResult {
 		cells := make([]runner.CellResult, len(jobs))
 		for i, j := range jobs {

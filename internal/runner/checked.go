@@ -8,8 +8,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -117,12 +115,16 @@ func (j Job) Fingerprint() string {
 // its own cell; the rest of the matrix completes. Completed cells are
 // looked up in and recorded to opts.Checkpoint when one is set.
 //
-// Cancelling ctx drains gracefully: no new jobs start, running
-// simulations abort at their next context check, already-recorded
-// checkpoint lines stay flushed, and RunChecked returns ctx's error
-// with cells that never ran marked as failed by that error. The only
-// non-nil error RunChecked itself returns is ctx's; per-cell failures
-// live in the cells.
+// Execution flows through a transient Dispatcher — the same submit
+// path cmd/psbserved keeps alive across requests — so the batch CLI
+// and the server share one retry/timeout/panic-isolation machinery.
+//
+// Cancelling ctx drains gracefully: queued jobs fail fast with ctx's
+// error, running simulations abort at their next context check,
+// already-recorded checkpoint lines stay flushed, and RunChecked
+// returns ctx's error with cells that never ran marked as failed by
+// that error. The only non-nil error RunChecked itself returns is
+// ctx's; per-cell failures live in the cells.
 func (p *Pool) RunChecked(ctx context.Context, jobs []Job, opts Options) ([]CellResult, error) {
 	cells := make([]CellResult, len(jobs))
 	fps := make([]string, len(jobs))
@@ -138,19 +140,26 @@ func (p *Pool) RunChecked(ctx context.Context, jobs []Job, opts Options) ([]Cell
 		pending = append(pending, i)
 	}
 
-	p.mapCtx(ctx, len(pending), func(k int) {
-		i := pending[k]
-		cells[i] = runCell(ctx, jobs[i], fps[i], opts)
-		if cells[i].OK() && opts.Checkpoint != nil {
-			if err := opts.Checkpoint.Record(fps[i], jobs[i], cells[i].Result); err != nil {
-				cells[i].Err = &JobError{
-					Workload: jobs[i].Workload.Name, Variant: jobs[i].Variant,
-					Fingerprint: fps[i], Attempts: cells[i].Attempts,
-					Err: fmt.Errorf("checkpoint write: %w", err),
-				}
-			}
+	if len(pending) > 0 {
+		workers := p.workers
+		if workers > len(pending) {
+			workers = len(pending)
 		}
-	})
+		d := NewDispatcher(workers, len(pending))
+		defer d.Close()
+		handles := make([]*Pending, len(pending))
+		for k, i := range pending {
+			// The queue is sized to the batch, so Submit cannot fail.
+			h, err := d.Submit(ctx, jobs[i], opts)
+			if err != nil {
+				panic(err)
+			}
+			handles[k] = h
+		}
+		for k, i := range pending {
+			cells[i] = handles[k].wait()
+		}
+	}
 
 	if err := ctx.Err(); err != nil {
 		for _, i := range pending {
@@ -242,39 +251,3 @@ func runJobOnce(ctx context.Context, j Job, timeout time.Duration) (res sim.Resu
 	return sim.RunChecked(ctx, j.Workload, j.Variant, j.Config)
 }
 
-// mapCtx is Map with cooperative cancellation: workers stop claiming
-// new indices once ctx is done. f is responsible for its own panic
-// handling (runCell recovers everything).
-func (p *Pool) mapCtx(ctx context.Context, n int, f func(i int)) {
-	if n <= 0 {
-		return
-	}
-	workers := p.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n && ctx.Err() == nil; i++ {
-			f(i)
-		}
-		return
-	}
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
-}

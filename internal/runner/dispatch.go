@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Dispatcher.Submit when the submission
+// queue is at capacity. Callers that front a network (cmd/psbserved)
+// translate it into 429 + Retry-After; batch drivers size the queue to
+// the batch and never see it.
+var ErrQueueFull = errors.New("runner: dispatch queue full")
+
+// ErrDispatcherClosed is returned by Submit after Close.
+var ErrDispatcherClosed = errors.New("runner: dispatcher closed")
+
+// Pending is a handle to one submitted job. The zero value is not
+// useful; Dispatcher.Submit is the constructor.
+type Pending struct {
+	job  Job
+	fp   string
+	opts Options
+	ctx  context.Context
+	done chan struct{}
+	cell CellResult
+}
+
+// Fingerprint returns the submitted job's deterministic identity.
+func (p *Pending) Fingerprint() string { return p.fp }
+
+// Done is closed when the job has finished (successfully or not).
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Wait blocks until the job finishes or ctx expires. On expiry the job
+// keeps running on its worker (its own submission context still
+// governs it); only the wait is abandoned.
+func (p *Pending) Wait(ctx context.Context) (CellResult, error) {
+	select {
+	case <-p.done:
+		return p.cell, nil
+	case <-ctx.Done():
+		return CellResult{}, ctx.Err()
+	}
+}
+
+// wait blocks until the job finishes. Safe for batch drivers: every
+// submitted job completes because runCell returns promptly once its
+// context is done.
+func (p *Pending) wait() CellResult {
+	<-p.done
+	return p.cell
+}
+
+// Dispatcher is the asynchronous submission front end over the checked
+// execution path: a fixed set of long-lived workers drains a bounded
+// queue of jobs, each executed with runCell's panic recovery, retry
+// and wall-clock-timeout machinery. Pool.RunChecked batches through a
+// transient Dispatcher; cmd/psbserved keeps one alive for the process
+// and feeds it requests, so the CLI and the server exercise the same
+// execution path.
+type Dispatcher struct {
+	tasks   chan *Pending
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	workers int
+	// inflight counts jobs admitted but not yet finished (queued plus
+	// running); servers report it as queue depth.
+	inflight atomic.Int64
+	finished atomic.Uint64
+}
+
+// NewDispatcher starts a dispatcher with the given concurrency and
+// submission-queue capacity. workers <= 0 selects one worker per
+// available CPU (as Pool); queueCap <= 0 selects workers (a full
+// pipeline with no slack). Close releases the workers.
+func NewDispatcher(workers, queueCap int) *Dispatcher {
+	workers = New(workers).Workers()
+	if queueCap <= 0 {
+		queueCap = workers
+	}
+	d := &Dispatcher{tasks: make(chan *Pending, queueCap), workers: workers}
+	d.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go d.worker()
+	}
+	return d
+}
+
+// worker drains the queue until Close.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for p := range d.tasks {
+		p.cell = executeCell(p.ctx, p.job, p.fp, p.opts)
+		d.inflight.Add(-1)
+		d.finished.Add(1)
+		close(p.done)
+	}
+}
+
+// Submit enqueues one job without blocking: it returns ErrQueueFull
+// when the queue is at capacity and ErrDispatcherClosed after Close.
+// ctx governs the job's execution (cancellation aborts the simulation
+// at its next context check), not the enqueue.
+func (d *Dispatcher) Submit(ctx context.Context, j Job, opts Options) (*Pending, error) {
+	p := &Pending{job: j, fp: j.Fingerprint(), opts: opts, ctx: ctx, done: make(chan struct{})}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrDispatcherClosed
+	}
+	select {
+	case d.tasks <- p:
+		d.inflight.Add(1)
+		return p, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Inflight returns the number of jobs admitted but not yet finished
+// (queued plus running).
+func (d *Dispatcher) Inflight() int { return int(d.inflight.Load()) }
+
+// Finished returns the number of jobs completed over the dispatcher's
+// lifetime.
+func (d *Dispatcher) Finished() uint64 { return d.finished.Load() }
+
+// Workers returns the dispatcher's concurrency.
+func (d *Dispatcher) Workers() int { return d.workers }
+
+// QueueCap returns the submission queue's capacity.
+func (d *Dispatcher) QueueCap() int { return cap(d.tasks) }
+
+// Close stops admission, drains the queued jobs and waits for the
+// workers to exit. Every Pending submitted before Close still
+// completes.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	close(d.tasks)
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// executeCell is the one checked execution path: checkpoint lookup,
+// runCell (panic recovery, retries, per-attempt timeout), checkpoint
+// record. Both the batch RunChecked path and the serving Dispatcher
+// end up here.
+func executeCell(ctx context.Context, j Job, fp string, opts Options) CellResult {
+	if opts.Checkpoint != nil {
+		if res, ok := opts.Checkpoint.Lookup(fp); ok {
+			return CellResult{Result: res, Cached: true}
+		}
+	}
+	cell := runCell(ctx, j, fp, opts)
+	if cell.OK() && opts.Checkpoint != nil {
+		if err := opts.Checkpoint.Record(fp, j, cell.Result); err != nil {
+			cell.Err = &JobError{
+				Workload: j.Workload.Name, Variant: j.Variant,
+				Fingerprint: fp, Attempts: cell.Attempts,
+				Err: fmt.Errorf("checkpoint write: %w", err),
+			}
+		}
+	}
+	return cell
+}

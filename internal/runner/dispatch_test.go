@@ -1,0 +1,155 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestDispatcherSubmitWait submits a healthy job and a panicking job
+// through a long-lived dispatcher and checks both outcomes match the
+// batch path's semantics.
+func TestDispatcherSubmitWait(t *testing.T) {
+	d := NewDispatcher(2, 8)
+	defer d.Close()
+	cfg := smallCfg()
+	w := workload.All()[0]
+
+	good, err := d.Submit(context.Background(), Job{Workload: w, Variant: core.None, Config: cfg}, Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	bad, err := d.Submit(context.Background(), Job{Workload: boomWorkload(), Variant: core.None, Config: cfg}, Options{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	cell, err := good.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !cell.OK() {
+		t.Fatalf("healthy cell failed: %v", cell.Err)
+	}
+	want := (Job{Workload: w, Variant: core.None, Config: cfg}).Run()
+	if !reflect.DeepEqual(cell.Result, want) {
+		t.Errorf("dispatched result differs from plain Run")
+	}
+
+	badCell, err := bad.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	var pe *PanicError
+	if badCell.Err == nil || !errors.As(badCell.Err, &pe) {
+		t.Fatalf("panicking cell err = %v, want *PanicError", badCell.Err)
+	}
+	if d.Finished() != 2 {
+		t.Errorf("Finished = %d, want 2", d.Finished())
+	}
+	if d.Inflight() != 0 {
+		t.Errorf("Inflight = %d, want 0", d.Inflight())
+	}
+}
+
+// TestDispatcherQueueFull occupies the sole worker and the sole queue
+// slot, then checks the overflow submit is rejected with ErrQueueFull
+// — the serving layer's admission-control signal.
+func TestDispatcherQueueFull(t *testing.T) {
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	blocker := workload.Workload{
+		Name:        "blocker",
+		Description: "holds its worker until released",
+		Build: func(seed int64) *vm.Machine {
+			started <- struct{}{}
+			<-release
+			panic("released")
+		},
+	}
+	d := NewDispatcher(1, 1)
+	defer d.Close()
+	cfg := smallCfg()
+	job := Job{Workload: blocker, Variant: core.None, Config: cfg}
+	opts := Options{Retries: 0}
+
+	h1, err := d.Submit(context.Background(), job, opts)
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	<-started // the worker is now inside h1's build; the queue is empty
+	h2, err := d.Submit(context.Background(), job, opts)
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	if _, err := d.Submit(context.Background(), job, opts); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Submit = %v, want ErrQueueFull", err)
+	}
+	if d.Inflight() != 2 {
+		t.Errorf("Inflight = %d, want 2", d.Inflight())
+	}
+
+	close(release)
+	for _, h := range []*Pending{h1, h2} {
+		cell, err := h.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		var pe *PanicError
+		if cell.Err == nil || !errors.As(cell.Err, &pe) {
+			t.Fatalf("blocker cell err = %v, want *PanicError", cell.Err)
+		}
+	}
+}
+
+// TestDispatcherClosedRejects checks Submit after Close fails cleanly.
+func TestDispatcherClosedRejects(t *testing.T) {
+	d := NewDispatcher(1, 1)
+	d.Close()
+	_, err := d.Submit(context.Background(), Job{Workload: workload.All()[0], Variant: core.None, Config: smallCfg()}, Options{})
+	if !errors.Is(err, ErrDispatcherClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrDispatcherClosed", err)
+	}
+}
+
+// TestRunCheckedMatchesDispatcher runs the same job list through the
+// batch RunChecked path and through direct dispatcher submits and
+// checks the results agree cell for cell.
+func TestRunCheckedMatchesDispatcher(t *testing.T) {
+	cfg := smallCfg()
+	var jobs []Job
+	for _, w := range workload.All()[:3] {
+		for _, v := range []core.Variant{core.None, core.PSBConfPriority} {
+			jobs = append(jobs, Job{Workload: w, Variant: v, Config: cfg})
+		}
+	}
+	batch, err := New(4).RunChecked(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+
+	d := NewDispatcher(4, len(jobs))
+	defer d.Close()
+	handles := make([]*Pending, len(jobs))
+	for i, j := range jobs {
+		h, err := d.Submit(context.Background(), j, Options{})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		cell, err := h.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(cell.Result, batch[i].Result) {
+			t.Errorf("cell %d: dispatcher result differs from RunChecked", i)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// CacheStats is a snapshot of the result cache's traffic counters.
+type CacheStats struct {
+	// Entries and Capacity describe the in-memory LRU tier.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// MemHits and DiskHits count lookups served by each tier; Misses
+	// count lookups that found nothing and caused a simulation.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	// Evictions counts LRU entries dropped to stay within Capacity
+	// (evicted results survive on disk when a disk tier is configured).
+	Evictions uint64 `json:"evictions"`
+	// DiskWrites counts results persisted; DiskErrors counts disk-tier
+	// failures (the cache degrades to memory-only on error rather than
+	// failing the request).
+	DiskWrites uint64 `json:"disk_writes"`
+	DiskErrors uint64 `json:"disk_errors"`
+}
+
+// ResultCache memoizes simulation results across requests, keyed by
+// runner.Job.Fingerprint: an in-memory LRU bounded by entry count,
+// optionally backed by an on-disk store that survives restarts and
+// LRU eviction. A fingerprint is a pure function of the job (workload,
+// variant, machine configuration — see the fingerprint contract in
+// EXPERIMENTS.md), and sim.Result round-trips JSON losslessly, so a
+// cache-served result renders byte-identically to a fresh simulation.
+type ResultCache struct {
+	mu    sync.Mutex
+	cap   int
+	dir   string
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	memHits, diskHits, misses, evictions, diskWrites, diskErrors atomic.Uint64
+}
+
+// lruEntry is one cached result in the LRU list.
+type lruEntry struct {
+	fp  string
+	res sim.Result
+}
+
+// NewResultCache returns a cache bounded to entries in-memory results
+// (entries <= 0 selects a generous default of 4096). dir, when
+// non-empty, enables the disk tier: results are persisted to
+// <dir>/<fingerprint>.json and reloaded on memory misses.
+func NewResultCache(entries int, dir string) *ResultCache {
+	if entries <= 0 {
+		entries = 4096
+	}
+	return &ResultCache{
+		cap:   entries,
+		dir:   dir,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *ResultCache) Stats() CacheStats {
+	return CacheStats{
+		Entries:    c.Len(),
+		Capacity:   c.cap,
+		MemHits:    c.memHits.Load(),
+		DiskHits:   c.diskHits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		DiskWrites: c.diskWrites.Load(),
+		DiskErrors: c.diskErrors.Load(),
+	}
+}
+
+// Get looks the fingerprint up in both tiers, promoting a disk hit
+// into the LRU. tier is "mem" or "disk" on a hit.
+func (c *ResultCache) Get(fp string) (res sim.Result, tier string, ok bool) {
+	return c.get(fp, true)
+}
+
+// peek is Get without the miss accounting, for the singleflight
+// leader's re-check (its miss was already counted by the caller's
+// Get).
+func (c *ResultCache) peek(fp string) (res sim.Result, tier string, ok bool) {
+	return c.get(fp, false)
+}
+
+func (c *ResultCache) get(fp string, countMiss bool) (res sim.Result, tier string, ok bool) {
+	c.mu.Lock()
+	if el, hit := c.items[fp]; hit {
+		c.ll.MoveToFront(el)
+		res = el.Value.(*lruEntry).res
+		c.mu.Unlock()
+		c.memHits.Add(1)
+		return res, "mem", true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if res, err := c.loadDisk(fp); err == nil {
+			c.diskHits.Add(1)
+			c.insert(fp, res)
+			return res, "disk", true
+		}
+	}
+	if countMiss {
+		c.misses.Add(1)
+	}
+	return sim.Result{}, "", false
+}
+
+// Put stores a result in both tiers. Disk failures are counted and
+// swallowed: a broken cache directory must degrade the cache, not the
+// simulation service.
+func (c *ResultCache) Put(fp string, res sim.Result) {
+	c.insert(fp, res)
+	if c.dir != "" {
+		if err := c.storeDisk(fp, res); err != nil {
+			c.diskErrors.Add(1)
+		} else {
+			c.diskWrites.Add(1)
+		}
+	}
+}
+
+// insert adds (or refreshes) an in-memory entry, evicting from the LRU
+// tail to stay within capacity.
+func (c *ResultCache) insert(fp string, res sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[fp]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).res = res
+		return
+	}
+	c.items[fp] = c.ll.PushFront(&lruEntry{fp: fp, res: res})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*lruEntry).fp)
+		c.evictions.Add(1)
+	}
+}
+
+// diskPath is the fingerprint's on-disk location.
+func (c *ResultCache) diskPath(fp string) string {
+	return filepath.Join(c.dir, fp+".json")
+}
+
+// loadDisk reads one persisted result.
+func (c *ResultCache) loadDisk(fp string) (sim.Result, error) {
+	b, err := os.ReadFile(c.diskPath(fp))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var res sim.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return sim.Result{}, fmt.Errorf("serve: corrupt cache entry %s: %w", fp, err)
+	}
+	return res, nil
+}
+
+// storeDisk persists one result via write-to-temp-then-rename, so a
+// crashed writer or concurrent store never leaves a torn entry.
+func (c *ResultCache) storeDisk(fp string, res sim.Result) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, fp+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(b)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	return os.Rename(tmp.Name(), c.diskPath(fp))
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tinyCfg returns a fast, valid configuration.
+func tinyCfg() sim.Config {
+	cfg := sim.Default()
+	cfg.MaxInsts = 3_000
+	return cfg
+}
+
+// tinyResult simulates one real cell, so cached values carry the full
+// nested Result shape (stats blocks, histograms).
+func tinyResult(t *testing.T, v core.Variant, collectHist bool) sim.Result {
+	t.Helper()
+	cfg := tinyCfg()
+	cfg.CollectFig4 = collectHist
+	return sim.Run(workload.All()[0], v, cfg)
+}
+
+// TestResultCacheLRUBounds fills the cache past capacity and checks
+// the entry count stays bounded, eviction is least-recently-used, and
+// the counters track it.
+func TestResultCacheLRUBounds(t *testing.T) {
+	c := NewResultCache(2, "")
+	res := tinyResult(t, core.None, false)
+	c.Put("a", res)
+	c.Put("b", res)
+	c.Put("c", res) // evicts a
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, _, ok := c.Get("a"); ok {
+		t.Errorf("a survived eviction from a 2-entry cache")
+	}
+	// b was least-recently-used; touching it should make c the victim.
+	if _, _, ok := c.Get("b"); !ok {
+		t.Fatalf("b missing")
+	}
+	c.Put("d", res) // evicts c, not b
+	if _, _, ok := c.Get("b"); !ok {
+		t.Errorf("b evicted despite being recently used")
+	}
+	if _, _, ok := c.Get("c"); ok {
+		t.Errorf("c survived eviction despite being LRU")
+	}
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestResultCacheDiskRoundTrip stores results through the disk tier,
+// drops them from memory via eviction, and checks the reloaded result
+// renders byte-identically — including the Fig4 histogram, the
+// hardest field to round-trip.
+func TestResultCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewResultCache(1, dir)
+	plain := tinyResult(t, core.PSBConfPriority, false)
+	hist := tinyResult(t, core.None, true)
+	if hist.Hist == nil {
+		t.Fatalf("expected a delta histogram on the CollectFig4 result")
+	}
+	c.Put("plain", plain)
+	c.Put("hist", hist) // evicts plain from memory; both persist on disk
+
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	got, tier, ok := c.Get("plain")
+	if !ok {
+		t.Fatalf("plain not found after eviction with a disk tier")
+	}
+	if tier != "disk" {
+		t.Errorf("tier = %q, want disk", tier)
+	}
+	if !bytes.Equal(EncodeResult(got), EncodeResult(plain)) {
+		t.Errorf("disk round-trip changed the rendered result")
+	}
+
+	// hist was just written; fetch it through a cold cache to force
+	// the disk path for the histogram too.
+	c2 := NewResultCache(4, dir)
+	got2, tier2, ok := c2.Get("hist")
+	if !ok || tier2 != "disk" {
+		t.Fatalf("hist: ok=%v tier=%q, want disk hit", ok, tier2)
+	}
+	if !bytes.Equal(EncodeResult(got2), EncodeResult(hist)) {
+		t.Errorf("histogram result changed across the disk round-trip")
+	}
+
+	// A disk hit promotes into memory: the second Get must be a mem hit.
+	if _, tier3, _ := c2.Get("hist"); tier3 != "mem" {
+		t.Errorf("post-promotion tier = %q, want mem", tier3)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 1 {
+		t.Errorf("disk/mem hits = %d/%d, want 1/1", st.DiskHits, st.MemHits)
+	}
+}
+
+// TestResultCacheCorruptDiskEntry checks a corrupt persisted entry is
+// treated as a miss, not an error.
+func TestResultCacheCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := NewResultCache(4, dir)
+	if err := os.WriteFile(c.diskPath("bad"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("bad"); ok {
+		t.Fatalf("corrupt entry served as a hit")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// maxBodyBytes bounds request bodies: job descriptions are small; a
+// larger body is a client bug or abuse.
+const maxBodyBytes = 1 << 20
+
+// maxBatchCells bounds how many cells one batch request may expand to.
+const maxBatchCells = 4096
+
+// Config parameterizes a Server.
+type Config struct {
+	// Base is the default simulation configuration requests override
+	// field by field. Its trace mode decides how the server sources
+	// instruction streams (TraceMemory keeps recordings warm across
+	// requests; TraceDisk persists them).
+	Base sim.Config
+	// Workers is the simulation concurrency (<= 0 selects one worker
+	// per available CPU).
+	Workers int
+	// QueueCap bounds the submission queue (admission control): once
+	// QueueCap jobs are queued or running, fresh simulations are
+	// rejected with 429 + Retry-After. <= 0 selects 4 x workers + 64.
+	QueueCap int
+	// CacheEntries bounds the in-memory result LRU (<= 0 = 4096).
+	CacheEntries int
+	// CacheDir, when non-empty, enables the on-disk result tier.
+	CacheDir string
+	// JobTimeout and Retries configure the checked execution path,
+	// exactly as the CLI's -job-timeout and -retries flags.
+	JobTimeout time.Duration
+	Retries    int
+}
+
+// Server is the simulation service: it resolves requests against the
+// two-tier result cache, deduplicates concurrent identical requests
+// with singleflight, and fans cache misses into a long-lived
+// runner.Dispatcher that shares the CLI's retry/timeout/panic-
+// isolation machinery. Construct with New; Close drains the workers.
+type Server struct {
+	base   sim.Config
+	opts   runner.Options
+	disp   *runner.Dispatcher
+	cache  *ResultCache
+	flight flightGroup
+
+	// ctx governs simulation execution. It is the server's lifetime,
+	// not any single request's: a client disconnect must not abort a
+	// simulation other waiters (or the cache) will want.
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+
+	requests                                       atomic.Uint64
+	cellsMem, cellsDisk, cellsDedup, cellsSim      atomic.Uint64
+	cellsFailed, cellsRejected                     atomic.Uint64
+}
+
+// New starts a server. The caller owns the HTTP listener; Handler
+// returns the routing entry point.
+func New(cfg Config) *Server {
+	workers := runner.New(cfg.Workers).Workers()
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = 4*workers + 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		base:   cfg.Base,
+		opts:   runner.Options{Timeout: cfg.JobTimeout, Retries: cfg.Retries},
+		disp:   runner.NewDispatcher(workers, queueCap),
+		cache:  NewResultCache(cfg.CacheEntries, cfg.CacheDir),
+		ctx:    ctx,
+		cancel: cancel,
+		start:  time.Now(),
+	}
+}
+
+// Base returns the server's base simulation configuration.
+func (s *Server) Base() sim.Config { return s.base }
+
+// Close aborts in-flight simulations at their next context check and
+// waits for the workers to exit. Call after the HTTP listener has
+// drained (http.Server.Shutdown) for a graceful stop, or directly for
+// a fast one.
+func (s *Server) Close() {
+	s.cancel()
+	s.disp.Close()
+}
+
+// Handler returns the server's routing entry point.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/artifact", s.handleArtifact)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// cell resolves one job: result cache, then singleflight, then a
+// dispatcher submit. tier reports where the result came from ("mem",
+// "disk", "dedup" or "sim"); err is an admission failure
+// (runner.ErrQueueFull / ErrDispatcherClosed), never a job failure —
+// those live in cell.Err.
+func (s *Server) cell(job runner.Job) (cell runner.CellResult, tier string, err error) {
+	fp := job.Fingerprint()
+	if res, tier, ok := s.cache.Get(fp); ok {
+		s.countTier(tier)
+		return runner.CellResult{Result: res, Cached: true}, tier, nil
+	}
+	cell, err, shared := s.flight.Do(fp, func() (runner.CellResult, error) {
+		// Re-check under the flight: a concurrent leader may have
+		// populated the cache between our Get and Do.
+		if res, _, ok := s.cache.peek(fp); ok {
+			return runner.CellResult{Result: res, Cached: true}, nil
+		}
+		p, err := s.disp.Submit(s.ctx, job, s.opts)
+		if err != nil {
+			return runner.CellResult{}, err
+		}
+		// The job always completes (cancellation fails it fast), so
+		// waiting on Background cannot leak.
+		cell, _ := p.Wait(context.Background())
+		if cell.OK() {
+			s.cache.Put(fp, cell.Result)
+		}
+		return cell, nil
+	})
+	switch {
+	case err != nil:
+		s.cellsRejected.Add(1)
+		return cell, "", err
+	case shared:
+		tier = "dedup"
+	case cell.Cached:
+		tier = "mem"
+	default:
+		tier = "sim"
+	}
+	s.countTier(tier)
+	if cell.Err != nil {
+		s.cellsFailed.Add(1)
+	}
+	return cell, tier, nil
+}
+
+func (s *Server) countTier(tier string) {
+	switch tier {
+	case "mem":
+		s.cellsMem.Add(1)
+	case "disk":
+		s.cellsDisk.Add(1)
+	case "dedup":
+		s.cellsDedup.Add(1)
+	case "sim":
+		s.cellsSim.Add(1)
+	}
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+	w.Write(append(b, '\n'))
+}
+
+// readBody reads a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// writeCellError maps a failed or rejected cell to an HTTP error.
+func (s *Server) writeCellError(w http.ResponseWriter, cell runner.CellResult, err error) {
+	switch {
+	case errors.Is(err, runner.ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
+	case errors.Is(err, runner.ErrDispatcherClosed):
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		var ce *sim.ConfigError
+		if errors.As(cell.Err, &ce) {
+			httpError(w, http.StatusBadRequest, "%v", ce)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", cell.Err)
+	}
+}
+
+// handleSim serves one cell: the response body is the canonical JSON
+// rendering of the sim.Result — byte-identical to psbsim -json for the
+// same cell, whether it was simulated, deduplicated or cache-served.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	jobs, err := req.Jobs(s.base)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(jobs) != 1 {
+		httpError(w, http.StatusBadRequest,
+			"/v1/sim runs exactly one cell (%d requested); use /v1/batch for fan-out", len(jobs))
+		return
+	}
+
+	start := time.Now()
+	cell, tier, err := s.cell(jobs[0])
+	if err != nil || cell.Err != nil {
+		s.writeCellError(w, cell, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Psb-Cache", tier)
+	w.Header().Set("X-Psb-Fingerprint", jobs[0].Fingerprint())
+	w.Header().Set("X-Psb-Serve-Us", fmt.Sprintf("%d", time.Since(start).Microseconds()))
+	w.Write(EncodeResult(cell.Result))
+}
+
+// BatchCell is one cell's outcome in a batch response.
+type BatchCell struct {
+	Bench       string      `json:"bench"`
+	Scheme      string      `json:"scheme"`
+	Fingerprint string      `json:"fingerprint"`
+	Cache       string      `json:"cache,omitempty"`
+	Result      *sim.Result `json:"result,omitempty"`
+	Error       string      `json:"error,omitempty"`
+}
+
+// BatchResponse is the response body of POST /v1/batch.
+type BatchResponse struct {
+	Cells []BatchCell `json:"cells"`
+}
+
+// handleBatch serves a list of cells, resolving each through the cache
+// and fanning the misses across the work pool concurrently. Per-cell
+// failures (including per-cell admission rejections) are reported in
+// the cell, not as a request failure, mirroring the CLI's partial-
+// matrix behavior.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeBatchRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch: set \"jobs\"")
+		return
+	}
+	var jobs []runner.Job
+	for i, jr := range req.Jobs {
+		expanded, err := jr.Jobs(s.base)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
+			return
+		}
+		jobs = append(jobs, expanded...)
+	}
+	if len(jobs) > maxBatchCells {
+		httpError(w, http.StatusBadRequest, "batch expands to %d cells (max %d)", len(jobs), maxBatchCells)
+		return
+	}
+
+	cells := s.runAll(jobs)
+	resp := BatchResponse{Cells: make([]BatchCell, len(jobs))}
+	for i, job := range jobs {
+		bc := BatchCell{
+			Bench:       job.Workload.Name,
+			Scheme:      job.Variant.String(),
+			Fingerprint: job.Fingerprint(),
+			Cache:       cells[i].tier,
+		}
+		switch {
+		case cells[i].err != nil:
+			bc.Error = cells[i].err.Error()
+		case cells[i].cell.Err != nil:
+			bc.Error = cells[i].cell.Err.Error()
+		default:
+			res := cells[i].cell.Result
+			bc.Result = &res
+		}
+		resp.Cells[i] = bc
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(resp, "", "  ")
+	w.Write(append(b, '\n'))
+}
+
+// batchOutcome pairs a cell with its serving metadata.
+type batchOutcome struct {
+	cell runner.CellResult
+	tier string
+	err  error
+}
+
+// runAll resolves jobs concurrently through the cell path.
+func (s *Server) runAll(jobs []runner.Job) []batchOutcome {
+	out := make([]batchOutcome, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].cell, out[i].tier, out[i].err = s.cell(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// CellRunner adapts the server's cached cell path to the experiment
+// drivers' executor contract, so a whole named figure or table runs
+// through the result cache: cells already served (by any earlier
+// request) cost a cache lookup, and only the rest simulate.
+func (s *Server) CellRunner() experiments.CellRunner {
+	return func(jobs []runner.Job) []runner.CellResult {
+		outcomes := s.runAll(jobs)
+		cells := make([]runner.CellResult, len(jobs))
+		for i, o := range outcomes {
+			if o.err != nil {
+				cells[i] = runner.CellResult{Err: &runner.JobError{
+					Workload:    jobs[i].Workload.Name,
+					Variant:     jobs[i].Variant,
+					Fingerprint: jobs[i].Fingerprint(),
+					Err:         o.err,
+				}}
+				continue
+			}
+			cells[i] = o.cell
+		}
+		return cells
+	}
+}
+
+// handleArtifact regenerates one named table or figure from
+// internal/experiments through the cached cell path and returns its
+// text (or CSV) rendering.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeArtifactRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	cfg := s.base
+	if req.Insts != 0 {
+		cfg.MaxInsts = req.Insts
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if err := cfg.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	table, err := experiments.Artifact(req.Name, cfg, s.CellRunner())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.CSV {
+		w.Header().Set("Content-Type", "text/csv")
+		fmt.Fprintf(w, "%s\n%s", table.Title, table.CSV())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, table.String())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// CellCounters breaks served cells down by where their result came
+// from.
+type CellCounters struct {
+	Total    uint64 `json:"total"`
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Dedup    uint64 `json:"dedup_hits"`
+	Sim      uint64 `json:"simulated"`
+	Failed   uint64 `json:"failed"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// QueueStats describes the dispatcher.
+type QueueStats struct {
+	Workers  int    `json:"workers"`
+	Capacity int    `json:"capacity"`
+	Inflight int    `json:"inflight"`
+	Finished uint64 `json:"finished"`
+}
+
+// ServerStats is the response body of GET /v1/stats.
+type ServerStats struct {
+	UptimeSec  float64      `json:"uptime_sec"`
+	Requests   uint64       `json:"requests"`
+	Cells      CellCounters `json:"cells"`
+	Cache      CacheStats   `json:"cache"`
+	Queue      QueueStats   `json:"queue"`
+	Trace      trace.Stats  `json:"trace"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	mem, disk, dedup, simd := s.cellsMem.Load(), s.cellsDisk.Load(), s.cellsDedup.Load(), s.cellsSim.Load()
+	return ServerStats{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Requests:  s.requests.Load(),
+		Cells: CellCounters{
+			Total:    mem + disk + dedup + simd,
+			MemHits:  mem,
+			DiskHits: disk,
+			Dedup:    dedup,
+			Sim:      simd,
+			Failed:   s.cellsFailed.Load(),
+			Rejected: s.cellsRejected.Load(),
+		},
+		Cache: s.cache.Stats(),
+		Queue: QueueStats{
+			Workers:  s.disp.Workers(),
+			Capacity: s.disp.QueueCap(),
+			Inflight: s.disp.Inflight(),
+			Finished: s.disp.Finished(),
+		},
+		Trace:      trace.Shared().Stats(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(s.Stats(), "", "  ")
+	w.Write(append(b, '\n'))
+}

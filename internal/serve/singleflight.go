@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/runner"
+)
+
+// flightCall is one in-progress execution of a fingerprint.
+type flightCall struct {
+	done chan struct{}
+	cell runner.CellResult
+	err  error
+}
+
+// flightGroup deduplicates concurrent work by fingerprint: the first
+// caller for a key becomes the leader and runs fn; every concurrent
+// caller for the same key waits for the leader's outcome instead of
+// running a duplicate simulation. Calls are forgotten once complete —
+// errors are never cached, so a later request retries — while
+// successful results persist in the ResultCache, not here.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// dedup counts followers served by a leader's execution: the
+	// simulations that would have run without singleflight.
+	dedup atomic.Uint64
+}
+
+// Do executes fn under the key's flight, returning the leader's
+// outcome and whether this caller was a follower (shared result).
+func (g *flightGroup) Do(fp string, fn func() (runner.CellResult, error)) (runner.CellResult, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if call, ok := g.calls[fp]; ok {
+		g.mu.Unlock()
+		g.dedup.Add(1)
+		<-call.done
+		return call.cell, call.err, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[fp] = call
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, fp)
+		g.mu.Unlock()
+		close(call.done)
+	}()
+	call.cell, call.err = fn()
+	return call.cell, call.err, false
+}
+
+// Dedup returns the number of simulations singleflight avoided.
+func (g *flightGroup) Dedup() uint64 { return g.dedup.Load() }

@@ -32,6 +32,10 @@ type Stats struct {
 	// Hits is the number of requests served by replaying an existing
 	// recording; Misses the number that had to record (or extend) one.
 	Hits, Misses uint64
+	// DedupWaits counts requests that arrived while another goroutine
+	// was already recording the same key and waited for that recording
+	// instead of starting their own — the singleflight savings.
+	DedupWaits uint64
 	// DiskLoads counts recordings satisfied from a trace directory;
 	// DiskWrites counts .psbtrace files written.
 	DiskLoads, DiskWrites uint64
@@ -41,23 +45,28 @@ type Stats struct {
 	RecordedInsts uint64
 }
 
-// entry is one key's recording. mu serializes recording: the first
-// requester becomes the recorder while every concurrent requester for
-// the same key blocks on mu and then replays the finished recording.
+// entry is one key's recording. Recording is singleflight: the first
+// requester publishes a recording channel and records outside the
+// lock; every concurrent requester for the same key waits on that
+// channel and then replays the finished recording. mu guards only the
+// published fields, never long work.
 type entry struct {
 	mu       sync.Mutex
 	insts    []vm.DynInst
 	complete bool
 	m        *vm.Machine // live recorder, kept until complete for extension
+	// recording is non-nil while a recorder is active and closed when
+	// it publishes; waiters block on it instead of piling onto mu.
+	recording chan struct{}
 }
 
-// satisfies reports whether the recording can serve a consumer that
-// may pull up to need instructions (need == 0 means "the whole run").
-func (e *entry) satisfies(need uint64) bool {
-	if e.complete {
+// satisfies reports whether a recording can serve a consumer that may
+// pull up to need instructions (need == 0 means "the whole run").
+func satisfies(insts []vm.DynInst, complete bool, need uint64) bool {
+	if complete {
 		return true
 	}
-	return need > 0 && uint64(len(e.insts)) >= need
+	return need > 0 && uint64(len(insts)) >= need
 }
 
 // Cache records each workload's dynamic instruction stream once and
@@ -67,7 +76,7 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
 
-	hits, misses, diskLoads, diskWrites, recorded atomic.Uint64
+	hits, misses, dedupWaits, diskLoads, diskWrites, recorded atomic.Uint64
 }
 
 var shared Cache
@@ -82,6 +91,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
+		DedupWaits:    c.dedupWaits.Load(),
 		DiskLoads:     c.diskLoads.Load(),
 		DiskWrites:    c.diskWrites.Load(),
 		RecordedInsts: c.recorded.Load(),
@@ -110,58 +120,104 @@ func (c *Cache) entry(k Key) *entry {
 // non-empty, recordings are loaded from and persisted to
 // <dir>/<workload>-seed<seed>-n<insts>.psbtrace.
 //
-// Concurrent calls with the same key serialize on the recording: one
-// caller records while the rest block, then every caller replays the
-// same backing slice without copying it.
+// Concurrent calls with the same key deduplicate on the recording
+// (singleflight): exactly one caller records while the rest wait for
+// the published recording, then every caller replays the same backing
+// slice without copying it. The recorder does all of its work —
+// workload construction, functional stepping, disk I/O — outside the
+// entry lock, so waiters never contend a mutex held across a
+// simulation.
 func (c *Cache) Source(k Key, need uint64, dir string, build func() *vm.Machine) (*Replay, error) {
 	e := c.entry(k)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	waited := false
+	for {
+		e.mu.Lock()
+		if satisfies(e.insts, e.complete, need) {
+			insts := e.insts
+			e.mu.Unlock()
+			c.hits.Add(1)
+			return &Replay{insts: insts}, nil
+		}
+		if e.recording != nil {
+			// Another goroutine is recording this key: wait for its
+			// publication instead of recording a duplicate stream.
+			done := e.recording
+			e.mu.Unlock()
+			if !waited {
+				waited = true
+				c.dedupWaits.Add(1)
+			}
+			<-done
+			continue
+		}
+		// Become the recorder: publish the flight channel, take
+		// ownership of the entry's state, and leave the lock.
+		done := make(chan struct{})
+		e.recording = done
+		insts, complete, m := e.insts, e.complete, e.m
+		e.m = nil
+		e.mu.Unlock()
 
-	if e.satisfies(need) {
-		c.hits.Add(1)
-		return &Replay{insts: e.insts}, nil
+		return c.record(e, k, need, dir, build, insts, complete, m)
 	}
-	if dir != "" && e.insts == nil && e.m == nil {
-		if insts, complete, err := c.load(k, dir); err == nil {
-			e.insts, e.complete = insts, complete
-			if e.satisfies(need) {
+}
+
+// record runs one singleflight recording round: it (re)builds or
+// extends the functional machine, steps it to the needed length,
+// optionally persists the stream, and publishes the result to the
+// entry — waking every waiter — even if build or Step panics (the
+// panic propagates to this caller alone; waiters retry and surface
+// the same deterministic failure themselves).
+func (c *Cache) record(e *entry, k Key, need uint64, dir string,
+	build func() *vm.Machine, insts []vm.DynInst, complete bool, m *vm.Machine) (*Replay, error) {
+	done := e.recording
+	defer func() {
+		e.mu.Lock()
+		e.insts, e.complete, e.m = insts, complete, m
+		e.recording = nil
+		e.mu.Unlock()
+		close(done)
+	}()
+
+	if dir != "" && insts == nil && m == nil {
+		if loaded, loadedComplete, lerr := c.load(k, dir); lerr == nil {
+			if satisfies(loaded, loadedComplete, need) {
 				c.diskLoads.Add(1)
-				return &Replay{insts: e.insts}, nil
+				insts, complete = loaded, loadedComplete
+				return &Replay{insts: insts}, nil
 			}
 			// The file is too short for this consumer: re-record from
 			// scratch (the functional machine cannot resume mid-file).
-			e.insts, e.complete = nil, false
 		}
 	}
 
 	c.misses.Add(1)
-	if e.m == nil {
+	if m == nil {
 		// Either nothing recorded yet, or a short disk trace was
 		// discarded above; start a fresh recorder.
-		e.insts, e.complete = nil, false
-		e.m = build()
+		insts, complete = nil, false
+		m = build()
 	}
-	for !e.complete && (need == 0 || uint64(len(e.insts)) < need) {
-		d, err := e.m.Step()
-		if err != nil {
+	for !complete && (need == 0 || uint64(len(insts)) < need) {
+		d, serr := m.Step()
+		if serr != nil {
 			// HALT or a functional fault: the stream ends here for
 			// every consumer, exactly as a live source would end.
-			e.complete = true
+			complete = true
 			break
 		}
-		e.insts = append(e.insts, d)
+		insts = append(insts, d)
 		c.recorded.Add(1)
 	}
-	if e.complete {
-		e.m = nil // free the guest machine; the recording is final
+	if complete {
+		m = nil // free the guest machine; the recording is final
 	}
 	if dir != "" {
-		if err := c.store(k, dir, e.insts, e.complete); err != nil {
+		if err := c.store(k, dir, insts, complete); err != nil {
 			return nil, err
 		}
 	}
-	return &Replay{insts: e.insts}, nil
+	return &Replay{insts: insts}, nil
 }
 
 // load reads a persisted recording, returning an error when the file

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// TestSourceConcurrentRecordsOnce fires many simultaneous cold
+// requests for the same key and checks the singleflight contract:
+// exactly one functional machine is built (one recording), every
+// caller replays the identical stream, and the waiters are counted as
+// dedup waits rather than misses. Run under -race this also exercises
+// the publish/wait handoff for data races.
+func TestSourceConcurrentRecordsOnce(t *testing.T) {
+	const goroutines = 16
+	var builds atomic.Int32
+	c := &Cache{}
+	k := Key{Workload: "loop", Seed: 1, MaxInsts: 1000}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	build := func() *vm.Machine {
+		builds.Add(1)
+		close(started)
+		// Hold the recording open until every other goroutine has
+		// arrived and registered as a waiter, so the overlap the test
+		// asserts on is guaranteed rather than scheduling-dependent.
+		<-release
+		return countingLoop(1000)
+	}
+
+	var wg sync.WaitGroup
+	replays := make([]*Replay, goroutines)
+	errs := make([]error, goroutines)
+	launch := func(g int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			replays[g], errs[g] = c.Source(k, 500, "", build)
+		}()
+	}
+	launch(0)
+	<-started // goroutine 0 is the recorder
+	for g := 1; g < goroutines; g++ {
+		launch(g)
+	}
+	// Every other goroutine must register as a dedup wait before the
+	// recording is allowed to finish.
+	for c.Stats().DedupWaits < goroutines-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if replays[g].Len() < 500 {
+			t.Fatalf("goroutine %d: replay has %d insts, want >= 500", g, replays[g].Len())
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("functional machine built %d times for one key, want 1", n)
+	}
+
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one recording)", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+	if st.DedupWaits == 0 {
+		t.Errorf("dedup waits = 0, want > 0 (waiters should be counted)")
+	}
+	if st.DedupWaits > goroutines-1 {
+		t.Errorf("dedup waits = %d, want <= %d", st.DedupWaits, goroutines-1)
+	}
+
+	// Every caller must see the same backing stream.
+	base := replays[0]
+	for g := 1; g < goroutines; g++ {
+		if replays[g].Len() != base.Len() {
+			t.Fatalf("goroutine %d: stream length %d differs from %d", g, replays[g].Len(), base.Len())
+		}
+	}
+}
+
+// TestSourceConcurrentDiskRecordsOnce is the disk-backed variant: the
+// concurrent cold requests must produce exactly one recording and one
+// .psbtrace write.
+func TestSourceConcurrentDiskRecordsOnce(t *testing.T) {
+	const goroutines = 8
+	dir := t.TempDir()
+	var builds atomic.Int32
+	c := &Cache{}
+	k := Key{Workload: "loop", Seed: 7, MaxInsts: 800}
+	build := func() *vm.Machine {
+		builds.Add(1)
+		return countingLoop(800)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Source(k, 400, dir, build); err != nil {
+				t.Errorf("Source: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("functional machine built %d times, want 1", n)
+	}
+	if st := c.Stats(); st.DiskWrites != 1 {
+		t.Errorf("disk writes = %d, want 1", st.DiskWrites)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*"+FileExt)); err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+}
+
+// TestSourceRecorderPanicWakesWaiters checks a panicking build does
+// not strand concurrent waiters: each waiter retries, becomes the
+// recorder itself, and surfaces the same deterministic panic.
+func TestSourceRecorderPanicWakesWaiters(t *testing.T) {
+	const goroutines = 4
+	var builds atomic.Int32
+	c := &Cache{}
+	k := Key{Workload: "boom", Seed: 1, MaxInsts: 100}
+	build := func() *vm.Machine {
+		builds.Add(1)
+		panic("injected build fault")
+	}
+
+	var wg sync.WaitGroup
+	panics := make([]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer func() { panics[g] = recover() }()
+			c.Source(k, 50, "", build)
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if panics[g] != "injected build fault" {
+			t.Errorf("goroutine %d: recovered %v, want the injected fault", g, panics[g])
+		}
+	}
+	if n := builds.Load(); int(n) != goroutines {
+		t.Errorf("builds = %d, want %d (each caller retries the deterministic failure)", n, goroutines)
+	}
+}
