@@ -15,7 +15,9 @@
 //	psbtables -all -checkpoint run.jsonl          # journal completed cells
 //	psbtables -all -checkpoint run.jsonl -resume  # skip cells already journaled
 //	psbtables -all -job-timeout 2m                # watchdog per simulation
+//	psbtables -all -batch 8        # advance same-trace cells in lockstep batches
 //	psbtables -bench-json          # time serial vs parallel, write BENCH_runner.json
+//	psbtables -bench-json -bench-out fresh.json -bench-gate BENCH_runner.json
 //	psbtables -all -cpuprofile cpu.out -memprofile mem.out
 //
 // A cell that panics, deadlocks or times out fails alone: its table
@@ -83,11 +85,14 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "workload layout seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations: 0 = serial, N = N workers, -1 = all cores")
+		batch      = flag.Int("batch", 0, "advance up to N same-trace simulations in lockstep per goroutine (0 = run each cell to completion alone; results are bit-identical)")
 		checkpoint = flag.String("checkpoint", "", "journal completed cells to this JSONL file")
 		resume     = flag.Bool("resume", false, "load cells already journaled in -checkpoint instead of re-running them")
 		jobTimeout = flag.Duration("job-timeout", 0, "wall-clock budget per simulation attempt (0 = unlimited)")
 		retries    = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
-		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel, live vs traced, and write BENCH_runner.json")
+		benchJSON  = flag.Bool("bench-json", false, "time RunMatrix serial vs parallel, live vs traced, and write the bench JSON artifact")
+		benchOut   = flag.String("bench-out", "BENCH_runner.json", "path -bench-json writes its JSON artifact to")
+		benchGate  = flag.String("bench-gate", "", "committed bench JSON to gate against: fail if the fresh insts_per_sec_serial_event regresses >15% (skipped when either run is degraded)")
 		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
 		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
 		cycleMode  = flag.String("cycle-mode", "", "clock advancement: event = skip to the next event (default), accurate = tick every cycle (debug fallback; results are bit-identical)")
@@ -114,6 +119,12 @@ func run() int {
 	}
 	if *benchJSON && (*all || *ablations || *extensions || len(figs) > 0 || len(tables) > 0) {
 		usageError("-bench-json runs its own fixed matrix; drop -all/-fig/-table/-ablations/-extensions")
+	}
+	if !*benchJSON && *benchGate != "" {
+		usageError("-bench-gate only applies to -bench-json runs")
+	}
+	if *batch < 0 {
+		usageError("-batch must be >= 0, got %d", *batch)
 	}
 
 	if *cpuProfile != "" {
@@ -164,6 +175,7 @@ func run() int {
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
 	cfg.Workers = *parallel
+	cfg.Batch = *batch
 	cfg.TraceMode = traceMode
 	cfg.TraceDir = *traceDir
 	cfg.CPU.CycleMode = mode
@@ -172,7 +184,7 @@ func run() int {
 	}
 
 	if *benchJSON {
-		if err := benchRunner(cfg); err != nil {
+		if err := benchRunner(cfg, *benchOut, *benchGate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
@@ -301,21 +313,24 @@ func run() int {
 	return 0
 }
 
-// benchRunner times six full RunMatrix configurations — serial and
-// all-cores with tracing off and with the in-memory trace cache, then
-// warm-cache serial legs in accurate and event cycle modes — and
-// records the headline runner numbers in BENCH_runner.json (consumed
-// by EXPERIMENTS.md and future perf PRs). The first traced leg
-// includes the one-time recording cost: the cache starts cold, so its
-// time is what a user sees on a first traced invocation; every later
-// leg measures the warm steady state, which is also what makes the
-// accurate-vs-event comparison apples-to-apples.
-func benchRunner(cfg sim.Config) error {
+// benchRunner times seven full RunMatrix configurations — serial and
+// all-cores with tracing off and with the in-memory trace cache,
+// warm-cache serial legs in accurate and event cycle modes, then a
+// warm-cache serial event leg in lockstep-batched mode — and records
+// the headline runner numbers in the bench JSON artifact (consumed by
+// EXPERIMENTS.md, the CI regression gate and future perf PRs). The
+// first traced leg includes the one-time recording cost: the cache
+// starts cold, so its time is what a user sees on a first traced
+// invocation; every later leg measures the warm steady state, which is
+// also what makes the accurate-vs-event and event-vs-batched
+// comparisons apples-to-apples.
+func benchRunner(cfg sim.Config, outPath, gatePath string) error {
 	sims := len(workload.All()) * len(experiments.Schemes())
 
-	matrix := func(workers int, tm sim.TraceMode, cm cpu.CycleMode) (float64, *experiments.Matrix) {
+	matrix := func(workers, batch int, tm sim.TraceMode, cm cpu.CycleMode) (float64, *experiments.Matrix) {
 		c := cfg
 		c.Workers = workers
+		c.Batch = batch
 		c.TraceMode = tm
 		c.TraceDir = ""
 		c.CPU.CycleMode = cm
@@ -324,12 +339,17 @@ func benchRunner(cfg sim.Config) error {
 		return time.Since(start).Seconds(), m
 	}
 
-	serialSec, _ := matrix(0, sim.TraceOff, cfg.CPU.CycleMode)
-	parSec, _ := matrix(-1, sim.TraceOff, cfg.CPU.CycleMode)
-	serialTracedSec, _ := matrix(0, sim.TraceMemory, cfg.CPU.CycleMode)
-	parTracedSec, _ := matrix(-1, sim.TraceMemory, cfg.CPU.CycleMode)
-	accurateSec, _ := matrix(0, sim.TraceMemory, cpu.CycleModeAccurate)
-	eventSec, em := matrix(0, sim.TraceMemory, cpu.CycleModeEvent)
+	batchSize := cfg.Batch
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+	serialSec, _ := matrix(0, 0, sim.TraceOff, cfg.CPU.CycleMode)
+	parSec, _ := matrix(-1, 0, sim.TraceOff, cfg.CPU.CycleMode)
+	serialTracedSec, _ := matrix(0, 0, sim.TraceMemory, cfg.CPU.CycleMode)
+	parTracedSec, _ := matrix(-1, 0, sim.TraceMemory, cfg.CPU.CycleMode)
+	accurateSec, _ := matrix(0, 0, sim.TraceMemory, cpu.CycleModeAccurate)
+	eventSec, em := matrix(0, 0, sim.TraceMemory, cpu.CycleModeEvent)
+	batchedSec, _ := matrix(0, batchSize, sim.TraceMemory, cpu.CycleModeEvent)
 	ts := trace.Shared().Stats()
 
 	// Aggregate the event loop's telemetry across the matrix.
@@ -370,6 +390,8 @@ func benchRunner(cfg sim.Config) error {
 		ParTracedSec     float64 `json:"parallel_traced_sec"`
 		AccurateSec      float64 `json:"serial_traced_accurate_sec"`
 		EventSec         float64 `json:"serial_traced_event_sec"`
+		BatchSize        int     `json:"batch_size"`
+		BatchedSec       float64 `json:"batched_sec"`
 		SimsPerSecPar    float64 `json:"sims_per_sec_parallel"`
 		SimsPerSecBest   float64 `json:"sims_per_sec_parallel_traced"`
 		InstsPerSecBest  float64 `json:"insts_per_sec_parallel_traced"`
@@ -378,6 +400,7 @@ func benchRunner(cfg sim.Config) error {
 		SpeedupTrace     float64 `json:"speedup_trace"`
 		SpeedupCombined  float64 `json:"speedup_combined"`
 		SpeedupEvent     float64 `json:"speedup_event"`
+		SpeedupBatched   float64 `json:"speedup_batched"`
 		TotalCycles      uint64  `json:"total_cycles"`
 		SkippedCycles    uint64  `json:"skipped_cycles"`
 		Jumps            uint64  `json:"jumps"`
@@ -399,6 +422,8 @@ func benchRunner(cfg sim.Config) error {
 		ParTracedSec:     parTracedSec,
 		AccurateSec:      accurateSec,
 		EventSec:         eventSec,
+		BatchSize:        batchSize,
+		BatchedSec:       batchedSec,
 		SimsPerSecPar:    float64(sims) / parSec,
 		SimsPerSecBest:   float64(sims) / parTracedSec,
 		InstsPerSecBest:  totalInsts / parTracedSec,
@@ -407,6 +432,7 @@ func benchRunner(cfg sim.Config) error {
 		SpeedupTrace:     serialSec / serialTracedSec,
 		SpeedupCombined:  serialSec / parTracedSec,
 		SpeedupEvent:     accurateSec / eventSec,
+		SpeedupBatched:   eventSec / batchedSec,
 		TotalCycles:      totalCycles,
 		SkippedCycles:    skipped,
 		Jumps:            jumps,
@@ -420,13 +446,54 @@ func benchRunner(cfg sim.Config) error {
 		return err
 	}
 	b = append(b, '\n')
-	if err := os.WriteFile("BENCH_runner.json", b, 0o644); err != nil {
+	if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr,
-		"BENCH_runner.json: %d sims, serial %.2fs, parallel %.2fs, traced serial %.2fs, traced parallel %.2fs, accurate %.2fs vs event %.2fs (%.2fx, %.0f%% cycles skipped, %d workers)\n",
-		sims, serialSec, parSec, serialTracedSec, parTracedSec,
-		accurateSec, eventSec, out.SpeedupEvent, skipFrac*100, out.Workers)
+		"%s: %d sims, serial %.2fs, parallel %.2fs, traced serial %.2fs, traced parallel %.2fs, accurate %.2fs vs event %.2fs (%.2fx, %.0f%% cycles skipped), batched[%d] %.2fs (%.2fx, %d workers)\n",
+		outPath, sims, serialSec, parSec, serialTracedSec, parTracedSec,
+		accurateSec, eventSec, out.SpeedupEvent, skipFrac*100,
+		batchSize, batchedSec, out.SpeedupBatched, out.Workers)
 	fmt.Println(string(b))
+	if gatePath != "" {
+		return benchGateCheck(gatePath, out.InstsPerSecEvent, degraded)
+	}
+	return nil
+}
+
+// benchGateCheck compares the fresh warm-trace serial event throughput
+// against a committed bench artifact and fails on a >15% regression —
+// the CI tripwire that keeps the data-oriented core's headline number
+// from silently eroding. The gate is skipped (never failed) when either
+// run is degraded: a single-worker container says nothing comparable
+// about a multi-core baseline, and vice versa.
+func benchGateCheck(gatePath string, freshIPS float64, freshDegraded bool) error {
+	b, err := os.ReadFile(gatePath)
+	if err != nil {
+		return fmt.Errorf("bench-gate: %w", err)
+	}
+	var committed struct {
+		InstsPerSecEvent float64 `json:"insts_per_sec_serial_event"`
+		Degraded         bool    `json:"degraded"`
+	}
+	if err := json.Unmarshal(b, &committed); err != nil {
+		return fmt.Errorf("bench-gate: parse %s: %w", gatePath, err)
+	}
+	if committed.InstsPerSecEvent <= 0 {
+		return fmt.Errorf("bench-gate: %s has no insts_per_sec_serial_event", gatePath)
+	}
+	if freshDegraded || committed.Degraded {
+		fmt.Fprintf(os.Stderr,
+			"bench-gate: skipped (degraded run: fresh=%v committed=%v); throughput comparison needs healthy runs on both sides\n",
+			freshDegraded, committed.Degraded)
+		return nil
+	}
+	ratio := freshIPS / committed.InstsPerSecEvent
+	fmt.Fprintf(os.Stderr, "bench-gate: fresh %.0f insts/s vs committed %.0f insts/s (%.2fx)\n",
+		freshIPS, committed.InstsPerSecEvent, ratio)
+	if ratio < 0.85 {
+		return fmt.Errorf("bench-gate: serial event throughput regressed %.0f%% (fresh %.0f vs committed %.0f insts/s, >15%% threshold)",
+			(1-ratio)*100, freshIPS, committed.InstsPerSecEvent)
+	}
 	return nil
 }

@@ -28,6 +28,215 @@ func BenchmarkCoreThroughput(b *testing.B) {
 	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "inst/s")
 }
 
+// benchWindow builds a straight-line dynamic instruction window: a
+// steady mix of ALU ops, loads and stores (no control transfers, so
+// the back-end stages — not fetch redirects — dominate). Register
+// usage rotates through a dozen names, giving dispatch realistic
+// dependence-capture work, and memory ops stride through distinct
+// cache lines.
+func benchWindow(n int) []vm.DynInst {
+	insts := make([]vm.DynInst, n)
+	for i := range insts {
+		d := vm.DynInst{
+			Seq:    uint64(i),
+			PC:     0x1000 + uint64(i)*isa.InstBytes,
+			NextPC: 0x1000 + uint64(i+1)*isa.InstBytes,
+		}
+		switch {
+		case i%5 == 3: // load
+			d.Op = isa.LW
+			d.Rd = isa.R(2 + i%12)
+			d.Rs1 = isa.R(2 + (i+1)%12)
+			d.EffAddr = 0x10000 + uint64(i)*64
+			d.MemSize = 4
+		case i%7 == 5: // store
+			d.Op = isa.SW
+			d.Rs1 = isa.R(2 + i%12)
+			d.Rs2 = isa.R(2 + (i+2)%12)
+			d.Rd = isa.RegNone
+			d.EffAddr = 0x20000 + uint64(i)*64
+			d.MemSize = 4
+		default: // ALU
+			d.Op = isa.ADD
+			d.Rd = isa.R(2 + i%12)
+			d.Rs1 = isa.R(2 + (i+3)%12)
+			d.Rs2 = isa.R(2 + (i+6)%12)
+		}
+		insts[i] = d
+	}
+	return insts
+}
+
+// benchCPU builds a core whose source is the n-instruction window
+// repeated for as long as the benchmark runs.
+func benchCPU() *CPU {
+	return New(DefaultConfig(), mem.New(mem.DefaultConfig()), sbuf.Null{}, &SliceSource{})
+}
+
+// resetWindow returns the core to its post-construction front-end and
+// ROB state so a stage benchmark can replay the same window without
+// rebuilding the machine (construction would dwarf the stage under
+// measurement).
+func resetWindow(c *CPU) {
+	c.robHead, c.robCount, c.lsqCount = 0, 0, 0
+	for i := range c.unissued {
+		c.unissued[i] = 0
+		c.wakeable[i] = 0
+	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = noDep
+	}
+	for i := range c.wakeHead {
+		c.wakeHead[i] = noDep32
+	}
+	c.regKnown = ^uint64(0)
+	c.storeHead, c.storeCount = 0, 0
+	c.minUnissuedStoreSeq = noStoreSeq
+	c.fqHead, c.fqLen = 0, 0
+}
+
+// BenchmarkDispatch measures the dispatch stage alone: ROB slot
+// allocation, SoA field fill, dependence capture against the register
+// scoreboard, and store-ring/conflict bookkeeping.
+func BenchmarkDispatch(b *testing.B) {
+	c := benchCPU()
+	resetWindow(c)
+	window := benchWindow(c.cfg.ROBSize)
+	items := make([]fetchItem, len(window))
+	for i, d := range window {
+		items[i] = fetchItem{d: d}
+	}
+	pos := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pos >= len(items) || c.robCount+c.cfg.DecodeWidth > c.cfg.ROBSize {
+			resetWindow(c)
+			pos = 0
+		}
+		n := copy(c.fetchQ, items[pos:pos+c.cfg.DecodeWidth])
+		c.fqHead, c.fqLen = 0, n
+		pos += n
+		c.cycle++
+		c.dispatch()
+	}
+	b.ReportMetric(float64(c.seq)/float64(b.N), "inst/op")
+}
+
+// BenchmarkIssueScan measures the wakeable-bitmask issue scan over a
+// full window of ready ALU instructions: bit iteration, port
+// arbitration, flag updates and scoreboard publication.
+func BenchmarkIssueScan(b *testing.B) {
+	c := benchCPU()
+	resetWindow(c)
+	window := benchWindow(c.cfg.ROBSize)
+	for i := range window { // ALU only: every entry wakes immediately
+		window[i].Op = isa.ADD
+		window[i].Rd = isa.R(2 + i%12)
+		window[i].Rs1, window[i].Rs2 = isa.R0, isa.R0
+		window[i].EffAddr, window[i].MemSize = 0, 0
+	}
+	items := make([]fetchItem, len(window))
+	for i, d := range window {
+		items[i] = fetchItem{d: d}
+	}
+	for pos := 0; pos < len(items); {
+		n := copy(c.fetchQ, items[pos:pos+c.cfg.DecodeWidth])
+		c.fqHead, c.fqLen = 0, n
+		pos += n
+		c.cycle++
+		c.dispatch()
+	}
+	unsnap := append([]uint64(nil), c.unissued...)
+	wksnap := append([]uint64(nil), c.wakeable...)
+	flsnap := append([]uint8(nil), c.robFlags...)
+	issued := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.unissuedCount() == 0 {
+			copy(c.unissued, unsnap)
+			copy(c.wakeable, wksnap)
+			copy(c.robFlags, flsnap)
+			for _, p := range c.pools {
+				for j := range p.busyUntil {
+					p.busyUntil[j] = 0
+				}
+			}
+		}
+		c.cycle++
+		before := c.unissuedCount()
+		c.issue()
+		issued += uint64(before - c.unissuedCount())
+	}
+	b.ReportMetric(float64(issued)/float64(b.N), "inst/op")
+}
+
+// BenchmarkCommit measures in-order retirement of completed entries:
+// head-of-ROB scanning, flag checks and writer release.
+func BenchmarkCommit(b *testing.B) {
+	c := benchCPU()
+	resetWindow(c)
+	window := benchWindow(c.cfg.ROBSize)
+	for i := range window { // ALU only: commit with no prefetch training
+		window[i].Op = isa.ADD
+		window[i].Rd = isa.R(2 + i%12)
+		window[i].Rs1, window[i].Rs2 = isa.R0, isa.R0
+		window[i].EffAddr, window[i].MemSize = 0, 0
+	}
+	items := make([]fetchItem, len(window))
+	for i, d := range window {
+		items[i] = fetchItem{d: d}
+	}
+	for pos := 0; pos < len(items); {
+		n := copy(c.fetchQ, items[pos:pos+c.cfg.DecodeWidth])
+		c.fqHead, c.fqLen = 0, n
+		pos += n
+		c.cycle++
+		c.dispatch()
+	}
+	for c.unissuedCount() > 0 { // complete everything
+		c.cycle++
+		c.issue()
+	}
+	flsnap := append([]uint8(nil), c.robFlags...)
+	lwsnap := c.lastWriter
+	lwseq := c.lastWriterSeq
+	count := c.robCount
+	c.cycle += 1 << 20 // all completion cycles are in the past
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.robCount == 0 {
+			c.robHead, c.robCount = 0, count
+			copy(c.robFlags, flsnap)
+			c.lastWriter = lwsnap
+			c.lastWriterSeq = lwseq
+		}
+		c.commit()
+	}
+	b.ReportMetric(float64(c.stats.Committed)/float64(b.N), "inst/op")
+}
+
+// TestSteadyStateZeroAllocs pins the data-oriented core's allocation
+// behavior: once a machine is built, simulating costs zero heap
+// allocations per instruction. Two runs differing only in budget
+// cancel out the fixed construction allocations, so any per-
+// instruction allocation shows up in the delta.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	stream := benchWindow(120_000)
+	run := func(insts uint64) float64 {
+		return testing.AllocsPerRun(3, func() {
+			c := New(DefaultConfig(), mem.New(mem.DefaultConfig()), sbuf.Null{},
+				&SliceSource{Insts: stream})
+			c.Run(insts)
+		})
+	}
+	short, long := run(10_000), run(110_000)
+	perInst := (long - short) / 100_000
+	if perInst > 1e-4 {
+		t.Errorf("steady state allocates %.6f allocs/inst (short run %.0f, long run %.0f); want 0",
+			perInst, short, long)
+	}
+}
+
 // BenchmarkGsharePredict measures front-end prediction cost.
 func BenchmarkGsharePredict(b *testing.B) {
 	g := NewGshare(DefaultGshareConfig())

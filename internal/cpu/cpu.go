@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -20,7 +21,19 @@ type Source interface {
 	Next() (vm.DynInst, bool)
 }
 
+// restSource is optionally implemented by replay sources that expose
+// their remaining records as a directly-indexable slice (trace.Replay).
+// The core then fetches through its own cursor over the shared backing
+// array — no per-instruction interface call, no 48-byte record copy
+// into a lookahead buffer — which matters when the same decoded trace
+// feeds a whole column of simulations.
+type restSource interface {
+	Rest() []vm.DynInst
+}
+
 // SliceSource serves instructions from a slice (testing convenience).
+// It deliberately implements only Next, keeping the generic source
+// path exercised by the tests.
 type SliceSource struct {
 	Insts []vm.DynInst
 	pos   int
@@ -140,34 +153,30 @@ func (s Stats) PctStores() float64 {
 
 const noDep = -1
 
-// noList terminates the un-issued and store index lists.
-const noList = int32(-1)
+// noDep32 terminates a producer link in the dependency arrays.
+const noDep32 = int32(-1)
 
-type robEntry struct {
-	d   vm.DynInst
-	seq uint64
+// wakeWaiting marks a ROB entry whose wake-up cycle is not yet known:
+// at least one source operand is still linked to an un-issued producer.
+// Any real wake-up cycle is smaller.
+const wakeWaiting = math.MaxUint64
 
-	dispatched uint64
-	issued     bool
-	completeAt uint64
+// noStoreSeq is minUnissuedStoreSeq's value when every in-flight store
+// has issued; any real sequence number is smaller.
+const noStoreSeq = math.MaxUint64
 
-	// Dependencies are resolved against the register scoreboard at
-	// dispatch when the producer has already issued: dep[i] == noDep
-	// and depAt[i] holds the cycle the value is ready (0 = ready from
-	// the start). Otherwise dep[i]/depSeq[i] name the producing ROB
-	// entry, and the first issue-scan that observes the producer
-	// issued collapses the link into depAt[i] — after that the
-	// wake-up check is a scalar compare, never a ROB dereference.
-	dep    [2]int
-	depSeq [2]uint64
-	depAt  [2]uint64
-
-	isLoad, isStore bool
-	mispredicted    bool
-
-	trainMiss bool // load missed the L1 tag array (trains the predictor)
-	forwarded bool
-}
+// Per-entry status flags (robFlags). Packing the booleans of the old
+// array-of-structs entry into one byte keeps the whole window's status
+// in two cache lines.
+const (
+	fIssued uint8 = 1 << iota // instruction has issued; robDone is valid
+	fLoad
+	fStore
+	fMispred   // mispredicted control transfer (front end waits on it)
+	fTrainMiss // load missed the L1 tag array (trains the predictor)
+	fForwarded // load was satisfied by store-to-load forwarding
+	fRetired   // store has committed and left the store ring
+)
 
 type fetchItem struct {
 	d           vm.DynInst
@@ -176,6 +185,14 @@ type fetchItem struct {
 }
 
 // CPU is the timing core.
+//
+// The reorder buffer is laid out as a struct of arrays: one fixed
+// parallel array per field, all indexed by ROB slot, plus a 64-bit
+// bitmask of un-issued slots. The issue scan walks set bits with
+// bits.TrailingZeros64 in age order from robHead and reads only the
+// narrow arrays it needs (dispatch cycle, wake-up cycle, flags), so a
+// cycle's wake-up check touches a handful of cache lines instead of
+// pointer-chasing 128-byte entries through a linked list.
 type CPU struct {
 	cfg  Config
 	hier *mem.Hierarchy
@@ -186,7 +203,46 @@ type CPU struct {
 
 	hist *predict.DeltaHistogram // optional Figure-4 instrumentation
 
-	rob      []robEntry
+	// Reorder buffer, struct-of-arrays. Slot allocation is a ring:
+	// [robHead, robHead+robCount) mod ROBSize.
+	robD    []vm.DynInst // full dynamic instruction record
+	robSeq  []uint64     // dynamic sequence number (recycle detection)
+	robDisp []uint64     // dispatch cycle
+	robDone []uint64     // completion cycle (valid once fIssued)
+	// robWake is the entry's wake-up cycle: the latest cycle at which
+	// a source operand becomes available, or wakeWaiting while some
+	// producer has not issued. Wake-ups are pushed, not polled: a
+	// consumer dispatching against an un-issued producer chains itself
+	// onto that producer's waiter list (wakeHead/wakeNext) and the
+	// producer's issue folds its completion cycle into every waiter's
+	// robWakeBase, publishing robWake when the waiter's last
+	// outstanding link resolves. Every producer issues before it can
+	// commit, so chains always drain before a slot recycles, and the
+	// issue scan's readiness test is one 8-byte load and compare.
+	robWake     []uint64
+	robWakeBase []uint64 // max ready cycle over already-resolved operands
+	robWaitN    []uint8  // outstanding producer links (0..2)
+	robFlags    []uint8  // fIssued | fLoad | fStore | ...
+	robRd       []uint8  // destination register (isa.RegNone if none)
+	robClass    []uint8  // functional-unit class (cached isa.ClassOf)
+
+	// Producer→consumer wake-up chains. wakeHead[p] is the first link
+	// node of producer p's waiter list (noDep32 if empty); link node
+	// ids encode consumer slot and operand as idx*2+op, threaded
+	// through wakeNext.
+	wakeHead []int32
+	wakeNext []int32
+
+	// unissued is the bitmask of dispatched-but-not-issued ROB slots
+	// (bit i = slot i); wakeable is its subset whose wake-up cycle is
+	// known (no outstanding producer link). Dispatch sets the bits,
+	// issue clears them, wake-up publication moves a slot into
+	// wakeable; the issue scan iterates wakeable's set bits
+	// oldest-first starting at robHead, so entries gated on an
+	// un-issued producer cost nothing per cycle.
+	unissued []uint64
+	wakeable []uint64
+
 	robHead  int
 	robCount int
 	lsqCount int
@@ -206,19 +262,30 @@ type CPU struct {
 	regKnown   uint64
 	regReadyAt [isa.NumRegs]uint64
 
-	// issueQ threads the un-issued ROB entries in age order (indices
-	// into rob; noList-terminated), so the issue scan visits only
-	// candidates instead of walking completed entries every cycle.
-	issueQ    []int32
-	issueHead int32
-	issueTail int32
-
-	// storeQ is a ring of the ROB indices of in-flight stores in age
-	// order (stores dispatch and commit in order), so load/store
-	// disambiguation scans stores only, not the whole window.
+	// Store ring: the ROB slots of in-flight stores in age order
+	// (stores dispatch and commit in order), with the fields the
+	// disambiguation scan reads — sequence number and byte range —
+	// mirrored into parallel arrays so the scan never touches the
+	// 48-byte instruction records.
 	storeQ     []int32
+	storeSeqQ  []uint64
+	storeLoQ   []uint64
+	storeHiQ   []uint64
 	storeHead  int
 	storeCount int
+
+	// Disambiguation fast paths. A load's youngest conflicting older
+	// store is fixed at dispatch (dispatch is in order, so no older
+	// store can appear later), cached in robConflict/robConflictSeq,
+	// and invalidated by recycling (sequence mismatch) or retirement
+	// (fRetired; in-order commit guarantees every still-older conflict
+	// left the ring first). minUnissuedStoreSeq is the sequence number
+	// of the oldest in-flight store that has not issued (noStoreSeq
+	// when all have), making DisNone's "any older store un-issued"
+	// gate one compare.
+	robConflict         []int32
+	robConflictSeq      []uint64
+	minUnissuedStoreSeq uint64
 
 	// fetchQ is a fixed-capacity ring (head fqHead, length fqLen):
 	// the queue drains from the front every cycle, and a ring avoids
@@ -226,6 +293,13 @@ type CPU struct {
 	fetchQ []fetchItem
 	fqHead int
 	fqLen  int
+
+	// Shared-replay cursor: when src exposes its backing slice
+	// (trace.Replay), srcBuf aliases it and peek indexes srcPos
+	// directly. Otherwise the one-instruction pending lookahead is
+	// used.
+	srcBuf []vm.DynInst
+	srcPos int
 
 	pending      vm.DynInst // one-instruction lookahead into src
 	hasPending   bool
@@ -238,6 +312,20 @@ type CPU struct {
 
 	cycle uint64
 	stats Stats
+
+	run runState
+}
+
+// runState is the resumable part of the run loop, kept on the CPU so
+// Advance can pause at an instruction target and continue later with
+// bit-identical behavior (the batched lockstep runner interleaves many
+// cores this way).
+type runState struct {
+	started       bool
+	eventDriven   bool
+	watchdog      uint64
+	idleCycles    uint64
+	lastCommitted uint64
 }
 
 // New builds a core over the hierarchy, prefetcher and instruction
@@ -246,23 +334,46 @@ func New(cfg Config, hier *mem.Hierarchy, pf sbuf.Prefetcher, src Source) *CPU {
 	if pf == nil {
 		pf = sbuf.Null{}
 	}
+	n := cfg.ROBSize
 	c := &CPU{
-		cfg:        cfg,
-		hier:       hier,
-		pf:         pf,
-		src:        src,
-		bp:         NewGshare(cfg.Gshare),
-		rob:        make([]robEntry, cfg.ROBSize),
-		fetchQ:     make([]fetchItem, cfg.FetchQueueSize),
-		issueQ:     make([]int32, cfg.ROBSize),
-		storeQ:     make([]int32, cfg.ROBSize),
-		issueHead:  noList,
-		issueTail:  noList,
-		lastIBlock: math.MaxUint64,
+		cfg:                 cfg,
+		hier:                hier,
+		pf:                  pf,
+		src:                 src,
+		bp:                  NewGshare(cfg.Gshare),
+		robD:                make([]vm.DynInst, n),
+		robSeq:              make([]uint64, n),
+		robDisp:             make([]uint64, n),
+		robDone:             make([]uint64, n),
+		robWake:             make([]uint64, n),
+		robWakeBase:         make([]uint64, n),
+		robWaitN:            make([]uint8, n),
+		robFlags:            make([]uint8, n),
+		wakeHead:            make([]int32, n),
+		wakeNext:            make([]int32, 2*n),
+		robRd:               make([]uint8, n),
+		robClass:            make([]uint8, n),
+		unissued:            make([]uint64, (n+63)/64),
+		wakeable:            make([]uint64, (n+63)/64),
+		fetchQ:              make([]fetchItem, cfg.FetchQueueSize),
+		storeQ:              make([]int32, n),
+		storeSeqQ:           make([]uint64, n),
+		storeLoQ:            make([]uint64, n),
+		storeHiQ:            make([]uint64, n),
+		robConflict:         make([]int32, n),
+		robConflictSeq:      make([]uint64, n),
+		minUnissuedStoreSeq: noStoreSeq,
+		lastIBlock:          math.MaxUint64,
 	}
 	c.rt, _ = pf.(rangeTicker)
+	if rs, ok := src.(restSource); ok {
+		c.srcBuf = rs.Rest()
+	}
 	for i := range c.lastWriter {
 		c.lastWriter[i] = noDep
+	}
+	for i := range c.wakeHead {
+		c.wakeHead[i] = noDep32
 	}
 	// Every register starts architectural: ready since cycle 0.
 	c.regKnown = ^uint64(0)
@@ -300,31 +411,34 @@ func (c *CPU) Hierarchy() *mem.Hierarchy { return c.hier }
 // Prefetcher returns the prefetcher under study.
 func (c *CPU) Prefetcher() sbuf.Prefetcher { return c.pf }
 
-// depSatisfied reports whether dependency i of e has produced its
-// value by the current cycle. Readiness is monotonic — a producer's
-// completion cycle never changes once it issues, and a recycled slot
-// means the value went architectural — so the first observation that
-// pins the ready cycle collapses the ROB link into depAt[i] and every
-// later check is a scalar compare.
-func (c *CPU) depSatisfied(e *robEntry, i int) bool {
-	idx := e.dep[i]
-	if idx == noDep {
-		return e.depAt[i] <= c.cycle
+// unissuedCount returns the population of the un-issued bitmask (used
+// by invariant checks and occupancy telemetry).
+func (c *CPU) unissuedCount() int {
+	n := 0
+	for _, w := range c.unissued {
+		n += bits.OnesCount64(w)
 	}
-	p := &c.rob[idx]
-	if p.seq != e.depSeq[i] {
-		// The producer committed and its slot was recycled; the value
-		// is architectural.
-		e.dep[i] = noDep
-		e.depAt[i] = 0
-		return true
+	return n
+}
+
+// wakeConsumers drains producer idx's waiter chain after it issues,
+// folding its completion cycle into every waiting consumer and
+// publishing each consumer's wake-up cycle once its last outstanding
+// producer link resolves.
+func (c *CPU) wakeConsumers(idx int) {
+	done := c.robDone[idx]
+	for n := c.wakeHead[idx]; n != noDep32; {
+		cons := int(n >> 1)
+		if done > c.robWakeBase[cons] {
+			c.robWakeBase[cons] = done
+		}
+		if c.robWaitN[cons]--; c.robWaitN[cons] == 0 {
+			c.robWake[cons] = c.robWakeBase[cons]
+			c.wakeable[cons>>6] |= 1 << (uint(cons) & 63)
+		}
+		n = c.wakeNext[n]
 	}
-	if !p.issued {
-		return false
-	}
-	e.dep[i] = noDep
-	e.depAt[i] = p.completeAt
-	return p.completeAt <= c.cycle
+	c.wakeHead[idx] = noDep32
 }
 
 // DefaultWatchdogCycles is the no-commit watchdog threshold used when
@@ -373,19 +487,37 @@ func (c *CPU) Run(maxInsts uint64) Stats {
 // boundary, so deadlock detection and cancellation behave exactly as
 // in accurate mode, and results are bit-identical between the modes.
 func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
-	watchdog := c.cfg.WatchdogCycles
-	if watchdog == 0 {
-		watchdog = DefaultWatchdogCycles
+	_, err := c.Advance(ctx, maxInsts, 0)
+	return c.Stats(), err
+}
+
+// Advance runs the simulation towards maxInsts committed instructions
+// (0 = to program completion), pausing once at least stopAt
+// instructions have committed (stopAt == 0 never pauses). It reports
+// whether the run finished — paused runs resume with another Advance
+// call and are bit-identical to an unpaused RunChecked, which is what
+// lets the batched lockstep runner interleave many machines over one
+// shared trace. Watchdog and cancellation semantics match RunChecked.
+func (c *CPU) Advance(ctx context.Context, maxInsts, stopAt uint64) (bool, error) {
+	if !c.run.started {
+		c.run.started = true
+		c.run.eventDriven = c.cfg.CycleMode.eventDriven()
+		c.run.watchdog = c.cfg.WatchdogCycles
+		if c.run.watchdog == 0 {
+			c.run.watchdog = DefaultWatchdogCycles
+		}
 	}
-	eventDriven := c.cfg.CycleMode.eventDriven()
-	idleCycles := uint64(0)
-	lastCommitted := uint64(0)
+	watchdog := c.run.watchdog
+	eventDriven := c.run.eventDriven
 	for {
 		if c.stats.Committed >= maxInsts && maxInsts > 0 {
-			break
+			return true, nil
 		}
 		if c.srcDone && !c.hasPending && c.robCount == 0 && c.fqLen == 0 {
-			break
+			return true, nil
+		}
+		if stopAt > 0 && c.stats.Committed >= stopAt {
+			return false, nil
 		}
 		c.cycle++
 		c.pf.Tick(c.cycle)
@@ -401,19 +533,19 @@ func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 		}
 
 		if c.cycle&4095 == 0 && ctx.Err() != nil {
-			return c.Stats(), ctx.Err()
+			return false, ctx.Err()
 		}
-		if c.stats.Committed == lastCommitted {
-			idleCycles++
-			if idleCycles > watchdog {
-				return c.Stats(), &DeadlockError{
-					Cycle: c.cycle, IdleCycles: idleCycles,
+		if c.stats.Committed == c.run.lastCommitted {
+			c.run.idleCycles++
+			if c.run.idleCycles > watchdog {
+				return false, &DeadlockError{
+					Cycle: c.cycle, IdleCycles: c.run.idleCycles,
 					ROB: c.robCount, FetchQueue: c.fqLen,
 				}
 			}
 		} else {
-			idleCycles = 0
-			lastCommitted = c.stats.Committed
+			c.run.idleCycles = 0
+			c.run.lastCommitted = c.stats.Committed
 		}
 
 		if eventDriven && !prog {
@@ -421,7 +553,7 @@ func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 			// Land exactly on the watchdog's firing cycle if nothing
 			// fires earlier, and on every 4096-cycle boundary the
 			// accurate loop checks ctx at.
-			if fire := c.cycle + (watchdog + 1 - idleCycles); next > fire {
+			if fire := c.cycle + (watchdog + 1 - c.run.idleCycles); next > fire {
 				next = fire
 			}
 			if bound := (c.cycle | 4095) + 1; next > bound {
@@ -431,13 +563,12 @@ func (c *CPU) RunChecked(ctx context.Context, maxInsts uint64) (Stats, error) {
 				c.tickPrefetcher(c.cycle+1, next-1)
 				skipped := next - 1 - c.cycle
 				c.cycle = next - 1
-				idleCycles += skipped
+				c.run.idleCycles += skipped
 				c.stats.SkippedCycles += skipped
 				c.stats.Jumps++
 			}
 		}
 	}
-	return c.Stats(), nil
 }
 
 // fetch brings instructions from the source into the fetch queue,
@@ -474,15 +605,18 @@ func (c *CPU) fetch() bool {
 		if d.IsCTI() && branches == 0 {
 			return true // out of branch-prediction bandwidth this cycle
 		}
-		c.consume()
-		// Write the item in place in the ring, then predict through the
-		// stored copy: taking the address of a loop-local DynInst would
-		// heap-allocate it on every fetched CTI.
-		slot := (c.fqHead + c.fqLen) % len(c.fetchQ)
+		// Copy the record into the ring, then predict through the
+		// stored copy: taking the address of a loop-local DynInst
+		// would heap-allocate it on every fetched CTI.
+		slot := c.fqHead + c.fqLen
+		if slot >= len(c.fetchQ) {
+			slot -= len(c.fetchQ)
+		}
 		c.fqLen++
 		item := &c.fetchQ[slot]
-		*item = fetchItem{d: d, availableAt: c.cycle + 1}
-		if d.IsCTI() {
+		*item = fetchItem{d: *d, availableAt: c.cycle + 1}
+		c.consume()
+		if item.d.IsCTI() {
 			branches--
 			item.mispredict = c.bp.Predict(&item.d)
 		}
@@ -491,7 +625,7 @@ func (c *CPU) fetch() bool {
 			c.fetchBlocked = true
 			return true
 		}
-		if d.Taken {
+		if item.d.Taken {
 			// The fetch group cannot run past a taken control
 			// transfer within a cycle.
 			c.lastIBlock = math.MaxUint64
@@ -501,24 +635,40 @@ func (c *CPU) fetch() bool {
 	return active
 }
 
-func (c *CPU) peek() (vm.DynInst, bool) {
+// peek returns a pointer to the next dynamic instruction without
+// consuming it. The pointer is valid until the next consume call; it
+// aliases either the shared replay slice or the one-record lookahead.
+func (c *CPU) peek() (*vm.DynInst, bool) {
+	if c.srcBuf != nil {
+		if c.srcPos < len(c.srcBuf) {
+			return &c.srcBuf[c.srcPos], true
+		}
+		c.srcDone = true
+		return nil, false
+	}
 	if c.hasPending {
-		return c.pending, true
+		return &c.pending, true
 	}
 	if c.srcDone {
-		return vm.DynInst{}, false
+		return nil, false
 	}
 	d, ok := c.src.Next()
 	if !ok {
 		c.srcDone = true
-		return vm.DynInst{}, false
+		return nil, false
 	}
 	c.pending = d
 	c.hasPending = true
-	return d, true
+	return &c.pending, true
 }
 
-func (c *CPU) consume() { c.hasPending = false }
+func (c *CPU) consume() {
+	if c.srcBuf != nil {
+		c.srcPos++
+		return
+	}
+	c.hasPending = false
+}
 
 // dispatch moves instructions from the fetch queue into the reorder
 // buffer, renaming their register dependencies. It reports whether any
@@ -527,38 +677,53 @@ func (c *CPU) dispatch() bool {
 	width := c.cfg.DecodeWidth
 	dispatched := false
 	for width > 0 && c.fqLen > 0 {
-		item := c.fetchQ[c.fqHead]
+		item := &c.fetchQ[c.fqHead]
 		if item.availableAt > c.cycle {
 			return dispatched
 		}
 		if c.robCount >= c.cfg.ROBSize {
 			return dispatched
 		}
-		isMem := item.d.Op.IsMem()
-		if isMem && c.lsqCount >= c.cfg.LSQSize {
+		isLoad := item.d.IsLoad()
+		isStore := item.d.IsStore()
+		if (isLoad || isStore) && c.lsqCount >= c.cfg.LSQSize {
 			return dispatched
 		}
 		dispatched = true
-		c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+		if c.fqHead++; c.fqHead == len(c.fetchQ) {
+			c.fqHead = 0
+		}
 		c.fqLen--
 		width--
 
-		idx := (c.robHead + c.robCount) % len(c.rob)
+		idx := c.robHead + c.robCount
+		if idx >= c.cfg.ROBSize {
+			idx -= c.cfg.ROBSize
+		}
 		c.robCount++
-		if isMem {
+		if isLoad || isStore {
 			c.lsqCount++
 		}
 		c.seq++
-		e := &c.rob[idx]
-		*e = robEntry{
-			d:            item.d,
-			seq:          c.seq,
-			dispatched:   c.cycle,
-			dep:          [2]int{noDep, noDep},
-			isLoad:       item.d.IsLoad(),
-			isStore:      item.d.IsStore(),
-			mispredicted: item.mispredict,
+		c.robD[idx] = item.d
+		c.robSeq[idx] = c.seq
+		c.robDisp[idx] = c.cycle
+		c.robDone[idx] = 0
+		flags := uint8(0)
+		if isLoad {
+			flags |= fLoad
 		}
+		if isStore {
+			flags |= fStore
+		}
+		if item.mispredict {
+			flags |= fMispred
+		}
+		c.robFlags[idx] = flags
+		c.robClass[idx] = uint8(isa.ClassOf(item.d.Op))
+
+		base := uint64(0)
+		waitN := uint8(0)
 		for i, src := range [2]isa.Reg{item.d.Rs1, item.d.Rs2} {
 			if src == isa.RegNone || src == isa.R0 {
 				continue
@@ -567,144 +732,207 @@ func (c *CPU) dispatch() bool {
 				if c.regKnown&(1<<src) != 0 {
 					// The producer already issued: capture its ready
 					// cycle from the scoreboard instead of its entry.
-					e.depAt[i] = c.regReadyAt[src]
+					if at := c.regReadyAt[src]; at > base {
+						base = at
+					}
 				} else {
-					e.dep[i] = w
-					e.depSeq[i] = c.lastWriterSeq[src]
+					// The producer has not issued (a cleared
+					// scoreboard bit with a live writer implies
+					// exactly that): chain onto its waiter list; its
+					// issue pushes the missing ready cycle.
+					node := int32(idx*2 + i)
+					c.wakeNext[node] = c.wakeHead[w]
+					c.wakeHead[w] = node
+					waitN++
 				}
 			}
 		}
-		if rd := item.d.Rd; rd != isa.RegNone && rd != isa.R0 {
+		c.robWakeBase[idx] = base
+		c.robWaitN[idx] = waitN
+		if waitN > 0 {
+			c.robWake[idx] = wakeWaiting
+		} else {
+			c.robWake[idx] = base
+			c.wakeable[idx>>6] |= 1 << (uint(idx) & 63)
+		}
+
+		rd := item.d.Rd
+		c.robRd[idx] = uint8(rd)
+		if rd != isa.RegNone && rd != isa.R0 {
 			c.lastWriter[rd] = idx
 			c.lastWriterSeq[rd] = c.seq
 			c.regKnown &^= 1 << rd
 		}
-		// Thread the entry onto the age-ordered un-issued list (and
-		// the store ring for disambiguation).
-		c.issueQ[idx] = noList
-		if c.issueTail == noList {
-			c.issueHead = int32(idx)
-		} else {
-			c.issueQ[c.issueTail] = int32(idx)
-		}
-		c.issueTail = int32(idx)
-		if e.isStore {
-			c.storeQ[(c.storeHead+c.storeCount)%len(c.storeQ)] = int32(idx)
+		c.unissued[idx>>6] |= 1 << (uint(idx) & 63)
+		switch {
+		case isStore:
+			sp := c.storeHead + c.storeCount
+			if sp >= len(c.storeQ) {
+				sp -= len(c.storeQ)
+			}
+			c.storeQ[sp] = int32(idx)
+			c.storeSeqQ[sp] = c.seq
+			c.storeLoQ[sp] = item.d.EffAddr
+			c.storeHiQ[sp] = item.d.EffAddr + uint64(item.d.MemSize)
 			c.storeCount++
+			if c.minUnissuedStoreSeq == noStoreSeq {
+				c.minUnissuedStoreSeq = c.seq
+			}
+		case isLoad:
+			c.robConflict[idx] = noDep32
+			// Every in-flight store is older than this load; the
+			// youngest overlapping one (if any) is the forwarding
+			// source for its whole lifetime.
+			lo := item.d.EffAddr
+			hi := lo + uint64(item.d.MemSize)
+			for i := c.storeCount - 1; i >= 0; i-- {
+				sp := c.storeHead + i
+				if sp >= len(c.storeQ) {
+					sp -= len(c.storeQ)
+				}
+				if lo < c.storeHiQ[sp] && c.storeLoQ[sp] < hi {
+					s := c.storeQ[sp]
+					c.robConflict[idx] = s
+					c.robConflictSeq[idx] = c.robSeq[s]
+					break
+				}
+			}
 		}
 	}
 	return dispatched
 }
 
-// issue wakes up and selects ready instructions, oldest first. It
-// walks the age-ordered un-issued list — completed entries waiting to
-// commit are never revisited — and unlinks each entry as it issues.
-// It reports whether any instruction issued.
+// issue wakes up and selects ready instructions, oldest first: it
+// walks the wakeable bitmask from robHead — completed entries waiting
+// to commit are never revisited, and entries gated on an un-issued
+// producer are not in the mask — clearing each bit as its entry
+// issues. It reports whether any instruction issued.
 func (c *CPU) issue() bool {
 	budget := c.cfg.IssueWidth
-	prev := noList
-	for cur := c.issueHead; cur != noList && budget > 0; {
-		e := &c.rob[cur]
-		if e.dispatched >= c.cycle {
-			break // this and everything younger dispatched too recently
+	head := c.robHead
+	hw := head >> 6
+	lowMask := uint64(1)<<(uint(head)&63) - 1
+	cont := c.issueWord(hw, c.wakeable[hw]&^lowMask, &budget)
+	for wi := hw + 1; cont && wi < len(c.wakeable); wi++ {
+		cont = c.issueWord(wi, c.wakeable[wi], &budget)
+	}
+	for wi := 0; cont && wi < hw; wi++ {
+		cont = c.issueWord(wi, c.wakeable[wi], &budget)
+	}
+	if cont {
+		c.issueWord(hw, c.wakeable[hw]&lowMask, &budget)
+	}
+	return budget < c.cfg.IssueWidth
+}
+
+// issueWord tries to issue every candidate in one pre-masked word of
+// the wakeable bitmask, in slot order (age order within the caller's
+// walk). It reports whether the scan may continue: false once the
+// issue budget is exhausted or the walk reaches entries dispatched
+// this cycle (everything younger dispatched no earlier). Bits set in
+// c.wakeable mid-scan (consumers of an instruction issued here) are
+// not in m; they could never pass the wake-up test this cycle anyway,
+// since their producer completes at the earliest next cycle.
+func (c *CPU) issueWord(wi int, m uint64, budget *int) bool {
+	for m != 0 {
+		idx := wi<<6 + bits.TrailingZeros64(m)
+		m &= m - 1
+		if c.robDisp[idx] >= c.cycle {
+			return false
 		}
-		if !c.depSatisfied(e, 0) || !c.depSatisfied(e, 1) {
-			prev, cur = cur, c.issueQ[cur]
+		if c.robWake[idx] > c.cycle {
 			continue
 		}
+		flags := c.robFlags[idx]
 		switch {
-		case e.isLoad:
-			if !c.issueLoad(e) {
-				prev, cur = cur, c.issueQ[cur]
+		case flags&fLoad != 0:
+			if !c.issueLoad(idx) {
 				continue
 			}
-		case e.isStore:
-			if !c.issueStore(e) {
-				prev, cur = cur, c.issueQ[cur]
+		case flags&fStore != 0:
+			if !c.issueStore(idx) {
 				continue
 			}
 		default:
-			class := isa.ClassOf(e.d.Op)
+			class := isa.Class(c.robClass[idx])
 			occ := uint64(1)
 			if !c.cfg.FUPipelined[class] {
 				occ = c.cfg.FULatency[class]
 			}
 			if !c.pools[class].tryIssue(c.cycle, occ) {
-				prev, cur = cur, c.issueQ[cur]
 				continue
 			}
-			e.issued = true
-			e.completeAt = c.cycle + c.cfg.FULatency[class]
+			c.robFlags[idx] = flags | fIssued
+			c.robDone[idx] = c.cycle + c.cfg.FULatency[class]
 		}
-		// Unlink the issued entry from the un-issued list.
-		next := c.issueQ[cur]
-		if prev == noList {
-			c.issueHead = next
-		} else {
-			c.issueQ[prev] = next
-		}
-		if next == noList {
-			c.issueTail = prev
-		}
+		bit := uint64(1) << (uint(idx) & 63)
+		c.unissued[wi] &^= bit
+		c.wakeable[wi] &^= bit
+		c.wakeConsumers(idx)
 		// Writeback scheduling: the destination's ready cycle is now
 		// known — publish it on the scoreboard unless a younger
 		// writer has already renamed the register.
-		if rd := e.d.Rd; rd != isa.RegNone && rd != isa.R0 &&
-			c.lastWriter[rd] == int(cur) && c.lastWriterSeq[rd] == e.seq {
-			c.regReadyAt[rd] = e.completeAt
+		if rd := c.robRd[idx]; isa.Reg(rd) != isa.RegNone && rd != uint8(isa.R0) &&
+			c.lastWriter[rd] == idx && c.lastWriterSeq[rd] == c.robSeq[idx] {
+			c.regReadyAt[rd] = c.robDone[idx]
 			c.regKnown |= 1 << rd
 		}
-		budget--
-		if e.mispredicted {
+		*budget--
+		if flags&fMispred != 0 {
 			// The front end redirects when the CTI resolves, then
 			// pays the refill penalty.
 			c.fetchBlocked = false
-			c.fetchResume = e.completeAt + c.cfg.MispredictPenalty
+			c.fetchResume = c.robDone[idx] + c.cfg.MispredictPenalty
 			c.lastIBlock = math.MaxUint64
 		}
-		cur = next
-	}
-	return budget < c.cfg.IssueWidth
-}
-
-// olderStores scans the in-flight stores older than e (youngest
-// first, via the age-ordered store ring rather than the whole window).
-// It returns the youngest conflicting store (overlapping address) and
-// whether any older store has not yet issued (for DisNone and for
-// unresolved conflicts).
-func (c *CPU) olderStores(e *robEntry) (conflict *robEntry, anyUnissued bool) {
-	lo, hi := e.d.EffAddr, e.d.EffAddr+uint64(e.d.MemSize)
-	for i := c.storeCount - 1; i >= 0; i-- {
-		s := &c.rob[c.storeQ[(c.storeHead+i)%len(c.storeQ)]]
-		if s.seq >= e.seq {
-			continue // younger than the load
-		}
-		if !s.issued {
-			anyUnissued = true
-		}
-		sLo, sHi := s.d.EffAddr, s.d.EffAddr+uint64(s.d.MemSize)
-		if lo < sHi && sLo < hi && conflict == nil {
-			conflict = s
-		}
-		if conflict != nil && anyUnissued {
-			break // both answers are pinned; older stores can't change them
-		}
-	}
-	return conflict, anyUnissued
-}
-
-// issueLoad attempts to issue the load e; it reports whether the load
-// issued this cycle.
-func (c *CPU) issueLoad(e *robEntry) bool {
-	conflict, anyUnissued := c.olderStores(e)
-
-	switch c.cfg.Disambiguation {
-	case DisNone:
-		if anyUnissued {
+		if *budget == 0 {
 			return false
 		}
+	}
+	return true
+}
+
+// loadConflict returns the ROB slot of the store the load in slot idx
+// must respect under DisPerfect — its dispatch-time youngest
+// overlapping older store, provided that store is still in flight —
+// or -1. A recycled slot (sequence mismatch) or a retired store means
+// no conflict remains: commit is in order, so every older overlapping
+// store left the ring even earlier.
+func (c *CPU) loadConflict(idx int) int {
+	s := c.robConflict[idx]
+	if s < 0 || c.robSeq[s] != c.robConflictSeq[idx] || c.robFlags[s]&fRetired != 0 {
+		return -1
+	}
+	return int(s)
+}
+
+// rescanMinUnissued recomputes the oldest un-issued store watermark by
+// walking the age-ordered ring from its head; called only when the
+// current watermark store issues, so the cost amortizes to one ring
+// visit per store.
+func (c *CPU) rescanMinUnissued() {
+	for i := 0; i < c.storeCount; i++ {
+		sp := (c.storeHead + i) % len(c.storeQ)
+		if c.robFlags[c.storeQ[sp]]&fIssued == 0 {
+			c.minUnissuedStoreSeq = c.storeSeqQ[sp]
+			return
+		}
+	}
+	c.minUnissuedStoreSeq = noStoreSeq
+}
+
+// issueLoad attempts to issue the load in slot idx; it reports whether
+// the load issued this cycle.
+func (c *CPU) issueLoad(idx int) bool {
+	conflict := -1
+	switch c.cfg.Disambiguation {
+	case DisNone:
+		if c.minUnissuedStoreSeq < c.robSeq[idx] {
+			return false // some older store has not issued
+		}
 	case DisPerfect:
-		if conflict != nil && !conflict.issued {
+		conflict = c.loadConflict(idx)
+		if conflict >= 0 && c.robFlags[conflict]&fIssued == 0 {
 			return false // wait for the producing store
 		}
 	}
@@ -712,25 +940,26 @@ func (c *CPU) issueLoad(e *robEntry) bool {
 	if !c.pools[isa.ClassLoad].tryIssue(c.cycle, 1) {
 		return false
 	}
-	e.issued = true
+	c.robFlags[idx] |= fIssued
 
-	if c.cfg.Disambiguation == DisPerfect && conflict != nil {
+	if c.cfg.Disambiguation == DisPerfect && conflict >= 0 {
 		// Store-to-load forwarding (2-cycle penalty, §5.1). Forwarded
 		// loads do not access the cache and do not train the
 		// predictor (§4.2).
 		start := c.cycle
-		if conflict.completeAt > start {
-			start = conflict.completeAt
+		if d := c.robDone[conflict]; d > start {
+			start = d
 		}
-		e.completeAt = start + c.cfg.StoreForwardLatency
-		e.forwarded = true
+		done := start + c.cfg.StoreForwardLatency
+		c.robDone[idx] = done
+		c.robFlags[idx] |= fForwarded
 		c.stats.Forwards++
-		c.stats.LoadLatencySum += e.completeAt - c.cycle
+		c.stats.LoadLatencySum += done - c.cycle
 		return true
 	}
 
-	c.accessMemory(e)
-	c.stats.LoadLatencySum += e.completeAt - c.cycle
+	c.accessMemory(idx)
+	c.stats.LoadLatencySum += c.robDone[idx] - c.cycle
 	return true
 }
 
@@ -738,18 +967,18 @@ func (c *CPU) issueLoad(e *robEntry) bool {
 // buffers (probed in parallel with the L1 lookup) and, on a full miss,
 // the lower hierarchy — also firing the stream-buffer allocation
 // request the paper triggers when a load misses both structures.
-func (c *CPU) accessMemory(e *robEntry) {
-	addr := e.d.EffAddr
+func (c *CPU) accessMemory(idx int) {
+	addr := c.robD[idx].EffAddr
 	ac := c.cycle + c.hier.DTLB.Translate(addr)
 	c.stats.DAccesses++
 
 	hit, inflight, ready := c.hier.ProbeD(ac, addr)
 	switch {
 	case hit:
-		e.completeAt = ac + c.cfg.L1HitLatency
+		c.robDone[idx] = ac + c.cfg.L1HitLatency
 	case inflight:
 		c.stats.DMisses++
-		e.completeAt = maxU64(ready, ac+c.cfg.L1HitLatency)
+		c.robDone[idx] = maxU64(ready, ac+c.cfg.L1HitLatency)
 	default:
 		kind, sbReady := c.pf.Lookup(ac, addr)
 		switch kind {
@@ -760,8 +989,8 @@ func (c *CPU) accessMemory(e *robEntry) {
 			// L1 itself missed).
 			c.hier.FillL1D(addr)
 			c.stats.SBHitsReady++
-			e.completeAt = ac + c.cfg.L1HitLatency
-			e.trainMiss = true
+			c.robDone[idx] = ac + c.cfg.L1HitLatency
+			c.robFlags[idx] |= fTrainMiss
 		case sbuf.LookupHitUnfetched:
 			// The stream had predicted this block but the prefetch
 			// never reached the bus: a normal miss, except that the
@@ -769,8 +998,8 @@ func (c *CPU) accessMemory(e *robEntry) {
 			// is made.
 			res := c.hier.MissFillD(ac, addr)
 			c.stats.DMisses++
-			e.completeAt = maxU64(res.Ready, ac+c.cfg.L1HitLatency)
-			e.trainMiss = true
+			c.robDone[idx] = maxU64(res.Ready, ac+c.cfg.L1HitLatency)
+			c.robFlags[idx] |= fTrainMiss
 		case sbuf.LookupHitPending:
 			// Tag matched but the prefetch is in flight: the tag
 			// moves into an MSHR and the load completes with the
@@ -778,30 +1007,33 @@ func (c *CPU) accessMemory(e *robEntry) {
 			c.hier.PromoteToMSHR(ac, addr, sbReady)
 			c.stats.SBHitsPending++
 			c.stats.DMisses++
-			e.completeAt = maxU64(sbReady, ac+c.cfg.L1HitLatency)
-			e.trainMiss = true
+			c.robDone[idx] = maxU64(sbReady, ac+c.cfg.L1HitLatency)
+			c.robFlags[idx] |= fTrainMiss
 		default:
 			res := c.hier.MissFillD(ac, addr)
 			c.stats.DMisses++
-			e.completeAt = maxU64(res.Ready, ac+c.cfg.L1HitLatency)
-			e.trainMiss = true
-			c.pf.AllocationRequest(ac, e.d.PC, addr)
+			c.robDone[idx] = maxU64(res.Ready, ac+c.cfg.L1HitLatency)
+			c.robFlags[idx] |= fTrainMiss
+			c.pf.AllocationRequest(ac, c.robD[idx].PC, addr)
 		}
 	}
 }
 
 // issueStore attempts to issue a store; stores retire into the memory
 // system at issue (timing-wise) and never block commit.
-func (c *CPU) issueStore(e *robEntry) bool {
+func (c *CPU) issueStore(idx int) bool {
 	if !c.pools[isa.ClassStore].tryIssue(c.cycle, 1) {
 		return false
 	}
-	e.issued = true
-	e.completeAt = c.cycle + c.cfg.FULatency[isa.ClassStore]
+	c.robFlags[idx] |= fIssued
+	c.robDone[idx] = c.cycle + c.cfg.FULatency[isa.ClassStore]
+	if c.robSeq[idx] == c.minUnissuedStoreSeq {
+		c.rescanMinUnissued()
+	}
 
 	// Write-allocate: the store contributes demand traffic and miss
 	// statistics but its latency is absorbed by the store buffer.
-	addr := e.d.EffAddr
+	addr := c.robD[idx].EffAddr
 	ac := c.cycle + c.hier.DTLB.Translate(addr)
 	c.stats.DAccesses++
 	hit, inflight, _ := c.hier.ProbeD(ac, addr)
@@ -820,38 +1052,46 @@ func (c *CPU) issueStore(e *robEntry) bool {
 func (c *CPU) commit() bool {
 	committed := false
 	for n := 0; n < c.cfg.CommitWidth && c.robCount > 0; n++ {
-		e := &c.rob[c.robHead]
-		if !e.issued || e.completeAt > c.cycle {
+		idx := c.robHead
+		flags := c.robFlags[idx]
+		if flags&fIssued == 0 || c.robDone[idx] > c.cycle {
 			return committed
 		}
 		committed = true
-		if e.isLoad {
+		if flags&fLoad != 0 {
 			c.stats.Loads++
-			if e.trainMiss && !e.forwarded {
+			if flags&fTrainMiss != 0 && flags&fForwarded == 0 {
 				c.stats.TrainEvents++
-				c.pf.Train(e.d.PC, e.d.EffAddr)
+				d := &c.robD[idx]
+				c.pf.Train(d.PC, d.EffAddr)
 				if c.hist != nil {
-					c.hist.Observe(e.d.EffAddr)
+					c.hist.Observe(d.EffAddr)
 				}
 			}
 		}
-		if e.isStore {
+		if flags&fStore != 0 {
 			c.stats.Stores++
 			// Stores commit in age order, so this store is the ring's
-			// oldest entry.
-			c.storeHead = (c.storeHead + 1) % len(c.storeQ)
+			// oldest entry. fRetired invalidates any load's cached
+			// conflict pointer to it.
+			c.robFlags[idx] = flags | fRetired
+			if c.storeHead++; c.storeHead == len(c.storeQ) {
+				c.storeHead = 0
+			}
 			c.storeCount--
 		}
-		if rd := e.d.Rd; rd != isa.RegNone && rd != isa.R0 {
-			if c.lastWriter[rd] == c.robHead && c.lastWriterSeq[rd] == e.seq {
+		if rd := c.robRd[idx]; isa.Reg(rd) != isa.RegNone && rd != uint8(isa.R0) {
+			if c.lastWriter[rd] == idx && c.lastWriterSeq[rd] == c.robSeq[idx] {
 				c.lastWriter[rd] = noDep
 			}
 		}
-		if e.d.Op.IsMem() {
+		if flags&(fLoad|fStore) != 0 {
 			c.lsqCount--
 		}
 		c.stats.Committed++
-		c.robHead = (c.robHead + 1) % len(c.rob)
+		if c.robHead++; c.robHead == c.cfg.ROBSize {
+			c.robHead = 0
+		}
 		c.robCount--
 	}
 	return committed

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 )
@@ -56,16 +57,17 @@ func (c *CPU) tickPrefetcher(from, to uint64) {
 	}
 }
 
-// issuePool returns the functional-unit pool e competes for, mirroring
-// the selection in issue().
-func (c *CPU) issuePool(e *robEntry) *fuPool {
+// issuePool returns the functional-unit pool the entry in slot idx
+// competes for, mirroring the selection in issue().
+func (c *CPU) issuePool(idx int) *fuPool {
+	flags := c.robFlags[idx]
 	switch {
-	case e.isLoad:
+	case flags&fLoad != 0:
 		return c.pools[isa.ClassLoad]
-	case e.isStore:
+	case flags&fStore != 0:
 		return c.pools[isa.ClassStore]
 	}
-	return c.pools[isa.ClassOf(e.d.Op)]
+	return c.pools[c.robClass[idx]]
 }
 
 // nextEventCycle returns a lower bound (> c.cycle) on the next cycle at
@@ -78,63 +80,52 @@ func (c *CPU) nextEventCycle() uint64 {
 
 	// Commit: the oldest instruction's completion.
 	if c.robCount > 0 {
-		if h := &c.rob[c.robHead]; h.issued && h.completeAt > c.cycle {
-			next = h.completeAt
+		h := c.robHead
+		if c.robFlags[h]&fIssued != 0 && c.robDone[h] > c.cycle {
+			next = c.robDone[h]
 		}
 	}
 
-	// Issue: for every un-issued entry, the earliest cycle its operands
-	// are ready and a unit could be free. Entries gated on another
-	// un-issued instruction (a producer, or an older store under the
-	// disambiguation policy) contribute nothing: the gating entry's own
-	// candidate wakes the machine first.
-	for cur := c.issueHead; cur != noList; cur = c.issueQ[cur] {
-		e := &c.rob[cur]
-		t := e.dispatched + 1
-		ready := true
-		for i := 0; i < 2; i++ {
-			if idx := e.dep[i]; idx == noDep {
-				if at := e.depAt[i]; at > t {
-					t = at
-				}
-			} else if p := &c.rob[idx]; p.seq == e.depSeq[i] {
-				if !p.issued {
-					ready = false
-					break
-				}
-				if p.completeAt > t {
-					t = p.completeAt
+	// Issue: for every un-issued entry whose wake-up cycle is known,
+	// the earliest cycle its operands are ready and a unit could be
+	// free. Entries gated on another un-issued instruction (a producer,
+	// or an older store under the disambiguation policy) contribute
+	// nothing: the gating entry's own candidate wakes the machine
+	// first. The minimum is order-free, so the bitmask is walked in
+	// plain word order rather than age order.
+	for wi, m := range c.wakeable {
+		for m != 0 {
+			idx := wi<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			w := c.robWake[idx]
+			t := c.robDisp[idx] + 1
+			if w > t {
+				t = w
+			}
+			if c.robFlags[idx]&fLoad != 0 {
+				switch c.cfg.Disambiguation {
+				case DisNone:
+					if c.minUnissuedStoreSeq < c.robSeq[idx] {
+						continue
+					}
+				case DisPerfect:
+					if conflict := c.loadConflict(idx); conflict >= 0 &&
+						c.robFlags[conflict]&fIssued == 0 {
+						continue
+					}
 				}
 			}
-			// A recycled producer slot means the value went
-			// architectural long ago: ready since cycle 0.
-		}
-		if !ready {
-			continue
-		}
-		if e.isLoad {
-			conflict, anyUnissued := c.olderStores(e)
-			switch c.cfg.Disambiguation {
-			case DisNone:
-				if anyUnissued {
-					continue
-				}
-			case DisPerfect:
-				if conflict != nil && !conflict.issued {
-					continue
-				}
+			if f := c.issuePool(idx).earliestFree(); f > t {
+				t = f
 			}
-		}
-		if f := c.issuePool(e).earliestFree(); f > t {
-			t = f
-		}
-		if t <= c.cycle {
-			// Operands and a unit look ready now yet nothing issued
-			// this cycle (e.g. width races); do not skip.
-			t = c.cycle + 1
-		}
-		if t < next {
-			next = t
+			if t <= c.cycle {
+				// Operands and a unit look ready now yet nothing issued
+				// this cycle (e.g. width races); do not skip.
+				t = c.cycle + 1
+			}
+			if t < next {
+				next = t
+			}
 		}
 	}
 

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -62,18 +63,41 @@ func plainRunner(workers int) CellRunner {
 	}
 }
 
+// batchedRunner executes jobs through the lockstep batched path:
+// same-trace cells advance together in groups of batch (see
+// runner.RunBatched), groups fan out across workers. Failures become
+// per-cell errors rather than panics.
+func batchedRunner(workers, batch int) CellRunner {
+	return func(jobs []runner.Job) []runner.CellResult {
+		cells, _ := runner.ForWorkers(workers).RunBatched(
+			context.Background(), jobs, batch, runner.DefaultOptions())
+		return cells
+	}
+}
+
+// cellRunner picks the executor cfg asks for: lockstep batching when
+// cfg.Batch is positive, the legacy per-cell path otherwise.
+func cellRunner(cfg sim.Config) CellRunner {
+	if cfg.Batch > 0 {
+		return batchedRunner(cfg.Workers, cfg.Batch)
+	}
+	return plainRunner(cfg.Workers)
+}
+
 // Schemes lists the configurations of the Figure 5-9 bars, base first.
 func Schemes() []core.Variant {
 	return append([]core.Variant{core.None}, core.PaperVariants()...)
 }
 
 // RunMatrix simulates every benchmark under every scheme, fanning the
-// independent simulations across cfg.Workers goroutines (0 = serial).
-// The assembled matrix is identical for any worker count. Any cell
-// panic propagates (fail-fast); Session.Matrix is the fault-isolating
-// path.
+// independent simulations across cfg.Workers goroutines (0 = serial);
+// with cfg.Batch > 0, same-trace cells advance in lockstep batches
+// instead (see runner.RunBatched). The assembled matrix is identical
+// for any worker count and batch size. On the per-cell path any cell
+// panic propagates (fail-fast), on the batched path failures land in
+// Errs; Session.Matrix is the general fault-isolating path.
 func RunMatrix(cfg sim.Config) *Matrix {
-	return runMatrixWith(cfg, plainRunner(cfg.Workers))
+	return runMatrixWith(cfg, cellRunner(cfg))
 }
 
 func runMatrixWith(cfg sim.Config, run CellRunner) *Matrix {

@@ -70,3 +70,28 @@ func BenchmarkTLBTranslate(b *testing.B) {
 		t.Translate(uint64(i%128) << 12)
 	}
 }
+
+// BenchmarkTLBLookup drives the hit-dominated lookup pattern the
+// timing core produces — bursts of accesses to one page with
+// occasional page changes inside the resident set — so it measures
+// the MRU filter and the short linear probe of the fixed-array TLB
+// rather than the replacement path BenchmarkTLBTranslate stresses.
+func BenchmarkTLBLookup(b *testing.B) {
+	t := NewTLB(64, 4096, 30)
+	const resident = 48
+	for i := 0; i < resident; i++ {
+		t.Translate(uint64(i) << 12)
+	}
+	misses := t.Misses
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Eight back-to-back accesses per page (MRU hits), then the
+		// next resident page (probe hit).
+		page := uint64((i / 8) % resident)
+		t.Translate(page<<12 | uint64(i%8)<<3)
+	}
+	b.StopTimer()
+	if t.Misses != misses {
+		b.Fatalf("lookup benchmark took %d misses; the pattern must stay resident", t.Misses-misses)
+	}
+}

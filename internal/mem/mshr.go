@@ -20,6 +20,14 @@ type mshrEntry struct {
 type MSHRFile struct {
 	slots []mshrEntry
 
+	// live counts valid slots; minReady is a lower bound on the
+	// earliest completion among them (exact after every expire scan,
+	// possibly stale-low after installs and cancels). Together they
+	// let expire — called on every lookup — skip the slot scan
+	// entirely until some fill can actually have completed.
+	live     int
+	minReady uint64
+
 	Allocs  uint64 // fills installed
 	Merges  uint64 // accesses merged into an existing entry
 	FullHit uint64 // allocation attempts that found the file full
@@ -40,27 +48,37 @@ func (f *MSHRFile) Capacity() int { return len(f.slots) }
 // ones first).
 func (f *MSHRFile) InFlight(cycle uint64) int {
 	f.expire(cycle)
-	n := 0
-	for i := range f.slots {
-		if f.slots[i].valid {
-			n++
-		}
-	}
-	return n
+	return f.live
 }
 
 func (f *MSHRFile) expire(cycle uint64) {
+	if f.live == 0 || cycle < f.minReady {
+		return // no fill can have completed yet
+	}
+	live, minReady := 0, ^uint64(0)
 	for i := range f.slots {
-		if f.slots[i].valid && f.slots[i].ready <= cycle {
+		if !f.slots[i].valid {
+			continue
+		}
+		if f.slots[i].ready <= cycle {
 			f.slots[i].valid = false
+			continue
+		}
+		live++
+		if f.slots[i].ready < minReady {
+			minReady = f.slots[i].ready
 		}
 	}
+	f.live, f.minReady = live, minReady
 }
 
 // Lookup reports whether block has an active fill at cycle, and if so
 // when it completes. A Lookup that finds an entry is a merge.
 func (f *MSHRFile) Lookup(cycle, block uint64) (ready uint64, ok bool) {
 	f.expire(cycle)
+	if f.live == 0 {
+		return 0, false
+	}
 	for i := range f.slots {
 		if f.slots[i].valid && f.slots[i].block == block {
 			f.Merges++
@@ -77,18 +95,19 @@ func (f *MSHRFile) Lookup(cycle, block uint64) (ready uint64, ok bool) {
 // the stall is zero.
 func (f *MSHRFile) ReserveStall(cycle uint64) (stall uint64) {
 	f.expire(cycle)
-	victim := -1
-	for i := range f.slots {
-		if !f.slots[i].valid {
-			return 0
-		}
-		if victim < 0 || f.slots[i].ready < f.slots[victim].ready {
+	if f.live < len(f.slots) {
+		return 0
+	}
+	victim := 0
+	for i := 1; i < len(f.slots); i++ {
+		if f.slots[i].ready < f.slots[victim].ready {
 			victim = i
 		}
 	}
 	f.FullHit++
 	earliest := f.slots[victim].ready
 	f.slots[victim].valid = false
+	f.live--
 	if earliest > cycle {
 		return earliest - cycle
 	}
@@ -123,6 +142,15 @@ func (f *MSHRFile) Install(block, ready uint64) {
 		free = victim
 	}
 	f.Allocs++
+	if !f.slots[free].valid {
+		if f.live == 0 {
+			f.minReady = ready
+		}
+		f.live++
+	}
+	if ready < f.minReady {
+		f.minReady = ready
+	}
 	f.slots[free] = mshrEntry{block: block, ready: ready, valid: true}
 }
 
@@ -146,6 +174,7 @@ func (f *MSHRFile) Cancel(block uint64) {
 	for i := range f.slots {
 		if f.slots[i].valid && f.slots[i].block == block {
 			f.slots[i].valid = false
+			f.live--
 			return
 		}
 	}

@@ -6,12 +6,26 @@ package mem
 // translation is identity (virtual == physical) but a miss costs a
 // page-walk penalty and performs a replacement — so stream-buffer
 // prefetches naturally perform TLB prefetching, as in the paper.
+//
+// The storage is a fixed array of page/lastUse slot pairs — one
+// single-set layout of a set-associative structure, sized at the entry
+// count — rather than a map: TLBs are small (tens of entries), a
+// linear probe over two packed arrays resolves in a handful of cache
+// lines with no hashing or allocation, and the hot case (consecutive
+// accesses to the same page) is answered by a most-recently-used
+// filter before any probing. Replacement is exactly the map version's
+// LRU: every access stamps a unique clock value, so the victim — the
+// minimum stamp — is deterministic.
 type TLB struct {
 	entries   int
 	pageShift uint
-	walk      uint64            // page-walk latency in cycles
-	slots     map[uint64]uint64 // page number -> lastUse
+	walk      uint64 // page-walk latency in cycles
 	clock     uint64
+
+	pages   []uint64 // page number per slot (valid in [0, used))
+	lastUse []uint64 // clock stamp per slot, parallel to pages
+	used    int
+	mru     int // slot of the most recent hit or install
 
 	Accesses uint64
 	Misses   uint64
@@ -31,7 +45,8 @@ func NewTLB(entries int, pageBytes int, walkCycles uint64) *TLB {
 		entries:   entries,
 		pageShift: shift,
 		walk:      walkCycles,
-		slots:     make(map[uint64]uint64, entries),
+		pages:     make([]uint64, entries),
+		lastUse:   make([]uint64, entries),
 	}
 }
 
@@ -42,29 +57,46 @@ func (t *TLB) Translate(addr uint64) (penalty uint64) {
 	t.clock++
 	t.Accesses++
 	page := addr >> t.pageShift
-	if _, ok := t.slots[page]; ok {
-		t.slots[page] = t.clock
+	if t.used > 0 && t.pages[t.mru] == page {
+		t.lastUse[t.mru] = t.clock
 		return 0
 	}
+	for i := 0; i < t.used; i++ {
+		if t.pages[i] == page {
+			t.lastUse[i] = t.clock
+			t.mru = i
+			return 0
+		}
+	}
 	t.Misses++
-	if len(t.slots) >= t.entries {
-		oldest := ^uint64(0)
-		var victim uint64
-		for p, use := range t.slots {
-			if use < oldest {
-				oldest, victim = use, p
+	slot := t.used
+	if slot >= t.entries {
+		// Evict the LRU slot: lastUse stamps are unique, so the
+		// minimum identifies exactly one victim.
+		slot = 0
+		for i := 1; i < t.entries; i++ {
+			if t.lastUse[i] < t.lastUse[slot] {
+				slot = i
 			}
 		}
-		delete(t.slots, victim)
+	} else {
+		t.used++
 	}
-	t.slots[page] = t.clock
+	t.pages[slot] = page
+	t.lastUse[slot] = t.clock
+	t.mru = slot
 	return t.walk
 }
 
 // Resident reports whether addr's page is mapped (no state change).
 func (t *TLB) Resident(addr uint64) bool {
-	_, ok := t.slots[addr>>t.pageShift]
-	return ok
+	page := addr >> t.pageShift
+	for i := 0; i < t.used; i++ {
+		if t.pages[i] == page {
+			return true
+		}
+	}
+	return false
 }
 
 // MissRate returns Misses/Accesses.

@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestRunBatchedMatchesRunChecked is the batched path's differential
+// guarantee: for several batch sizes — including a batch larger than
+// any trace group and the degenerate batch of one — every cell's
+// Result is bit-identical to the per-cell path's.
+func TestRunBatchedMatchesRunChecked(t *testing.T) {
+	cfg := smallCfg()
+	cfg.TraceMode = sim.TraceMemory
+	jobs := matrixJobs(cfg)
+
+	want, err := New(1).RunChecked(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	for _, batch := range []int{1, 2, 3, 16} {
+		got, err := New(1).RunBatched(context.Background(), jobs, batch, Options{})
+		if err != nil {
+			t.Fatalf("RunBatched(batch=%d): %v", batch, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d cells, want %d", batch, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].OK() {
+				t.Fatalf("batch=%d cell %d failed: %v", batch, i, got[i].Err)
+			}
+			if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+				t.Errorf("batch=%d cell %d (%s/%s): batched result differs from per-cell result",
+					batch, i, jobs[i].Workload.Name, jobs[i].Variant)
+			}
+		}
+	}
+}
+
+// TestRunBatchedLiveSources checks lockstep batching without a trace:
+// each machine owns a live functional simulator, and interleaving
+// them must still reproduce the serial results exactly.
+func TestRunBatchedLiveSources(t *testing.T) {
+	cfg := smallCfg()
+	jobs := matrixJobs(cfg)
+	want, err := New(1).RunChecked(context.Background(), jobs, Options{})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	got, err := New(1).RunBatched(context.Background(), jobs, 4, Options{})
+	if err != nil {
+		t.Fatalf("RunBatched: %v", err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Errorf("cell %d (%s/%s): batched result differs",
+				i, jobs[i].Workload.Name, jobs[i].Variant)
+		}
+	}
+}
+
+// TestRunBatchedParallelGroups fans lockstep groups across workers and
+// checks results stay keyed by job position.
+func TestRunBatchedParallelGroups(t *testing.T) {
+	cfg := smallCfg()
+	cfg.TraceMode = sim.TraceMemory
+	jobs := matrixJobs(cfg)
+	want, err := New(1).RunBatched(context.Background(), jobs, 3, Options{})
+	if err != nil {
+		t.Fatalf("serial RunBatched: %v", err)
+	}
+	got, err := New(4).RunBatched(context.Background(), jobs, 3, Options{})
+	if err != nil {
+		t.Fatalf("parallel RunBatched: %v", err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Result, want[i].Result) {
+			t.Errorf("cell %d: parallel batched result differs from serial batched", i)
+		}
+	}
+}
+
+// TestRunBatchedIsolatesFailures mixes healthy cells with a cell that
+// panics at build time and one that deadlocks mid-flight: each bad
+// cell fails alone with a typed error while its batchmates complete.
+func TestRunBatchedIsolatesFailures(t *testing.T) {
+	cfg := smallCfg()
+	deadCfg := cfg
+	deadCfg.CPU.WatchdogCycles = 3
+	good := workload.All()[:2]
+	jobs := []Job{
+		{Workload: good[0], Variant: core.None, Config: cfg},
+		{Workload: boomWorkload(), Variant: core.None, Config: cfg},
+		{Workload: good[0], Variant: core.PSBConfPriority, Config: cfg},
+		{Workload: good[0], Variant: core.None, Config: deadCfg},
+	}
+	cells, err := New(1).RunBatched(context.Background(), jobs, 8, Options{})
+	if err != nil {
+		t.Fatalf("RunBatched: %v", err)
+	}
+	for _, i := range []int{0, 2} {
+		if !cells[i].OK() {
+			t.Fatalf("healthy cell %d failed: %v", i, cells[i].Err)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if cells[i].OK() {
+			t.Fatalf("faulty cell %d unexpectedly succeeded", i)
+		}
+	}
+	want := Job{Workload: good[0], Variant: core.None, Config: cfg}.Run()
+	if !reflect.DeepEqual(cells[0].Result, want) {
+		t.Error("healthy batchmate's result was perturbed by faulty cells")
+	}
+}

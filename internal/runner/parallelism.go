@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// AvailableParallelism returns how many simulations are worth running
+// concurrently on this host: runtime.GOMAXPROCS capped by the cgroup
+// CPU quota when the process runs under one (containers, CI runners).
+//
+// This is the fix for the committed parallel-leg regression: in a
+// container granted, say, 1.5 CPUs of quota on a 16-core host,
+// GOMAXPROCS reports 16, a 16-worker pool time-slices against the
+// quota, and the "parallel" legs come out slower than serial (the
+// recorded speedup_parallel dipped below 1.0). Sizing the pool to the
+// quota keeps every worker on an actual core's worth of budget.
+func AvailableParallelism() int {
+	procs := runtime.GOMAXPROCS(0)
+	if q, ok := cgroupCPULimit("/sys/fs/cgroup"); ok && q < procs {
+		procs = q
+	}
+	if procs < 1 {
+		return 1
+	}
+	return procs
+}
+
+// cgroupCPULimit reads the effective CPU quota, in whole CPUs (rounded
+// down, minimum 1), from the cgroup v2 unified hierarchy or the cgroup
+// v1 cpu controller under root. ok is false when no quota applies
+// (files missing, "max", or quota disabled).
+func cgroupCPULimit(root string) (cpus int, ok bool) {
+	// cgroup v2: cpu.max holds "$MAX $PERIOD" or "max $PERIOD".
+	if b, err := os.ReadFile(root + "/cpu.max"); err == nil {
+		f := strings.Fields(string(b))
+		if len(f) >= 2 && f[0] != "max" {
+			return quotaCPUs(f[0], f[1])
+		}
+	}
+	// cgroup v1: quota and period live in separate files; quota -1
+	// means unlimited.
+	qb, qerr := os.ReadFile(root + "/cpu/cpu.cfs_quota_us")
+	pb, perr := os.ReadFile(root + "/cpu/cpu.cfs_period_us")
+	if qerr == nil && perr == nil {
+		q := strings.TrimSpace(string(qb))
+		if q != "-1" {
+			return quotaCPUs(q, strings.TrimSpace(string(pb)))
+		}
+	}
+	return 0, false
+}
+
+// quotaCPUs converts a quota/period pair of microsecond strings into
+// whole CPUs.
+func quotaCPUs(quota, period string) (int, bool) {
+	q, err1 := strconv.ParseInt(quota, 10, 64)
+	p, err2 := strconv.ParseInt(period, 10, 64)
+	if err1 != nil || err2 != nil || q <= 0 || p <= 0 {
+		return 0, false
+	}
+	cpus := int(q / p)
+	if cpus < 1 {
+		cpus = 1
+	}
+	return cpus, true
+}

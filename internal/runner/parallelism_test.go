@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// writeCgroup lays out a fake cgroup tree under a temp dir.
+func writeCgroup(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCgroupCPULimit(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		cpus  int
+		ok    bool
+	}{
+		{"v2 quota", map[string]string{"cpu.max": "200000 100000\n"}, 2, true},
+		{"v2 fractional rounds down to 1", map[string]string{"cpu.max": "150000 100000\n"}, 1, true},
+		{"v2 sub-core clamps to 1", map[string]string{"cpu.max": "50000 100000\n"}, 1, true},
+		{"v2 unlimited", map[string]string{"cpu.max": "max 100000\n"}, 0, false},
+		{"v2 garbage", map[string]string{"cpu.max": "banana 100000\n"}, 0, false},
+		{"v1 quota", map[string]string{
+			"cpu/cpu.cfs_quota_us":  "400000\n",
+			"cpu/cpu.cfs_period_us": "100000\n",
+		}, 4, true},
+		{"v1 unlimited", map[string]string{
+			"cpu/cpu.cfs_quota_us":  "-1\n",
+			"cpu/cpu.cfs_period_us": "100000\n",
+		}, 0, false},
+		{"no cgroup files", nil, 0, false},
+		{"v2 wins over v1", map[string]string{
+			"cpu.max":               "300000 100000\n",
+			"cpu/cpu.cfs_quota_us":  "100000\n",
+			"cpu/cpu.cfs_period_us": "100000\n",
+		}, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cpus, ok := cgroupCPULimit(writeCgroup(t, tc.files))
+			if ok != tc.ok || cpus != tc.cpus {
+				t.Errorf("got (%d, %v), want (%d, %v)", cpus, ok, tc.cpus, tc.ok)
+			}
+		})
+	}
+}
+
+func TestAvailableParallelismBounds(t *testing.T) {
+	got := AvailableParallelism()
+	if got < 1 {
+		t.Fatalf("AvailableParallelism() = %d, want >= 1", got)
+	}
+	if max := runtime.GOMAXPROCS(0); got > max {
+		t.Fatalf("AvailableParallelism() = %d exceeds GOMAXPROCS %d", got, max)
+	}
+}

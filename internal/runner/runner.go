@@ -12,7 +12,6 @@
 package runner
 
 import (
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -40,18 +39,19 @@ type Pool struct {
 }
 
 // New returns a pool running up to workers simulations concurrently.
-// workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1 keeps all
-// work on the calling goroutine.
+// workers <= 0 selects AvailableParallelism (GOMAXPROCS capped by the
+// cgroup CPU quota); workers == 1 keeps all work on the calling
+// goroutine.
 func New(workers int) *Pool {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = AvailableParallelism()
 	}
 	return &Pool{workers: workers}
 }
 
 // ForWorkers maps an experiment configuration's Workers field to a
 // pool: 0 means serial, n > 0 means n workers, and n < 0 means one
-// worker per available CPU (runtime.GOMAXPROCS).
+// worker per available CPU (AvailableParallelism).
 func ForWorkers(n int) *Pool {
 	if n == 0 {
 		return New(1)

@@ -295,6 +295,21 @@ type Engine struct {
 	clock uint64 // LRU timestamp source
 
 	orderBuf []int // scratch for order(): Tick runs every cycle
+	// prioDirty marks the cached priority order stale. Scheduling
+	// order under SchedPriority depends only on per-buffer priority
+	// counters and buffer LRU stamps, which change on lookup hits,
+	// allocations and aging — never inside predictOne/prefetchOne — so
+	// the sort is redone only after one of those events instead of
+	// twice per cycle.
+	prioDirty bool
+
+	// livePred counts buffers that can use the predictor port
+	// (allocated and not predDone); unprefetched counts entries
+	// holding a prediction whose prefetch has not been issued. They
+	// exist so the per-cycle Tick is a counter test, not a scan, when
+	// the engine is quiescent.
+	livePred     int
+	unprefetched int
 
 	rrPredict  int // round-robin pointers
 	rrPrefetch int
@@ -312,8 +327,9 @@ func NewEngine(cfg Config, pred predict.Predictor, fetch Fetcher) *Engine {
 		panic(err)
 	}
 	e := &Engine{cfg: cfg, pred: pred, fetch: fetch,
-		bufs:     make([]buffer, cfg.NumBuffers),
-		orderBuf: make([]int, 0, cfg.NumBuffers)}
+		bufs:      make([]buffer, cfg.NumBuffers),
+		orderBuf:  make([]int, 0, cfg.NumBuffers),
+		prioDirty: true}
 	e.busH, _ = fetch.(interface {
 		NextBusFree(cycle uint64) uint64
 	})
@@ -383,13 +399,19 @@ func (e *Engine) Lookup(cycle, addr uint64) (LookupKind, uint64) {
 			ready := en.ready
 			if en.prefetched {
 				e.stats.PrefetchesUsed++
+			} else {
+				e.unprefetched--
 			}
 			// Free the entry; the stream continues predicting.
 			*en = entry{}
-			b.predDone = false
+			if b.predDone {
+				b.predDone = false
+				e.livePred++
+			}
 			e.clock++
 			b.lastUse = e.clock
 			b.priority.Add(e.cfg.HitIncrement)
+			e.prioDirty = true
 			return kind, ready
 		}
 	}
@@ -427,6 +449,9 @@ func (e *Engine) AllocationRequest(cycle, pc, addr uint64) {
 	}
 
 	b := &e.bufs[victim]
+	if !b.allocated || b.predDone {
+		e.livePred++
+	}
 	e.clock++
 	*b = buffer{
 		allocated: true,
@@ -436,8 +461,12 @@ func (e *Engine) AllocationRequest(cycle, pc, addr uint64) {
 		lastUse:   e.clock,
 	}
 	for i := range b.entries {
+		if b.entries[i].valid && !b.entries[i].prefetched {
+			e.unprefetched--
+		}
 		b.entries[i] = entry{}
 	}
+	e.prioDirty = true
 	// Copy the accuracy confidence into the priority counter (§4.4),
 	// cutting the contention time of loads proven predictable.
 	b.priority.Set(conf)
@@ -459,6 +488,7 @@ func (e *Engine) age() {
 	for i := range e.bufs {
 		e.bufs[i].priority.Dec()
 	}
+	e.prioDirty = true
 }
 
 // chooseVictim picks the buffer to replace, or -1 if the request loses
@@ -505,8 +535,14 @@ func (e *Engine) Train(pc, addr uint64) { e.pred.Train(pc, addr) }
 // shared predictor port and, if the L1-L2 bus is free at the start of
 // the cycle, one prefetch.
 func (e *Engine) Tick(cycle uint64) {
+	if e.livePred == 0 && e.unprefetched == 0 {
+		// Quiescent: no buffer may predict and nothing awaits the bus.
+		// Only Lookup and AllocationRequest can change that, and
+		// neither runs inside Tick.
+		return
+	}
 	e.predictOne(cycle)
-	if e.fetch.BusFreeAt(cycle) {
+	if e.unprefetched > 0 && e.fetch.BusFreeAt(cycle) {
 		e.prefetchOne(cycle)
 	}
 }
@@ -515,31 +551,11 @@ func (e *Engine) Tick(cycle uint64) {
 // is either unallocated or has declared predDone (all entries hold
 // predictions), so predictOne is a strict no-op at any cycle until an
 // external call (Lookup, AllocationRequest) changes buffer state.
-func (e *Engine) predQuiescent() bool {
-	for i := range e.bufs {
-		if b := &e.bufs[i]; b.allocated && !b.predDone {
-			return false
-		}
-	}
-	return true
-}
+func (e *Engine) predQuiescent() bool { return e.livePred == 0 }
 
 // anyUnprefetched reports whether some entry still holds a prediction
 // whose prefetch has not been issued (work for prefetchOne).
-func (e *Engine) anyUnprefetched() bool {
-	for i := range e.bufs {
-		b := &e.bufs[i]
-		if !b.allocated {
-			continue
-		}
-		for j := range b.entries {
-			if en := &b.entries[j]; en.valid && !en.prefetched {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (e *Engine) anyUnprefetched() bool { return e.unprefetched > 0 }
 
 // TickRange advances the engine across the closed cycle range
 // [from, to], with state mutations exactly equivalent to calling Tick
@@ -590,8 +606,8 @@ func (e *Engine) TickRange(from, to uint64) {
 // buffer and is valid until the next order call.
 func (e *Engine) order(rr int) []int {
 	n := len(e.bufs)
-	idx := e.orderBuf[:0]
 	if e.cfg.Sched == SchedRoundRobin {
+		idx := e.orderBuf[:0]
 		for i := 1; i <= n; i++ {
 			idx = append(idx, (rr+i)%n)
 		}
@@ -599,7 +615,12 @@ func (e *Engine) order(rr int) []int {
 	}
 	// Priority order: highest counter first, least-recently-used
 	// breaking ties (the paper uses LRU among equal-confidence
-	// buffers).
+	// buffers). The keys change only on hits, allocations and aging
+	// (prioDirty), so the sorted order is cached between those events.
+	if !e.prioDirty {
+		return e.orderBuf
+	}
+	idx := e.orderBuf[:0]
 	for i := 0; i < n; i++ {
 		idx = append(idx, i)
 	}
@@ -614,6 +635,8 @@ func (e *Engine) order(rr int) []int {
 			}
 		}
 	}
+	e.orderBuf = idx
+	e.prioDirty = false
 	return idx
 }
 
@@ -629,6 +652,7 @@ func (e *Engine) predictOne(cycle uint64) {
 			// All entries hold predictions: no more predictions for
 			// this buffer until a lookup hit clears one (§4.1).
 			b.predDone = true
+			e.livePred--
 			continue
 		}
 		if e.cfg.Sched == SchedRoundRobin {
@@ -649,6 +673,7 @@ func (e *Engine) predictOne(cycle uint64) {
 		}
 		e.clock++
 		b.entries[slot] = entry{block: block, valid: true, lastUse: e.clock}
+		e.unprefetched++
 		return
 	}
 }
@@ -694,12 +719,17 @@ func (e *Engine) prefetchOne(cycle uint64) {
 		en := &b.entries[slot]
 		if e.cfg.CheckL1BeforePrefetch && e.fetch.L1Resident(en.block) {
 			*en = entry{}
-			b.predDone = false
+			e.unprefetched--
+			if b.predDone {
+				b.predDone = false
+				e.livePred++
+			}
 			return
 		}
 		ready, l2hit := e.issuePrefetch(cycle, b, en.block)
 		en.prefetched = true
 		en.ready = ready
+		e.unprefetched--
 		e.stats.PrefetchesIssued++
 		if l2hit {
 			e.stats.PrefetchL2Hits++

@@ -68,9 +68,9 @@ type Server struct {
 	cancel context.CancelFunc
 	start  time.Time
 
-	requests                                       atomic.Uint64
-	cellsMem, cellsDisk, cellsDedup, cellsSim      atomic.Uint64
-	cellsFailed, cellsRejected                     atomic.Uint64
+	requests                                  atomic.Uint64
+	cellsMem, cellsDisk, cellsDedup, cellsSim atomic.Uint64
+	cellsFailed, cellsRejected                atomic.Uint64
 }
 
 // New starts a server. The caller owns the HTTP listener; Handler

@@ -35,6 +35,15 @@ type Config struct {
 	// results do not depend on Workers (see internal/runner).
 	Workers int
 
+	// Batch, when positive, makes the experiment drivers advance up to
+	// Batch same-trace simulations in lockstep on one goroutine (a few
+	// thousand instructions each per turn) instead of running each cell
+	// to completion alone, so a whole column of the matrix shares one
+	// hot decoded trace and one warm cache footprint. Results do not
+	// depend on Batch (see internal/runner's differential tests); like
+	// Workers it is excluded from job fingerprints.
+	Batch int
+
 	// TraceMode selects how the run obtains its instruction stream:
 	// live functional execution (TraceOff), the process-wide trace
 	// cache (TraceMemory), or the cache backed by .psbtrace files in

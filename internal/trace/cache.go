@@ -307,3 +307,12 @@ func (r *Replay) Next() (vm.DynInst, bool) {
 
 // Len returns the number of instructions in the recording.
 func (r *Replay) Len() int { return len(r.insts) }
+
+// Rest exposes the recording's remaining records as a slice aliasing
+// the cache's backing array. Consumers that can index a slice directly
+// (the timing core's shared-replay cursor) read records in place — no
+// per-instruction interface call, no record copy — which is what lets
+// many lockstepped simulations share one decoded trace cache-hot.
+// Callers must not mutate the returned slice; Next and Rest must not
+// be mixed on the same Replay.
+func (r *Replay) Rest() []vm.DynInst { return r.insts[r.pos:] }
