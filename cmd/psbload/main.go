@@ -9,6 +9,15 @@
 //	psbload                          # self-hosted: spins up the server in-process
 //	psbload -url http://host:8724    # drive an already-running psbserved
 //	psbload -insts 60000 -concurrency 8 -hot-iters 10 -out BENCH_serve.json
+//
+// With -chaos it becomes a fault-tolerance harness instead of a
+// benchmark: it arms a deterministic fault plan (-chaos-faults),
+// drives mixed-tenant traffic — one greedy tenant, the rest polite —
+// for -chaos-dur, then asserts that every byte served matched a direct
+// simulation, no tenant starved below half its fair share, p99 stayed
+// under -chaos-p99-max, and the node recovered to a non-degraded
+// /healthz within -chaos-recovery of the faults clearing. Exit status
+// 1 if any invariant is violated; the evidence goes to CHAOS_serve.json.
 package main
 
 import (
@@ -92,9 +101,45 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "in-process server on-disk result tier (ignored with -url)")
 		concurrency = flag.Int("concurrency", 8, "concurrent client requests")
 		hotIters    = flag.Int("hot-iters", 12, "hot passes over the cell set")
-		out         = flag.String("out", "BENCH_serve.json", "output path")
+		out         = flag.String("out", "BENCH_serve.json", "output path (CHAOS_serve.json with -chaos)")
+
+		chaos       = flag.Bool("chaos", false, "run the chaos harness instead of the benchmark")
+		chaosDur    = flag.Duration("chaos-dur", 12*time.Second, "chaos: traffic window length")
+		chaosTen    = flag.Int("chaos-tenants", 4, "chaos: tenant count (tenant-0 is greedy)")
+		chaosFaults = flag.String("chaos-faults",
+			"seed=7,sim-panic=0.1,disk-corrupt=0.05,disk-fail=0.35,disk-delay=1ms",
+			"chaos: fault plan for the in-process server (ignored with -url; arm the daemon with -faults '...,for=...' instead)")
+		chaosRate     = flag.Float64("chaos-rate", 300, "chaos: per-tenant token-bucket rate for the in-process server (cells/sec, 0 = unlimited)")
+		chaosRecovery = flag.Duration("chaos-recovery", 20*time.Second, "chaos: how long the node gets to return to non-degraded health")
+		chaosP99Max   = flag.Duration("chaos-p99-max", 10*time.Second, "chaos: upper bound on successful-request p99")
 	)
 	flag.Parse()
+	if *chaos {
+		outPath := *out
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			outPath = "CHAOS_serve.json"
+		}
+		os.Exit(runChaos(chaosOptions{
+			url:       *url,
+			insts:     *insts,
+			seed:      *seed,
+			workers:   *workers,
+			cacheDir:  *cacheDir,
+			out:       outPath,
+			duration:  *chaosDur,
+			tenants:   *chaosTen,
+			faultSpec: *chaosFaults,
+			rate:      *chaosRate,
+			recovery:  *chaosRecovery,
+			p99Max:    *chaosP99Max,
+		}))
+	}
 
 	nWorkers := runtime.GOMAXPROCS(0)
 	base := *url

@@ -7,11 +7,13 @@
 //
 //	psbserved -addr :8724
 //	psbserved -addr :8724 -workers -1 -cache-dir results/ -trace-dir traces/
+//	psbserved -tenant-rate 100 -tenant-weight gold=4 -log-requests
+//	psbserved -faults 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s'   # chaos testing
 //
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /v1/stats     cache / queue / dedup counters
+//	GET  /healthz      health: liveness + cache-tier state + degraded flag
+//	GET  /v1/stats     cache / queue / dedup / tenant / fault counters
 //	POST /v1/sim       one cell; body {"bench":"health","scheme":"ConfAlloc-Priority"}
 //	POST /v1/batch     many cells; body {"jobs":[...]}
 //	POST /v1/artifact  a named table or figure; body {"name":"fig5"}
@@ -19,9 +21,15 @@
 // Responses from /v1/sim are byte-identical to `psbsim -json` for the
 // same cell, whether simulated, deduplicated or cache-served (the
 // X-Psb-Cache header says which). Overload is signalled with 429 +
-// Retry-After once the submission queue is full. SIGINT/SIGTERM drain
-// gracefully: the listener stops accepting, in-flight requests finish,
-// then the workers exit.
+// Retry-After computed from live queue depth and drain rate. Tenants
+// are identified by the X-Psb-Api-Key header: each gets a token-bucket
+// rate limit (-tenant-rate/-tenant-burst) and a weighted-fair share of
+// the simulation workers (-tenant-weight), so one tenant's burst
+// cannot starve the rest. The disk cache tier checksums every entry,
+// quarantines corruption, and demotes itself to memory-only (degraded
+// /healthz, still serving) under persistent I/O failure, re-probing
+// every -heal-interval. SIGINT/SIGTERM drain gracefully: the listener
+// stops accepting, in-flight requests finish, then the workers exit.
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,7 +63,26 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "wall-clock budget per simulation attempt (0 = unlimited)")
 		retries      = flag.Int("retries", 1, "re-runs allowed per cell after a panic or timeout")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget before in-flight requests are cut")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant token-bucket rate in cells/sec (0 = unlimited)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant burst allowance in cells (0 = max(8, 2*rate))")
+		healEvery    = flag.Duration("heal-interval", 2*time.Second, "how often a demoted disk cache tier is re-probed for recovery")
+		logRequests  = flag.Bool("log-requests", false, "emit one JSON line per request to stderr (fingerprint, tenant, tier, latency, outcome)")
+		faultSpec    = flag.String("faults", os.Getenv("PSB_FAULTS"),
+			"DANGEROUS: arm deterministic fault injection, e.g. 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s' (default from PSB_FAULTS)")
 	)
+	weights := map[string]float64{}
+	flag.Func("tenant-weight", "fair-queue weight for one API key as key=weight (repeatable; default 1)", func(v string) error {
+		key, val, ok := strings.Cut(v, "=")
+		if !ok || key == "" {
+			return fmt.Errorf("want key=weight, got %q", v)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return fmt.Errorf("weight %q is not a positive number", val)
+		}
+		weights[key] = w
+		return nil
+	})
 	flag.Parse()
 
 	cfg := sim.Default()
@@ -77,7 +106,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "invalid base configuration: %v\n", err)
 		os.Exit(2)
 	}
+	faults, err := serve.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
+	var reqLog *os.File
+	if *logRequests {
+		reqLog = os.Stderr
+	}
 	s := serve.New(serve.Config{
 		Base:         cfg,
 		Workers:      *workers,
@@ -86,6 +124,15 @@ func main() {
 		CacheDir:     *cacheDir,
 		JobTimeout:   *jobTimeout,
 		Retries:      *retries,
+		Tenant: serve.TenantPolicy{
+			Rate:    *tenantRate,
+			Burst:   *tenantBurst,
+			Weights: weights,
+		},
+		Faults:       faults,
+		EventLog:     os.Stderr,
+		RequestLog:   logFile(reqLog),
+		HealInterval: *healEvery,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -99,6 +146,9 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
+	if !faults.Zero() {
+		fmt.Fprintf(os.Stderr, "psbserved: FAULT INJECTION ARMED (%s) — do not run in production\n", faults)
+	}
 	fmt.Fprintf(os.Stderr, "psbserved: listening on %s (workers=%d queue=%d cache=%s)\n",
 		*addr, s.Stats().Queue.Workers, s.Stats().Queue.Capacity, cacheLabel(*cacheDir))
 	err = httpSrv.ListenAndServe()
@@ -110,6 +160,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "psbserved: stopped")
+}
+
+// logFile converts a possibly-nil *os.File into the io.Writer the
+// serve config wants (a typed-nil *os.File inside a non-nil interface
+// would defeat the nil check).
+func logFile(f *os.File) interface {
+	Write([]byte) (int, error)
+} {
+	if f == nil {
+		return nil
+	}
+	return f
 }
 
 func cacheLabel(dir string) string {

@@ -77,6 +77,14 @@ type Options struct {
 	// already completed and records each newly completed cell as it
 	// finishes.
 	Checkpoint *Checkpoint
+	// FaultHook, when non-nil, runs at the start of every simulation
+	// attempt, inside the attempt's panic recovery and wall-clock
+	// timeout. It is the fault-injection seam: a hook may sleep (a
+	// slow simulation) or panic (a crashed one) and the checked path
+	// treats the outcome exactly like a real fault — recovered,
+	// counted against the attempt, and retried per Retries. Production
+	// callers leave it nil and pay a single pointer comparison.
+	FaultHook func()
 }
 
 // DefaultOptions returns the checked path's defaults: no timeout, one
@@ -205,7 +213,7 @@ func runCell(ctx context.Context, j Job, fp string, opts Options) CellResult {
 			break
 		}
 		cell.Attempts++
-		res, err := runJobOnce(ctx, j, opts.Timeout)
+		res, err := runJobOnce(ctx, j, opts)
 		if err == nil {
 			cell.Result = res
 			return cell
@@ -238,17 +246,22 @@ func transient(ctx context.Context, err error) bool {
 }
 
 // runJobOnce runs one simulation attempt, converting panics (with
-// their stacks) into errors and applying the wall-clock timeout.
-func runJobOnce(ctx context.Context, j Job, timeout time.Duration) (res sim.Result, err error) {
+// their stacks) into errors and applying the wall-clock timeout. The
+// fault hook, when set, runs inside both the recovery and the timeout,
+// so injected faults are indistinguishable from organic ones.
+func runJobOnce(ctx context.Context, j Job, opts Options) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	if timeout > 0 {
+	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
+	}
+	if opts.FaultHook != nil {
+		opts.FaultHook()
 	}
 	return sim.RunChecked(ctx, j.Workload, j.Variant, j.Config)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -114,6 +115,107 @@ func TestDispatcherClosedRejects(t *testing.T) {
 	_, err := d.Submit(context.Background(), Job{Workload: workload.All()[0], Variant: core.None, Config: smallCfg()}, Options{})
 	if !errors.Is(err, ErrDispatcherClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrDispatcherClosed", err)
+	}
+}
+
+// TestDispatcherWeightedFairness pre-queues jobs for a weight-2 and a
+// weight-1 tenant behind a blocked single worker and checks the
+// service order interleaves 2:1 — the weighted-fair guarantee that a
+// greedy tenant cannot starve a polite one.
+func TestDispatcherWeightedFairness(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocker := workload.Workload{
+		Name:        "blocker",
+		Description: "holds the worker while the tenant queues fill",
+		Build: func(seed int64) *vm.Machine {
+			started <- struct{}{}
+			<-release
+			panic("released")
+		},
+	}
+	var mu sync.Mutex
+	var order []string
+	recorder := func(tenant string) workload.Workload {
+		return workload.Workload{
+			Name:        "rec-" + tenant,
+			Description: "records its service order",
+			Build: func(seed int64) *vm.Machine {
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				panic("recorded")
+			},
+		}
+	}
+
+	d := NewDispatcher(1, 16)
+	defer d.Close()
+	cfg := smallCfg()
+	opts := Options{Retries: 0}
+	if _, err := d.SubmitTenant(context.Background(), Job{Workload: blocker, Variant: core.None, Config: cfg}, opts, "warm", 1); err != nil {
+		t.Fatalf("blocker submit: %v", err)
+	}
+	<-started // the worker is held; everything below queues up
+
+	const perTenant = 6
+	var handles []*Pending
+	for i := 0; i < perTenant; i++ {
+		h, err := d.SubmitTenant(context.Background(), Job{Workload: recorder("A"), Variant: core.None, Config: cfg}, opts, "A", 2)
+		if err != nil {
+			t.Fatalf("A submit %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	for i := 0; i < perTenant; i++ {
+		h, err := d.SubmitTenant(context.Background(), Job{Workload: recorder("B"), Variant: core.None, Config: cfg}, opts, "B", 1)
+		if err != nil {
+			t.Fatalf("B submit %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+
+	close(release)
+	for i, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait %d: %v", i, err)
+		}
+	}
+	if len(order) != 2*perTenant {
+		t.Fatalf("served %d jobs, want %d", len(order), 2*perTenant)
+	}
+	// Start-time fair queueing with weights 2:1 serves A twice per B
+	// until A drains: any 3-long window of the first 9 services holds
+	// exactly one B.
+	firstB := -1
+	var aServed, bServed int
+	for i, tenant := range order[:9] {
+		if tenant == "B" {
+			bServed++
+			if firstB == -1 {
+				firstB = i
+			}
+		} else {
+			aServed++
+		}
+	}
+	if aServed != 6 || bServed != 3 {
+		t.Errorf("first 9 services = %v, want 6 A + 3 B (2:1 weighted share)", order[:9])
+	}
+	if firstB == -1 || firstB > 2 {
+		t.Errorf("polite tenant's first service at position %d of %v, want within the first 3", firstB, order)
+	}
+
+	stats := d.Tenants()
+	byName := map[string]TenantStat{}
+	for _, s := range stats {
+		byName[s.Tenant] = s
+	}
+	if a := byName["A"]; a.Weight != 2 || a.Completed != perTenant {
+		t.Errorf("tenant A stats = %+v", a)
+	}
+	if b := byName["B"]; b.Weight != 1 || b.Completed != perTenant {
+		t.Errorf("tenant B stats = %+v", b)
 	}
 }
 

@@ -2,15 +2,64 @@ package serve
 
 import (
 	"container/list"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
+
+// diskDemoteAfter is how many consecutive disk-tier I/O failures
+// demote the node to memory-only operation.
+const diskDemoteAfter = 3
+
+// defaultProbeInterval is how often a demoted disk tier is re-probed
+// for recovery.
+const defaultProbeInterval = 2 * time.Second
+
+// quarantineDir is the subdirectory (under the cache dir) that
+// corrupt entries are moved into for post-mortem inspection.
+const quarantineDir = "quarantine"
+
+// diskIO abstracts the disk tier's two file operations so fault
+// injection can interpose; production uses osDisk, whose methods call
+// the os package directly.
+type diskIO interface {
+	// Read returns the file's bytes (os.IsNotExist errors mean a
+	// plain miss).
+	Read(path string) ([]byte, error)
+	// Write atomically replaces path with data (temp file + rename),
+	// creating parent directories as needed.
+	Write(path string, data []byte) error
+}
+
+// osDisk is the production diskIO.
+type osDisk struct{}
+
+func (osDisk) Read(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osDisk) Write(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}
 
 // CacheStats is a snapshot of the result cache's traffic counters.
 type CacheStats struct {
@@ -26,10 +75,28 @@ type CacheStats struct {
 	// (evicted results survive on disk when a disk tier is configured).
 	Evictions uint64 `json:"evictions"`
 	// DiskWrites counts results persisted; DiskErrors counts disk-tier
-	// failures (the cache degrades to memory-only on error rather than
-	// failing the request).
+	// I/O failures (the cache degrades to memory-only on repeated
+	// error rather than failing requests).
 	DiskWrites uint64 `json:"disk_writes"`
 	DiskErrors uint64 `json:"disk_errors"`
+	// Quarantined counts corrupt entries detected by checksum on read,
+	// moved aside, and transparently re-simulated.
+	Quarantined uint64 `json:"quarantined"`
+	// DiskDegraded reports the disk tier is currently demoted
+	// (memory-only operation; probes are retrying it).
+	DiskDegraded bool `json:"disk_degraded"`
+}
+
+// CacheHealth is the cache-tier section of /healthz.
+type CacheHealth struct {
+	// Memory is always "ok" while the process lives; it exists so the
+	// health document names both tiers explicitly.
+	Memory string `json:"memory"`
+	// Disk is "off" (no disk tier configured), "ok", or "degraded"
+	// (demoted after repeated I/O failures; probing for recovery).
+	Disk        string `json:"disk"`
+	Quarantined uint64 `json:"quarantined"`
+	DiskErrors  uint64 `json:"disk_errors"`
 }
 
 // ResultCache memoizes simulation results across requests, keyed by
@@ -39,14 +106,30 @@ type CacheStats struct {
 // variant, machine configuration — see the fingerprint contract in
 // EXPERIMENTS.md), and sim.Result round-trips JSON losslessly, so a
 // cache-served result renders byte-identically to a fresh simulation.
+//
+// The disk tier is self-healing: every entry is checksummed on read; a
+// corrupt entry (torn write, bit flip, truncation) is quarantined and
+// treated as a miss, so the caller re-simulates and overwrites it.
+// Repeated I/O failures demote the tier to memory-only — requests keep
+// succeeding, /healthz reports degraded — and a periodic probe
+// restores it once the disk behaves again.
 type ResultCache struct {
 	mu    sync.Mutex
 	cap   int
 	dir   string
+	disk  diskIO
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	memHits, diskHits, misses, evictions, diskWrites, diskErrors atomic.Uint64
+	events        *EventLogger
+	probeInterval time.Duration
+	// diskFailStreak counts consecutive disk I/O failures; at
+	// diskDemoteAfter the tier demotes. Any success resets it.
+	diskFailStreak atomic.Int64
+	diskDown       atomic.Bool
+	lastProbe      atomic.Int64 // unix nanos of the last recovery probe
+
+	memHits, diskHits, misses, evictions, diskWrites, diskErrors, quarantined atomic.Uint64
 }
 
 // lruEntry is one cached result in the LRU list.
@@ -58,17 +141,34 @@ type lruEntry struct {
 // NewResultCache returns a cache bounded to entries in-memory results
 // (entries <= 0 selects a generous default of 4096). dir, when
 // non-empty, enables the disk tier: results are persisted to
-// <dir>/<fingerprint>.json and reloaded on memory misses.
+// <dir>/<fingerprint>.psbc and reloaded on memory misses.
 func NewResultCache(entries int, dir string) *ResultCache {
 	if entries <= 0 {
 		entries = 4096
 	}
 	return &ResultCache{
-		cap:   entries,
-		dir:   dir,
-		ll:    list.New(),
-		items: make(map[string]*list.Element),
+		cap:           entries,
+		dir:           dir,
+		disk:          osDisk{},
+		ll:            list.New(),
+		items:         make(map[string]*list.Element),
+		probeInterval: defaultProbeInterval,
 	}
+}
+
+// withDisk replaces the disk layer (fault injection).
+func (c *ResultCache) withDisk(d diskIO) *ResultCache { c.disk = d; return c }
+
+// withEvents attaches a structured event logger.
+func (c *ResultCache) withEvents(l *EventLogger) *ResultCache { c.events = l; return c }
+
+// withProbeInterval overrides how often a demoted disk tier is
+// re-probed (d <= 0 keeps the default).
+func (c *ResultCache) withProbeInterval(d time.Duration) *ResultCache {
+	if d > 0 {
+		c.probeInterval = d
+	}
+	return c
 }
 
 // Len returns the number of in-memory entries.
@@ -78,18 +178,41 @@ func (c *ResultCache) Len() int {
 	return c.ll.Len()
 }
 
+// Degraded reports whether the disk tier is demoted.
+func (c *ResultCache) Degraded() bool { return c.diskDown.Load() }
+
 // Stats returns a snapshot of the cache's counters.
 func (c *ResultCache) Stats() CacheStats {
 	return CacheStats{
-		Entries:    c.Len(),
-		Capacity:   c.cap,
-		MemHits:    c.memHits.Load(),
-		DiskHits:   c.diskHits.Load(),
-		Misses:     c.misses.Load(),
-		Evictions:  c.evictions.Load(),
-		DiskWrites: c.diskWrites.Load(),
-		DiskErrors: c.diskErrors.Load(),
+		Entries:      c.Len(),
+		Capacity:     c.cap,
+		MemHits:      c.memHits.Load(),
+		DiskHits:     c.diskHits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		DiskWrites:   c.diskWrites.Load(),
+		DiskErrors:   c.diskErrors.Load(),
+		Quarantined:  c.quarantined.Load(),
+		DiskDegraded: c.diskDown.Load(),
 	}
+}
+
+// Health reports the per-tier health for /healthz.
+func (c *ResultCache) Health() CacheHealth {
+	h := CacheHealth{
+		Memory:      "ok",
+		Disk:        "off",
+		Quarantined: c.quarantined.Load(),
+		DiskErrors:  c.diskErrors.Load(),
+	}
+	if c.dir != "" {
+		if c.diskDown.Load() {
+			h.Disk = "degraded"
+		} else {
+			h.Disk = "ok"
+		}
+	}
+	return h
 }
 
 // Get looks the fingerprint up in both tiers, promoting a disk hit
@@ -116,8 +239,8 @@ func (c *ResultCache) get(fp string, countMiss bool) (res sim.Result, tier strin
 	}
 	c.mu.Unlock()
 
-	if c.dir != "" {
-		if res, err := c.loadDisk(fp); err == nil {
+	if c.diskUsable() {
+		if res, ok := c.loadDisk(fp); ok {
 			c.diskHits.Add(1)
 			c.insert(fp, res)
 			return res, "disk", true
@@ -134,10 +257,11 @@ func (c *ResultCache) get(fp string, countMiss bool) (res sim.Result, tier strin
 // simulation service.
 func (c *ResultCache) Put(fp string, res sim.Result) {
 	c.insert(fp, res)
-	if c.dir != "" {
-		if err := c.storeDisk(fp, res); err != nil {
-			c.diskErrors.Add(1)
+	if c.diskUsable() {
+		if err := c.disk.Write(c.diskPath(fp), encodeDiskEntry(res)); err != nil {
+			c.diskFailed("write", fp, err)
 		} else {
+			c.diskOK()
 			c.diskWrites.Add(1)
 		}
 	}
@@ -164,43 +288,125 @@ func (c *ResultCache) insert(fp string, res sim.Result) {
 
 // diskPath is the fingerprint's on-disk location.
 func (c *ResultCache) diskPath(fp string) string {
-	return filepath.Join(c.dir, fp+".json")
+	return filepath.Join(c.dir, fp+".psbc")
 }
 
-// loadDisk reads one persisted result.
-func (c *ResultCache) loadDisk(fp string) (sim.Result, error) {
-	b, err := os.ReadFile(c.diskPath(fp))
+// loadDisk reads and validates one persisted result. A corrupt entry
+// is quarantined and reported as a miss — the caller re-simulates and
+// the fresh Put overwrites it (self-healing). I/O errors count toward
+// demotion.
+func (c *ResultCache) loadDisk(fp string) (sim.Result, bool) {
+	b, err := c.disk.Read(c.diskPath(fp))
 	if err != nil {
-		return sim.Result{}, err
+		if !os.IsNotExist(err) {
+			c.diskFailed("read", fp, err)
+		}
+		return sim.Result{}, false
 	}
-	var res sim.Result
-	if err := json.Unmarshal(b, &res); err != nil {
-		return sim.Result{}, fmt.Errorf("serve: corrupt cache entry %s: %w", fp, err)
+	res, err := decodeDiskEntry(b)
+	if err != nil {
+		// The bytes arrived but fail validation: the entry is corrupt,
+		// not the disk. Quarantine it and heal by re-simulating.
+		c.diskOK()
+		c.quarantine(fp, len(b), err)
+		return sim.Result{}, false
 	}
-	return res, nil
+	c.diskOK()
+	return res, true
 }
 
-// storeDisk persists one result via write-to-temp-then-rename, so a
-// crashed writer or concurrent store never leaves a torn entry.
-func (c *ResultCache) storeDisk(fp string, res sim.Result) error {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return err
+// quarantine moves a corrupt entry into the quarantine subdirectory
+// (best-effort; removed outright if the move fails) and logs a
+// structured event.
+func (c *ResultCache) quarantine(fp string, size int, cause error) {
+	c.quarantined.Add(1)
+	src := c.diskPath(fp)
+	qdir := filepath.Join(c.dir, quarantineDir)
+	dst := filepath.Join(qdir, fp+".psbc")
+	err := os.MkdirAll(qdir, 0o755)
+	if err == nil {
+		err = os.Rename(src, dst)
 	}
-	b, err := json.Marshal(res)
 	if err != nil {
-		return err
+		os.Remove(src)
+		dst = ""
 	}
-	tmp, err := os.CreateTemp(c.dir, fp+".tmp*")
+	c.events.Log("cache_quarantine", map[string]any{
+		"fingerprint": fp,
+		"bytes":       size,
+		"cause":       cause.Error(),
+		"moved_to":    dst,
+	})
+}
+
+// QuarantineCount returns the number of entries quarantined so far.
+func (c *ResultCache) QuarantineCount() uint64 { return c.quarantined.Load() }
+
+// diskUsable reports whether disk operations should be attempted,
+// probing a demoted tier for recovery when the probe interval has
+// elapsed.
+func (c *ResultCache) diskUsable() bool {
+	if c.dir == "" {
+		return false
+	}
+	if !c.diskDown.Load() {
+		return true
+	}
+	c.maybeProbe()
+	return !c.diskDown.Load()
+}
+
+// diskFailed records one disk I/O failure and demotes the tier after
+// diskDemoteAfter consecutive failures.
+func (c *ResultCache) diskFailed(op, fp string, err error) {
+	c.diskErrors.Add(1)
+	streak := c.diskFailStreak.Add(1)
+	c.events.Log("cache_disk_error", map[string]any{
+		"op":          op,
+		"fingerprint": fp,
+		"cause":       err.Error(),
+		"streak":      streak,
+	})
+	if streak >= diskDemoteAfter && c.diskDown.CompareAndSwap(false, true) {
+		c.lastProbe.Store(time.Now().UnixNano())
+		c.events.Log("cache_disk_degraded", map[string]any{
+			"consecutive_errors": streak,
+			"probe_interval_sec": c.probeInterval.Seconds(),
+		})
+	}
+}
+
+// diskOK resets the failure streak after any successful disk
+// operation.
+func (c *ResultCache) diskOK() { c.diskFailStreak.Store(0) }
+
+// maybeProbe attempts recovery of a demoted disk tier at most once per
+// probe interval: write a sentinel entry through the (possibly still
+// faulty) disk layer, read it back, and verify the bytes. Success
+// restores the tier.
+func (c *ResultCache) maybeProbe() {
+	now := time.Now().UnixNano()
+	last := c.lastProbe.Load()
+	if now-last < c.probeInterval.Nanoseconds() || !c.lastProbe.CompareAndSwap(last, now) {
+		return
+	}
+	path := filepath.Join(c.dir, ".probe")
+	want := []byte(fmt.Sprintf("%s probe %d\n", entryMagic, now))
+	if err := c.disk.Write(path, want); err != nil {
+		c.events.Log("cache_disk_probe", map[string]any{"ok": false, "cause": err.Error()})
+		return
+	}
+	got, err := c.disk.Read(path)
+	if err == nil && string(got) != string(want) {
+		err = fmt.Errorf("probe readback mismatch")
+	}
+	os.Remove(path)
 	if err != nil {
-		return err
+		c.events.Log("cache_disk_probe", map[string]any{"ok": false, "cause": err.Error()})
+		return
 	}
-	defer os.Remove(tmp.Name())
-	_, werr := tmp.Write(b)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
+	c.diskFailStreak.Store(0)
+	if c.diskDown.CompareAndSwap(true, false) {
+		c.events.Log("cache_disk_recovered", map[string]any{})
 	}
-	if werr != nil {
-		return werr
-	}
-	return os.Rename(tmp.Name(), c.diskPath(fp))
 }

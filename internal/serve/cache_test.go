@@ -2,8 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -124,5 +130,166 @@ func TestResultCacheCorruptDiskEntry(t *testing.T) {
 	}
 	if st := c.Stats(); st.Misses != 1 {
 		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+}
+
+// TestDiskEntryRoundTrip checks the checksummed frame decodes back to
+// the same canonical rendering it encoded.
+func TestDiskEntryRoundTrip(t *testing.T) {
+	res := tinyResult(t, core.PSBConfPriority, true)
+	got, err := decodeDiskEntry(encodeDiskEntry(res))
+	if err != nil {
+		t.Fatalf("decode(encode): %v", err)
+	}
+	if !bytes.Equal(EncodeResult(got), EncodeResult(res)) {
+		t.Errorf("entry round-trip changed the rendered result")
+	}
+}
+
+// TestResultCacheSelfHealsCorruption corrupts a persisted entry three
+// ways — truncation (a torn write), a single bit flip, and a
+// zero-length file — and checks each is quarantined on read, served as
+// a miss, and healed by the next Put: the re-fetched result is
+// byte-identical to the original.
+func TestResultCacheSelfHealsCorruption(t *testing.T) {
+	res := tinyResult(t, core.None, false)
+	want := EncodeResult(res)
+	damage := map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flipped": func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b },
+		"zero-length": func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			NewResultCache(4, dir).Put("fp", res)
+			path := filepath.Join(dir, "fp.psbc")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A cold cache must detect the corruption, quarantine the
+			// file, and report a miss.
+			var events bytes.Buffer
+			c := NewResultCache(4, dir).withEvents(NewEventLogger(&events))
+			if _, _, ok := c.Get("fp"); ok {
+				t.Fatalf("corrupt entry served as a hit")
+			}
+			if n := c.QuarantineCount(); n != 1 {
+				t.Fatalf("quarantined = %d, want 1", n)
+			}
+			if _, err := os.Stat(filepath.Join(dir, quarantineDir, "fp.psbc")); err != nil {
+				t.Errorf("corrupt entry not moved to quarantine: %v", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry still present at %s", path)
+			}
+			if !strings.Contains(events.String(), `"event":"cache_quarantine"`) {
+				t.Errorf("no cache_quarantine event logged: %s", events.String())
+			}
+			if h := c.Health(); h.Disk != "ok" || h.Quarantined != 1 {
+				t.Errorf("health after quarantine = %+v, want disk ok, 1 quarantined", h)
+			}
+
+			// The caller re-simulates and Puts; a fresh cold cache must
+			// then serve the healed entry byte-identically from disk.
+			c.Put("fp", res)
+			healed := NewResultCache(4, dir)
+			got, tier, ok := healed.Get("fp")
+			if !ok || tier != "disk" {
+				t.Fatalf("healed entry: ok=%v tier=%q, want disk hit", ok, tier)
+			}
+			if !bytes.Equal(EncodeResult(got), want) {
+				t.Errorf("healed entry differs from the original result")
+			}
+		})
+	}
+}
+
+// flakyDisk is a diskIO whose operations fail while `broken` is set.
+type flakyDisk struct {
+	broken *atomic.Bool
+	next   diskIO
+}
+
+func (f flakyDisk) Read(path string) ([]byte, error) {
+	if f.broken.Load() {
+		return nil, errDiskBroken
+	}
+	return f.next.Read(path)
+}
+
+func (f flakyDisk) Write(path string, data []byte) error {
+	if f.broken.Load() {
+		return errDiskBroken
+	}
+	return f.next.Write(path, data)
+}
+
+var errDiskBroken = errors.New("test: disk broken")
+
+// TestResultCacheDiskDegradeRecover drives the disk tier through
+// demotion (consecutive I/O failures) and recovery (a probe through a
+// healthy disk), checking requests keep succeeding throughout and the
+// health report tracks the transitions.
+func TestResultCacheDiskDegradeRecover(t *testing.T) {
+	dir := t.TempDir()
+	var broken atomic.Bool
+	var events bytes.Buffer
+	c := NewResultCache(4, dir).
+		withDisk(flakyDisk{broken: &broken, next: osDisk{}}).
+		withEvents(NewEventLogger(&events)).
+		withProbeInterval(time.Millisecond)
+	res := tinyResult(t, core.None, false)
+
+	broken.Store(true)
+	// Each Put fails its disk write; after diskDemoteAfter consecutive
+	// failures the tier demotes. Memory service is unaffected.
+	for i := 0; i < diskDemoteAfter; i++ {
+		c.Put(fmt.Sprintf("fp%d", i), res)
+	}
+	if !c.Degraded() {
+		t.Fatalf("not degraded after %d consecutive disk failures", diskDemoteAfter)
+	}
+	if h := c.Health(); h.Disk != "degraded" || h.DiskErrors != diskDemoteAfter {
+		t.Errorf("health = %+v, want degraded with %d errors", h, diskDemoteAfter)
+	}
+	if !strings.Contains(events.String(), `"event":"cache_disk_degraded"`) {
+		t.Errorf("no cache_disk_degraded event: %s", events.String())
+	}
+	if _, _, ok := c.Get("fp0"); !ok {
+		t.Fatalf("memory tier lost entries during disk demotion")
+	}
+
+	// While degraded, disk operations are skipped entirely (no error
+	// growth) and writes do not reach the directory.
+	errsBefore := c.Stats().DiskErrors
+	c.Put("while-down", res)
+	if got := c.Stats().DiskErrors; got != errsBefore {
+		t.Errorf("degraded Put touched the disk: errors %d -> %d", errsBefore, got)
+	}
+
+	// Heal the disk; the next operation past the probe interval probes
+	// and restores the tier.
+	broken.Store(false)
+	time.Sleep(3 * time.Millisecond)
+	c.Put("after-heal", res)
+	if c.Degraded() {
+		t.Fatalf("still degraded after a successful probe")
+	}
+	if !strings.Contains(events.String(), `"event":"cache_disk_recovered"`) {
+		t.Errorf("no cache_disk_recovered event: %s", events.String())
+	}
+	if h := c.Health(); h.Disk != "ok" {
+		t.Errorf("health after recovery = %+v, want disk ok", h)
+	}
+	// Post-recovery writes persist again.
+	cold := NewResultCache(4, dir)
+	if _, tier, ok := cold.Get("after-heal"); !ok || tier != "disk" {
+		t.Errorf("post-recovery entry: ok=%v tier=%q, want disk hit", ok, tier)
 	}
 }

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Disk-tier entries are framed so corruption is detected on read, not
+// served: a magic line, the SHA-256 of the payload, then the payload —
+// the canonical EncodeResult bytes. A torn write (truncation), a
+// bit-flip anywhere, or an empty file all fail the frame or the
+// checksum and surface as errCorruptEntry, which the cache answers by
+// quarantining the file and re-simulating.
+const (
+	entryMagic = "psbc1\n"
+	// entryHeaderLen is the fixed frame prefix: magic, 64 hex checksum
+	// chars, newline.
+	entryHeaderLen = len(entryMagic) + sha256.Size*2 + 1
+)
+
+// errCorruptEntry marks a disk entry that failed frame or checksum
+// validation (as opposed to an I/O error reaching the bytes at all).
+var errCorruptEntry = errors.New("serve: corrupt cache entry")
+
+// encodeDiskEntry frames a result for the disk tier.
+func encodeDiskEntry(res sim.Result) []byte {
+	payload := EncodeResult(res)
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, entryHeaderLen+len(payload))
+	buf = append(buf, entryMagic...)
+	buf = append(buf, hex.EncodeToString(sum[:])...)
+	buf = append(buf, '\n')
+	return append(buf, payload...)
+}
+
+// decodeDiskEntry validates the frame and checksum and unmarshals the
+// payload. Any validation failure wraps errCorruptEntry; the function
+// never panics, whatever bytes arrive (fuzzed alongside the request
+// decoder).
+func decodeDiskEntry(b []byte) (sim.Result, error) {
+	if len(b) < entryHeaderLen {
+		return sim.Result{}, fmt.Errorf("%w: %d bytes, want at least %d (truncated or empty)",
+			errCorruptEntry, len(b), entryHeaderLen)
+	}
+	if !bytes.HasPrefix(b, []byte(entryMagic)) {
+		return sim.Result{}, fmt.Errorf("%w: bad magic", errCorruptEntry)
+	}
+	sumHex := b[len(entryMagic) : len(entryMagic)+sha256.Size*2]
+	if b[entryHeaderLen-1] != '\n' {
+		return sim.Result{}, fmt.Errorf("%w: malformed header", errCorruptEntry)
+	}
+	want, err := hex.DecodeString(string(sumHex))
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("%w: malformed checksum", errCorruptEntry)
+	}
+	payload := b[entryHeaderLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], want) {
+		return sim.Result{}, fmt.Errorf("%w: checksum mismatch", errCorruptEntry)
+	}
+	var res sim.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		// A matching checksum over non-Result JSON means the file was
+		// overwritten wholesale, not flipped; still corruption.
+		return sim.Result{}, fmt.Errorf("%w: %v", errCorruptEntry, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventLogger emits structured JSON-lines events (cache quarantines,
+// disk-tier demotions, request logs). It is nil-safe — a nil logger
+// drops everything — and serializes writers so concurrent handlers and
+// cache internals never interleave lines.
+type EventLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+	// now stamps events; tests pin it for deterministic output.
+	now func() time.Time
+}
+
+// NewEventLogger wraps w; a nil writer yields a nil logger (all events
+// dropped at a single pointer comparison).
+func NewEventLogger(w io.Writer) *EventLogger {
+	if w == nil {
+		return nil
+	}
+	return &EventLogger{w: w, now: time.Now}
+}
+
+// Log writes one event line: {"ts":...,"event":<kind>,<fields>...}.
+// fields must be JSON-marshalable; map keys render sorted, so lines
+// are stable for tests and log pipelines.
+func (l *EventLogger) Log(kind string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = kind
+	rec["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		// Fields are caller-controlled plain data; keep the event with
+		// the marshal failure noted rather than dropping it silently.
+		b = []byte(`{"event":"log_error","detail":` + jsonString(err.Error()) + `}`)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(append(b, '\n'))
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -47,19 +48,44 @@ type Config struct {
 	// exactly as the CLI's -job-timeout and -retries flags.
 	JobTimeout time.Duration
 	Retries    int
+	// Tenant configures per-API-key rate limits and fair-queue
+	// weights; the zero value disables both.
+	Tenant TenantPolicy
+	// Faults arms deterministic fault injection (chaos testing); the
+	// zero value wires nothing.
+	Faults FaultPlan
+	// EventLog, when non-nil, receives structured JSON-lines events:
+	// cache quarantines, disk-tier demotions and recoveries, fault
+	// arming.
+	EventLog io.Writer
+	// RequestLog, when non-nil, receives one structured JSON line per
+	// HTTP request (fingerprint, tenant, tier, latency, outcome).
+	RequestLog io.Writer
+	// HealInterval is how often a demoted disk tier is re-probed for
+	// recovery (<= 0 selects 2s).
+	HealInterval time.Duration
 }
 
 // Server is the simulation service: it resolves requests against the
 // two-tier result cache, deduplicates concurrent identical requests
 // with singleflight, and fans cache misses into a long-lived
 // runner.Dispatcher that shares the CLI's retry/timeout/panic-
-// isolation machinery. Construct with New; Close drains the workers.
+// isolation machinery. Tenants (API keys) are isolated by token-bucket
+// rate limits and weighted fair queueing; the disk cache tier
+// self-heals from corruption and demotes to memory-only under
+// persistent I/O failure. Construct with New; Close drains the
+// workers.
 type Server struct {
-	base   sim.Config
-	opts   runner.Options
-	disp   *runner.Dispatcher
-	cache  *ResultCache
-	flight flightGroup
+	base    sim.Config
+	opts    runner.Options
+	disp    *runner.Dispatcher
+	cache   *ResultCache
+	flight  flightGroup
+	policy  TenantPolicy
+	limiter *rateLimiter
+	faults  *Injector
+	events  *EventLogger
+	reqLog  *EventLogger
 
 	// ctx governs simulation execution. It is the server's lifetime,
 	// not any single request's: a client disconnect must not abort a
@@ -67,6 +93,10 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	start  time.Time
+
+	// simNanos is an EWMA of recent simulation wall time, feeding the
+	// Retry-After estimate (queue depth x per-sim cost / workers).
+	simNanos atomic.Uint64
 
 	requests                                  atomic.Uint64
 	cellsMem, cellsDisk, cellsDedup, cellsSim atomic.Uint64
@@ -82,19 +112,46 @@ func New(cfg Config) *Server {
 		queueCap = 4*workers + 64
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		base:   cfg.Base,
-		opts:   runner.Options{Timeout: cfg.JobTimeout, Retries: cfg.Retries},
-		disp:   runner.NewDispatcher(workers, queueCap),
-		cache:  NewResultCache(cfg.CacheEntries, cfg.CacheDir),
-		ctx:    ctx,
-		cancel: cancel,
-		start:  time.Now(),
+	events := NewEventLogger(cfg.EventLog)
+	faults := NewInjector(cfg.Faults)
+	cache := NewResultCache(cfg.CacheEntries, cfg.CacheDir).
+		withEvents(events).
+		withProbeInterval(cfg.HealInterval)
+	if faults != nil {
+		cache.withDisk(faultDisk{in: faults, next: osDisk{}})
+		events.Log("faults_armed", map[string]any{"plan": cfg.Faults.String()})
 	}
+	s := &Server{
+		base: cfg.Base,
+		opts: runner.Options{
+			Timeout:   cfg.JobTimeout,
+			Retries:   cfg.Retries,
+			FaultHook: faults.SimHook(),
+		},
+		disp:    runner.NewDispatcher(workers, queueCap),
+		cache:   cache,
+		policy:  cfg.Tenant,
+		limiter: newRateLimiter(cfg.Tenant),
+		faults:  faults,
+		events:  events,
+		reqLog:  NewEventLogger(cfg.RequestLog),
+		ctx:     ctx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+	return s
 }
 
 // Base returns the server's base simulation configuration.
 func (s *Server) Base() sim.Config { return s.base }
+
+// Faults returns the server's fault injector (nil when no plan is
+// armed). Chaos harnesses use it to clear faults and assert recovery.
+func (s *Server) Faults() *Injector { return s.faults }
+
+// Degraded reports whether the node is running in a degraded mode
+// (disk cache tier demoted to memory-only).
+func (s *Server) Degraded() bool { return s.cache.Degraded() }
 
 // Close aborts in-flight simulations at their next context check and
 // waits for the workers to exit. Call after the HTTP listener has
@@ -115,34 +172,71 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/artifact", s.handleArtifact)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
+		if s.reqLog == nil {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		outcome := "ok"
+		if rec.status >= 400 {
+			outcome = "error"
+		}
+		s.reqLog.Log("request", map[string]any{
+			"method":      r.Method,
+			"path":        r.URL.Path,
+			"tenant":      tenantOf(r),
+			"status":      rec.status,
+			"latency_us":  time.Since(start).Microseconds(),
+			"tier":        rec.Header().Get("X-Psb-Cache"),
+			"fingerprint": rec.Header().Get("X-Psb-Fingerprint"),
+			"outcome":     outcome,
+		})
 	})
 }
 
-// cell resolves one job: result cache, then singleflight, then a
-// dispatcher submit. tier reports where the result came from ("mem",
-// "disk", "dedup" or "sim"); err is an admission failure
-// (runner.ErrQueueFull / ErrDispatcherClosed), never a job failure —
-// those live in cell.Err.
-func (s *Server) cell(job runner.Job) (cell runner.CellResult, tier string, err error) {
+// statusRecorder captures the response status for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// cell resolves one job for a tenant: result cache, then singleflight,
+// then a weighted-fair dispatcher submit. tier reports where the
+// result came from ("mem", "disk", "dedup" or "sim"); err is an
+// admission failure (runner.ErrQueueFull / ErrDispatcherClosed), never
+// a job failure — those live in cell.Err.
+func (s *Server) cell(job runner.Job, tenant string) (cell runner.CellResult, tier string, err error) {
 	fp := job.Fingerprint()
 	if res, tier, ok := s.cache.Get(fp); ok {
 		s.countTier(tier)
 		return runner.CellResult{Result: res, Cached: true}, tier, nil
 	}
+	var simDur time.Duration
 	cell, err, shared := s.flight.Do(fp, func() (runner.CellResult, error) {
 		// Re-check under the flight: a concurrent leader may have
 		// populated the cache between our Get and Do.
 		if res, _, ok := s.cache.peek(fp); ok {
 			return runner.CellResult{Result: res, Cached: true}, nil
 		}
-		p, err := s.disp.Submit(s.ctx, job, s.opts)
+		if s.faults.DropQueueSlot() {
+			return runner.CellResult{}, fmt.Errorf("%w (fault injection)", runner.ErrQueueFull)
+		}
+		p, err := s.disp.SubmitTenant(s.ctx, job, s.opts, tenant, s.policy.weightOf(tenant))
 		if err != nil {
 			return runner.CellResult{}, err
 		}
 		// The job always completes (cancellation fails it fast), so
 		// waiting on Background cannot leak.
+		start := time.Now()
 		cell, _ := p.Wait(context.Background())
+		simDur = time.Since(start)
 		if cell.OK() {
 			s.cache.Put(fp, cell.Result)
 		}
@@ -158,6 +252,7 @@ func (s *Server) cell(job runner.Job) (cell runner.CellResult, tier string, err 
 		tier = "mem"
 	default:
 		tier = "sim"
+		s.noteSimDuration(simDur)
 	}
 	s.countTier(tier)
 	if cell.Err != nil {
@@ -179,17 +274,105 @@ func (s *Server) countTier(tier string) {
 	}
 }
 
+// noteSimDuration folds one simulation's wall time into the EWMA that
+// prices Retry-After.
+func (s *Server) noteSimDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.simNanos.Load()
+		nw := uint64(d)
+		if old != 0 {
+			nw = (old*7 + uint64(d)) / 8
+		}
+		if s.simNanos.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSec estimates how long until the queue has drained enough
+// to admit one more job: queue depth times the recent per-simulation
+// cost, divided across the workers. Clamped to [1s, 120s]; before any
+// simulation has completed it falls back to 1s.
+func (s *Server) retryAfterSec() int {
+	avg := s.simNanos.Load()
+	if avg == 0 {
+		return 1
+	}
+	depth := float64(s.disp.Inflight() + 1)
+	secs := math.Ceil(depth * float64(avg) / float64(s.disp.Workers()) / 1e9)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 120 {
+		return 120
+	}
+	return int(secs)
+}
+
 // httpError writes a JSON error body with the given status.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
-	}
 	w.WriteHeader(status)
 	b, _ := json.Marshal(struct {
 		Error string `json:"error"`
 	}{fmt.Sprintf(format, args...)})
 	w.Write(append(b, '\n'))
+}
+
+// overloadBody is the 429/503 response body: the error plus the live
+// queue facts a client needs to back off intelligently.
+type overloadBody struct {
+	Error         string     `json:"error"`
+	RetryAfterSec int        `json:"retry_after_sec"`
+	Queue         QueueStats `json:"queue"`
+}
+
+// writeOverloaded answers 429 with a Retry-After computed from the
+// actual queue depth and drain rate, plus current queue stats in the
+// body.
+func (s *Server) writeOverloaded(w http.ResponseWriter, format string, args ...any) {
+	retry := s.retryAfterSec()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	w.WriteHeader(http.StatusTooManyRequests)
+	b, _ := json.Marshal(overloadBody{
+		Error:         fmt.Sprintf(format, args...),
+		RetryAfterSec: retry,
+		Queue:         s.queueStats(),
+	})
+	w.Write(append(b, '\n'))
+}
+
+// writeThrottled answers a rate-limited tenant with the bucket's own
+// refill time.
+func (s *Server) writeThrottled(w http.ResponseWriter, tenant string, wait time.Duration) {
+	retry := int(math.Ceil(wait.Seconds()))
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+	w.WriteHeader(http.StatusTooManyRequests)
+	b, _ := json.Marshal(overloadBody{
+		Error:         fmt.Sprintf("tenant %q rate limited (%.3g cells/sec)", tenant, s.policy.Rate),
+		RetryAfterSec: retry,
+		Queue:         s.queueStats(),
+	})
+	w.Write(append(b, '\n'))
+}
+
+// admit charges the tenant's token bucket for cost cells, writing the
+// 429 itself on refusal.
+func (s *Server) admit(w http.ResponseWriter, tenant string, cost int) bool {
+	ok, wait := s.limiter.take(tenant, float64(cost))
+	if !ok {
+		s.cellsRejected.Add(uint64(cost))
+		s.writeThrottled(w, tenant, wait)
+	}
+	return ok
 }
 
 // readBody reads a bounded request body.
@@ -206,7 +389,7 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 func (s *Server) writeCellError(w http.ResponseWriter, cell runner.CellResult, err error) {
 	switch {
 	case errors.Is(err, runner.ErrQueueFull):
-		httpError(w, http.StatusTooManyRequests, "server overloaded: %v", err)
+		s.writeOverloaded(w, "server overloaded: %v", err)
 	case errors.Is(err, runner.ErrDispatcherClosed):
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 	case err != nil:
@@ -244,9 +427,13 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			"/v1/sim runs exactly one cell (%d requested); use /v1/batch for fan-out", len(jobs))
 		return
 	}
+	tenant := tenantOf(r)
+	if !s.admit(w, tenant, 1) {
+		return
+	}
 
 	start := time.Now()
-	cell, tier, err := s.cell(jobs[0])
+	cell, tier, err := s.cell(jobs[0], tenant)
 	if err != nil || cell.Err != nil {
 		s.writeCellError(w, cell, err)
 		return
@@ -305,8 +492,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch expands to %d cells (max %d)", len(jobs), maxBatchCells)
 		return
 	}
+	tenant := tenantOf(r)
+	if !s.admit(w, tenant, len(jobs)) {
+		return
+	}
 
-	cells := s.runAll(jobs)
+	cells := s.runAll(jobs, tenant)
 	resp := BatchResponse{Cells: make([]BatchCell, len(jobs))}
 	for i, job := range jobs {
 		bc := BatchCell{
@@ -338,15 +529,16 @@ type batchOutcome struct {
 	err  error
 }
 
-// runAll resolves jobs concurrently through the cell path.
-func (s *Server) runAll(jobs []runner.Job) []batchOutcome {
+// runAll resolves jobs concurrently through the cell path on the
+// tenant's queue.
+func (s *Server) runAll(jobs []runner.Job, tenant string) []batchOutcome {
 	out := make([]batchOutcome, len(jobs))
 	var wg sync.WaitGroup
 	for i := range jobs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].cell, out[i].tier, out[i].err = s.cell(jobs[i])
+			out[i].cell, out[i].tier, out[i].err = s.cell(jobs[i], tenant)
 		}(i)
 	}
 	wg.Wait()
@@ -358,8 +550,13 @@ func (s *Server) runAll(jobs []runner.Job) []batchOutcome {
 // through the result cache: cells already served (by any earlier
 // request) cost a cache lookup, and only the rest simulate.
 func (s *Server) CellRunner() experiments.CellRunner {
+	return s.cellRunnerFor(AnonTenant)
+}
+
+// cellRunnerFor is CellRunner on the given tenant's queue.
+func (s *Server) cellRunnerFor(tenant string) experiments.CellRunner {
 	return func(jobs []runner.Job) []runner.CellResult {
-		outcomes := s.runAll(jobs)
+		outcomes := s.runAll(jobs, tenant)
 		cells := make([]runner.CellResult, len(jobs))
 		for i, o := range outcomes {
 			if o.err != nil {
@@ -401,7 +598,13 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	table, err := experiments.Artifact(req.Name, cfg, s.CellRunner())
+	// Artifacts expand server-side; charge a flat cell against the
+	// tenant's bucket (the fair queue still bounds their service).
+	tenant := tenantOf(r)
+	if !s.admit(w, tenant, 1) {
+		return
+	}
+	table, err := experiments.Artifact(req.Name, cfg, s.cellRunnerFor(tenant))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -415,9 +618,40 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, table.String())
 }
 
+// HealthReport is the response body of GET /healthz: liveness plus the
+// cache-tier health and the node's degraded flag. A degraded node
+// still answers 200 — it serves correct results from memory — but
+// orchestration can see it and route around.
+type HealthReport struct {
+	Status       string      `json:"status"` // "ok" or "degraded"
+	Degraded     bool        `json:"degraded"`
+	UptimeSec    float64     `json:"uptime_sec"`
+	Cache        CacheHealth `json:"cache"`
+	Queue        QueueStats  `json:"queue"`
+	FaultsActive bool        `json:"faults_active,omitempty"`
+}
+
+// Health snapshots the node's health.
+func (s *Server) Health() HealthReport {
+	degraded := s.cache.Degraded()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	return HealthReport{
+		Status:       status,
+		Degraded:     degraded,
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Cache:        s.cache.Health(),
+		Queue:        s.queueStats(),
+		FaultsActive: s.faults.Active(),
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	b, _ := json.MarshalIndent(s.Health(), "", "  ")
+	w.Write(append(b, '\n'))
 }
 
 // CellCounters breaks served cells down by where their result came
@@ -440,23 +674,51 @@ type QueueStats struct {
 	Finished uint64 `json:"finished"`
 }
 
+func (s *Server) queueStats() QueueStats {
+	return QueueStats{
+		Workers:  s.disp.Workers(),
+		Capacity: s.disp.QueueCap(),
+		Inflight: s.disp.Inflight(),
+		Finished: s.disp.Finished(),
+	}
+}
+
+// FaultStats is the fault-injection section of /v1/stats.
+type FaultStats struct {
+	Active   bool          `json:"active"`
+	Plan     string        `json:"plan,omitempty"`
+	Injected FaultCounters `json:"injected"`
+}
+
 // ServerStats is the response body of GET /v1/stats.
 type ServerStats struct {
-	UptimeSec  float64      `json:"uptime_sec"`
-	Requests   uint64       `json:"requests"`
-	Cells      CellCounters `json:"cells"`
-	Cache      CacheStats   `json:"cache"`
-	Queue      QueueStats   `json:"queue"`
-	Trace      trace.Stats  `json:"trace"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
+	UptimeSec  float64       `json:"uptime_sec"`
+	Requests   uint64        `json:"requests"`
+	Degraded   bool          `json:"degraded"`
+	Cells      CellCounters  `json:"cells"`
+	Cache      CacheStats    `json:"cache"`
+	Queue      QueueStats    `json:"queue"`
+	Tenants    []TenantStats `json:"tenants,omitempty"`
+	Faults     *FaultStats   `json:"faults,omitempty"`
+	Trace      trace.Stats   `json:"trace"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
 	mem, disk, dedup, simd := s.cellsMem.Load(), s.cellsDisk.Load(), s.cellsDedup.Load(), s.cellsSim.Load()
+	var faults *FaultStats
+	if s.faults != nil {
+		faults = &FaultStats{
+			Active:   s.faults.Active(),
+			Plan:     s.faults.Plan().String(),
+			Injected: s.faults.Counters(),
+		}
+	}
 	return ServerStats{
 		UptimeSec: time.Since(s.start).Seconds(),
 		Requests:  s.requests.Load(),
+		Degraded:  s.cache.Degraded(),
 		Cells: CellCounters{
 			Total:    mem + disk + dedup + simd,
 			MemHits:  mem,
@@ -466,16 +728,33 @@ func (s *Server) Stats() ServerStats {
 			Failed:   s.cellsFailed.Load(),
 			Rejected: s.cellsRejected.Load(),
 		},
-		Cache: s.cache.Stats(),
-		Queue: QueueStats{
-			Workers:  s.disp.Workers(),
-			Capacity: s.disp.QueueCap(),
-			Inflight: s.disp.Inflight(),
-			Finished: s.disp.Finished(),
-		},
+		Cache:      s.cache.Stats(),
+		Queue:      s.queueStats(),
+		Tenants:    s.tenantStats(),
+		Faults:     faults,
 		Trace:      trace.Shared().Stats(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+}
+
+// tenantStats merges the dispatcher's scheduling view with the rate
+// limiter's admission view.
+func (s *Server) tenantStats() []TenantStats {
+	disp := s.disp.Tenants()
+	rows := make([]TenantStats, 0, len(disp))
+	for _, d := range disp {
+		name := d.Tenant
+		if name == "" {
+			name = AnonTenant
+		}
+		rows = append(rows, TenantStats{
+			Tenant:    name,
+			Weight:    d.Weight,
+			Queued:    d.Queued,
+			Completed: d.Completed,
+		})
+	}
+	return mergeTenantStats(rows, s.limiter.snapshot())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

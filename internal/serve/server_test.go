@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -135,7 +136,7 @@ func TestServerSingleflightDedup(t *testing.T) {
 	}
 	results := make(chan outcome, followers+1)
 	run := func() {
-		c, tier, err := s.cell(job)
+		c, tier, err := s.cell(job, AnonTenant)
 		results <- outcome{c, tier, err}
 	}
 	go run() // leader
@@ -188,7 +189,7 @@ func TestServerSingleflightDedup(t *testing.T) {
 	}
 
 	// The result is now cached: one more call is a mem hit.
-	if _, tier, err := s.cell(job); err != nil || tier != "mem" {
+	if _, tier, err := s.cell(job, AnonTenant); err != nil || tier != "mem" {
 		t.Errorf("post-flight tier = %q (err %v), want mem", tier, err)
 	}
 }
@@ -213,7 +214,7 @@ func TestServerAdmissionControl(t *testing.T) {
 	var wg sync.WaitGroup
 	submit := func(cfg sim.Config) {
 		defer wg.Done()
-		if _, _, err := s.cell(runner.Job{Workload: w, Variant: core.None, Config: cfg}); err != nil {
+		if _, _, err := s.cell(runner.Job{Workload: w, Variant: core.None, Config: cfg}, AnonTenant); err != nil {
 			t.Errorf("held job rejected: %v", err)
 		}
 	}
@@ -423,6 +424,174 @@ func TestServerArtifactMatchesDirect(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "table2") {
 		t.Errorf("unknown-artifact error does not list valid names: %s", body)
+	}
+}
+
+// TestServerTenantRateLimit checks the per-API-key token bucket: a
+// tenant that exhausts its burst gets 429 with a refill-priced
+// Retry-After while other tenants are admitted untouched, and the
+// stats endpoint attributes the throttling to the right key.
+func TestServerTenantRateLimit(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Base:    tinyCfg(),
+		Workers: 1,
+		// A glacial refill and a 1-cell burst: the second request in
+		// any tenant's lifetime is throttled.
+		Tenant: TenantPolicy{Rate: 0.001, Burst: 1},
+	})
+	post := func(key, body string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/sim", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set(TenantHeader, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+	body := `{"bench":"health","scheme":"Base"}`
+
+	if resp, b := post("alice", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice's first request: status %d (%s)", resp.StatusCode, b)
+	}
+	resp, b := post("alice", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice's second request: status %d, want 429 (%s)", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "rate limited") {
+		t.Errorf("throttle body %q does not say rate limited", b)
+	}
+	var ob overloadBody
+	if err := json.Unmarshal(b, &ob); err != nil || ob.RetryAfterSec < 1 || ob.Queue.Workers != 1 {
+		t.Errorf("throttle body = %+v (err %v), want retry hint and queue stats", ob, err)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" || got == "0" {
+		t.Errorf("Retry-After = %q, want a positive hint", got)
+	}
+
+	// Bob and the anonymous bucket are isolated from Alice's spend.
+	if resp, b := post("bob", body); resp.StatusCode != http.StatusOK {
+		t.Errorf("bob throttled by alice's spend: status %d (%s)", resp.StatusCode, b)
+	}
+	if resp, b := post("", body); resp.StatusCode != http.StatusOK {
+		t.Errorf("anon throttled by alice's spend: status %d (%s)", resp.StatusCode, b)
+	}
+
+	var alice *TenantStats
+	for _, row := range s.Stats().Tenants {
+		if row.Tenant == "alice" {
+			row := row
+			alice = &row
+		}
+	}
+	if alice == nil || alice.Admitted != 1 || alice.Throttled != 1 {
+		t.Errorf("alice's stats row = %+v, want 1 admitted, 1 throttled", alice)
+	}
+}
+
+// TestServerRequestLogging checks -log-requests emits one JSON line
+// per request carrying the tenant, cache tier, fingerprint and
+// outcome.
+func TestServerRequestLogging(t *testing.T) {
+	var log bytes.Buffer
+	_, ts := newTestServer(t, Config{Base: tinyCfg(), Workers: 1, RequestLog: &log})
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sim",
+		strings.NewReader(`{"bench":"health","scheme":"Base"}`))
+	req.Header.Set(TenantHeader, "carol")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	postSim(t, ts, `{"bench":"nope","scheme":"Base"}`) // a 400, logged too
+
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want 2: %q", len(lines), log.String())
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 is not JSON: %v (%q)", err, lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 is not JSON: %v (%q)", err, lines[1])
+	}
+	if first["event"] != "request" || first["tenant"] != "carol" ||
+		first["status"] != float64(http.StatusOK) || first["tier"] != "sim" ||
+		first["outcome"] != "ok" || first["fingerprint"] == "" {
+		t.Errorf("request line = %v", first)
+	}
+	if second["status"] != float64(http.StatusBadRequest) || second["outcome"] != "error" {
+		t.Errorf("error line = %v", second)
+	}
+}
+
+// TestServerDiskDegradeRecoverHealth is the acceptance path end to
+// end over HTTP: a dying disk demotes the node to memory-only — with
+// /healthz flying the degraded flag while requests keep succeeding —
+// and once the faults clear, the node heals back to non-degraded
+// within one probe interval.
+func TestServerDiskDegradeRecoverHealth(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Base:         tinyCfg(),
+		Workers:      1,
+		CacheDir:     t.TempDir(),
+		Faults:       FaultPlan{Seed: 11, DiskFail: 1},
+		HealInterval: time.Millisecond,
+	})
+	health := func() HealthReport {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/healthz status %d (a degraded node must still answer 200)", resp.StatusCode)
+		}
+		var h HealthReport
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if h := health(); h.Degraded || !h.FaultsActive {
+		t.Fatalf("initial health = %+v, want non-degraded with faults active", h)
+	}
+
+	// Every disk op fails; distinct cells accumulate the failure streak
+	// (a read on the miss, a write on the fill) until the tier demotes.
+	// Requests must succeed throughout.
+	for i := 0; !s.Degraded(); i++ {
+		if i > 2*diskDemoteAfter {
+			t.Fatalf("node never degraded under a 100%% disk failure rate")
+		}
+		body := fmt.Sprintf(`{"bench":"health","scheme":"Base","insts":%d}`, 2000+i)
+		if resp, b := postSim(t, ts, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request during disk failure: status %d (%s)", resp.StatusCode, b)
+		}
+	}
+	h := health()
+	if !h.Degraded || h.Status != "degraded" || h.Cache.Disk != "degraded" {
+		t.Fatalf("degraded health = %+v", h)
+	}
+
+	// Clear the faults; the next cache miss past the probe interval
+	// probes the healthy disk and restores the tier.
+	s.Faults().Clear()
+	time.Sleep(3 * time.Millisecond)
+	if resp, b := postSim(t, ts, `{"bench":"health","scheme":"Base","insts":2900}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-clear request: status %d (%s)", resp.StatusCode, b)
+	}
+	h = health()
+	if h.Degraded || h.Status != "ok" || h.Cache.Disk != "ok" || h.FaultsActive {
+		t.Fatalf("post-recovery health = %+v, want ok", h)
 	}
 }
 

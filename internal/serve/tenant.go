@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TenantHeader carries the caller's API key; requests without one
+// share the AnonTenant bucket and queue.
+const TenantHeader = "X-Psb-Api-Key"
+
+// AnonTenant is the tenant identity of keyless requests.
+const AnonTenant = "anon"
+
+// TenantPolicy configures per-tenant admission: a token-bucket rate
+// limit (cells per second) and scheduling weights for the dispatcher's
+// weighted fair queue. The zero value disables rate limiting and gives
+// every tenant weight 1 — single-user deployments pay nothing.
+type TenantPolicy struct {
+	// Rate is each tenant's sustained budget in simulation cells per
+	// second (batch requests charge one token per expanded cell).
+	// 0 disables rate limiting.
+	Rate float64
+	// Burst is the bucket depth (instantaneous burst allowance);
+	// <= 0 selects max(8, 2*Rate).
+	Burst float64
+	// Weights overrides the fair-queue weight per API key (default 1).
+	// A weight-2 tenant receives twice the simulation service of a
+	// weight-1 tenant under contention.
+	Weights map[string]float64
+}
+
+// tenantOf resolves a request's tenant identity: the API-key header,
+// a bearer token, or the anonymous bucket.
+func tenantOf(r *http.Request) string {
+	if k := strings.TrimSpace(r.Header.Get(TenantHeader)); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		if k := strings.TrimSpace(strings.TrimPrefix(auth, "Bearer ")); k != "" {
+			return k
+		}
+	}
+	return AnonTenant
+}
+
+// weightOf resolves a tenant's fair-queue weight under the policy.
+func (p TenantPolicy) weightOf(tenant string) float64 {
+	if w, ok := p.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// bucket is one tenant's token bucket plus its admission counters.
+type bucket struct {
+	tokens    float64
+	last      time.Time
+	admitted  uint64
+	throttled uint64
+}
+
+// rateLimiter applies a token bucket per tenant. Buckets are created
+// lazily on first use and refill continuously at the policy rate.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+// newRateLimiter returns a limiter for the policy, or nil when rate
+// limiting is disabled (nil-safe methods).
+func newRateLimiter(p TenantPolicy) *rateLimiter {
+	if p.Rate <= 0 {
+		return nil
+	}
+	burst := p.Burst
+	if burst <= 0 {
+		burst = math.Max(8, 2*p.Rate)
+	}
+	return &rateLimiter{
+		rate:    p.Rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// take charges the tenant n tokens. When the bucket cannot cover the
+// charge nothing is consumed and retry reports how long until it can.
+func (rl *rateLimiter) take(tenant string, n float64) (ok bool, retry time.Duration) {
+	if rl == nil {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		b.admitted += uint64(n)
+		return true, 0
+	}
+	b.throttled += uint64(n)
+	// Time until the bucket holds n tokens (n may exceed burst for a
+	// huge batch; cap the wait at refilling a full bucket so the hint
+	// stays finite and the client is told to shrink the request by the
+	// 429 body instead).
+	need := math.Min(n, rl.burst) - b.tokens
+	return false, time.Duration(need / rl.rate * float64(time.Second))
+}
+
+// tenantRates snapshots the per-tenant admission counters.
+type tenantRate struct {
+	admitted, throttled uint64
+}
+
+func (rl *rateLimiter) snapshot() map[string]tenantRate {
+	if rl == nil {
+		return nil
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	out := make(map[string]tenantRate, len(rl.buckets))
+	for k, b := range rl.buckets {
+		out[k] = tenantRate{admitted: b.admitted, throttled: b.throttled}
+	}
+	return out
+}
+
+// TenantStats is one tenant's row in /v1/stats: scheduling state from
+// the dispatcher merged with rate-limit accounting.
+type TenantStats struct {
+	Tenant    string  `json:"tenant"`
+	Weight    float64 `json:"weight"`
+	Queued    int     `json:"queued"`
+	Completed uint64  `json:"completed"`
+	Admitted  uint64  `json:"admitted,omitempty"`
+	Throttled uint64  `json:"throttled,omitempty"`
+}
+
+// mergeTenantStats joins dispatcher and rate-limiter views by tenant
+// name, sorted for stable rendering.
+func mergeTenantStats(disp []TenantStats, rates map[string]tenantRate) []TenantStats {
+	byName := make(map[string]*TenantStats, len(disp))
+	out := make([]TenantStats, 0, len(disp)+len(rates))
+	for _, d := range disp {
+		out = append(out, d)
+		byName[d.Tenant] = &out[len(out)-1]
+	}
+	for name, r := range rates {
+		if t, ok := byName[name]; ok {
+			t.Admitted, t.Throttled = r.admitted, r.throttled
+			continue
+		}
+		out = append(out, TenantStats{
+			Tenant: name, Weight: 1,
+			Admitted: r.admitted, Throttled: r.throttled,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

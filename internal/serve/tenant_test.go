@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestTenantOf checks identity resolution: API-key header first, then
+// bearer token, then the anonymous bucket.
+func TestTenantOf(t *testing.T) {
+	req := func(header, value string) *http.Request {
+		r, _ := http.NewRequest("POST", "/v1/sim", nil)
+		if header != "" {
+			r.Header.Set(header, value)
+		}
+		return r
+	}
+	if got := tenantOf(req(TenantHeader, "alice")); got != "alice" {
+		t.Errorf("header tenant = %q", got)
+	}
+	if got := tenantOf(req("Authorization", "Bearer bob")); got != "bob" {
+		t.Errorf("bearer tenant = %q", got)
+	}
+	if got := tenantOf(req("", "")); got != AnonTenant {
+		t.Errorf("keyless tenant = %q, want %q", got, AnonTenant)
+	}
+	if got := tenantOf(req(TenantHeader, "   ")); got != AnonTenant {
+		t.Errorf("blank key tenant = %q, want %q", got, AnonTenant)
+	}
+}
+
+// TestTenantPolicyWeightOf checks weight resolution and defaults.
+func TestTenantPolicyWeightOf(t *testing.T) {
+	p := TenantPolicy{Weights: map[string]float64{"gold": 4, "broken": -1}}
+	if w := p.weightOf("gold"); w != 4 {
+		t.Errorf("gold weight = %v, want 4", w)
+	}
+	if w := p.weightOf("unknown"); w != 1 {
+		t.Errorf("default weight = %v, want 1", w)
+	}
+	if w := p.weightOf("broken"); w != 1 {
+		t.Errorf("non-positive weight = %v, want 1", w)
+	}
+	if w := (TenantPolicy{}).weightOf("any"); w != 1 {
+		t.Errorf("zero-policy weight = %v, want 1", w)
+	}
+}
+
+// TestRateLimiterTakeRefill drives one bucket through exhaustion and
+// refill on a fake clock and checks the retry hint prices the actual
+// deficit.
+func TestRateLimiterTakeRefill(t *testing.T) {
+	rl := newRateLimiter(TenantPolicy{Rate: 10, Burst: 5})
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+
+	// The bucket starts full: burst tokens are available immediately.
+	if ok, _ := rl.take("a", 5); !ok {
+		t.Fatalf("full bucket refused its burst")
+	}
+	ok, retry := rl.take("a", 1)
+	if ok {
+		t.Fatalf("empty bucket admitted a cell")
+	}
+	// One token at 10/sec is 100ms away.
+	if want := 100 * time.Millisecond; retry != want {
+		t.Errorf("retry = %v, want %v", retry, want)
+	}
+	// Other tenants are unaffected — isolation is the point.
+	if ok, _ := rl.take("b", 5); !ok {
+		t.Fatalf("tenant b throttled by tenant a's spend")
+	}
+
+	now = now.Add(100 * time.Millisecond)
+	if ok, _ := rl.take("a", 1); !ok {
+		t.Errorf("bucket did not refill at the policy rate")
+	}
+	// A charge beyond burst caps the hint at refilling a full bucket.
+	_, retry = rl.take("a", 1000)
+	if max := 500 * time.Millisecond; retry > max {
+		t.Errorf("oversized-charge retry = %v, want <= %v (full bucket)", retry, max)
+	}
+
+	snap := rl.snapshot()
+	if snap["a"].admitted != 6 || snap["a"].throttled != 1001 {
+		t.Errorf("tenant a counters = %+v, want 6 admitted, 1001 throttled", snap["a"])
+	}
+
+	// A nil limiter (rate limiting disabled) admits everything.
+	var nilRL *rateLimiter
+	if ok, _ := nilRL.take("anyone", 1e9); !ok {
+		t.Fatalf("nil limiter throttled")
+	}
+	if nilRL.snapshot() != nil {
+		t.Errorf("nil limiter produced a snapshot")
+	}
+	if newRateLimiter(TenantPolicy{}) != nil {
+		t.Errorf("zero policy built a limiter")
+	}
+}
+
+// TestMergeTenantStats checks the dispatcher and rate-limiter views
+// join on tenant name, sorted.
+func TestMergeTenantStats(t *testing.T) {
+	disp := []TenantStats{
+		{Tenant: "b", Weight: 2, Queued: 1, Completed: 9},
+		{Tenant: "a", Weight: 1, Completed: 3},
+	}
+	rates := map[string]tenantRate{
+		"b": {admitted: 10, throttled: 2},
+		"c": {admitted: 1},
+	}
+	got := mergeTenantStats(disp, rates)
+	if len(got) != 3 || got[0].Tenant != "a" || got[1].Tenant != "b" || got[2].Tenant != "c" {
+		t.Fatalf("merge order = %+v", got)
+	}
+	if got[1].Completed != 9 || got[1].Admitted != 10 || got[1].Throttled != 2 {
+		t.Errorf("tenant b merge = %+v", got[1])
+	}
+	if got[2].Weight != 1 || got[2].Admitted != 1 {
+		t.Errorf("rate-only tenant c = %+v", got[2])
+	}
+}
+
+// TestEventLoggerJSONLines checks the structured logger emits one
+// parseable JSON object per event with deterministic key order, and
+// that a nil logger is inert.
+func TestEventLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	l.Log("thing_happened", map[string]any{"zeta": 1, "alpha": "x"})
+	line := buf.String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+		t.Fatalf("event line is not JSON: %v (%q)", err, line)
+	}
+	if decoded["event"] != "thing_happened" || decoded["alpha"] != "x" {
+		t.Errorf("decoded event = %v", decoded)
+	}
+	if _, ok := decoded["ts"]; !ok {
+		t.Errorf("event has no timestamp: %q", line)
+	}
+
+	if NewEventLogger(nil) != nil {
+		t.Fatalf("nil writer built a logger")
+	}
+	var nilLogger *EventLogger
+	nilLogger.Log("ignored", nil) // must not panic
+}
