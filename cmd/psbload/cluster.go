@@ -1,0 +1,294 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// clusterOptions parameterizes the multi-target benchmark.
+type clusterOptions struct {
+	targets     []string
+	insts       uint64
+	seed        int64
+	concurrency int
+	hotIters    int
+	out         string
+	// Gates (CI): minHitRate fails the run when the cluster-wide hit
+	// rate lands below it (-1 = off); maxSims bounds the cluster-wide
+	// simulation count (-1 = off); gateDedup requires exactly one
+	// simulation per unique cell.
+	minHitRate float64
+	maxSims    int64
+	gateDedup  bool
+}
+
+// nodeReport is one target's row in BENCH_cluster.json.
+type nodeReport struct {
+	URL      string `json:"url"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+	// Latency percentiles, split cold (first wave; simulations and peer
+	// fills) and hot (later waves; cache hits).
+	ColdP50Us float64 `json:"cold_p50_us"`
+	ColdP99Us float64 `json:"cold_p99_us"`
+	HotP50Us  float64 `json:"hot_p50_us"`
+	HotP99Us  float64 `json:"hot_p99_us"`
+	// HitRate is the fraction of this node's requests answered without
+	// a local simulation (mem/disk/peer/dedup tiers).
+	HitRate float64 `json:"hit_rate"`
+	// TierCounts breaks the node's responses down by X-Psb-Cache tier.
+	TierCounts map[string]int `json:"tier_counts"`
+	// Deltas from the node's own /v1/stats across the run.
+	Sims          uint64 `json:"sims"`
+	PeerFills     uint64 `json:"peer_fills"`
+	PeerServed    uint64 `json:"peer_served"`
+	PeerFallbacks uint64 `json:"peer_fallbacks"`
+}
+
+// clusterReport is the BENCH_cluster.json schema.
+type clusterReport struct {
+	Targets     []string `json:"targets"`
+	Cells       int      `json:"cells"`
+	Concurrency int      `json:"concurrency"`
+	HotIters    int      `json:"hot_iters"`
+	InstsPerSim uint64   `json:"insts_per_sim"`
+
+	Nodes []nodeReport `json:"nodes"`
+
+	// ClusterSims is the fleet-wide simulation delta; SimsPerCell is
+	// its ratio to the unique cell count (1.0 = perfect dedup).
+	ClusterSims uint64  `json:"cluster_sims"`
+	SimsPerCell float64 `json:"sims_per_cell"`
+	// ClusterHitRate is 1 - sims/requests: the fraction of all requests
+	// the fleet answered without simulating.
+	ClusterHitRate float64 `json:"cluster_hit_rate"`
+	// ByteMismatches counts (cell, node) responses whose bytes differed
+	// from the cell's reference response (must be 0).
+	ByteMismatches int     `json:"byte_mismatches"`
+	HotRPS         float64 `json:"hot_rps"`
+	Errors         int     `json:"errors"`
+}
+
+// clusterSample is one request's measurement plus its body hash.
+type clusterSample struct {
+	sample
+	hash [sha256.Size]byte
+}
+
+// runClusterBench drives an identical cell set through every target
+// simultaneously — the worst case for a shared cache: each unique cell
+// is requested from all nodes at once — then hammers hot iterations
+// and writes BENCH_cluster.json. Returns the process exit code.
+func runClusterBench(o clusterOptions) int {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.concurrency}}
+
+	var cells []request
+	for _, w := range workload.All() {
+		for _, v := range core.Variants() {
+			cells = append(cells, request{body: fmt.Sprintf(
+				`{"bench":%q,"scheme":%q,"insts":%d,"seed":%d}`, w.Name, v.String(), o.insts, o.seed)})
+		}
+	}
+	nT := len(o.targets)
+	before := make([]serve.ServerStats, nT)
+	for i, t := range o.targets {
+		before[i] = fetchStats(client, t)
+	}
+
+	// One wave = every cell posted to every target, all pairs in flight
+	// together under the concurrency bound.
+	wave := func() [][]clusterSample {
+		out := make([][]clusterSample, nT)
+		for i := range out {
+			out[i] = make([]clusterSample, len(cells))
+		}
+		type pair struct{ cell, target int }
+		pairs := make(chan pair)
+		var wg sync.WaitGroup
+		for w := 0; w < o.concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range pairs {
+					out[p.target][p.cell] = oneHashed(client, o.targets[p.target], cells[p.cell])
+				}
+			}()
+		}
+		for c := range cells {
+			for t := 0; t < nT; t++ {
+				pairs <- pair{c, t}
+			}
+		}
+		close(pairs)
+		wg.Wait()
+		return out
+	}
+
+	cold := wave()
+	hotStart := time.Now()
+	hot := make([][][]clusterSample, 0, o.hotIters)
+	for i := 0; i < o.hotIters; i++ {
+		hot = append(hot, wave())
+	}
+	hotElapsed := time.Since(hotStart)
+
+	after := make([]serve.ServerStats, nT)
+	for i, t := range o.targets {
+		after[i] = fetchStats(client, t)
+	}
+
+	// Byte identity: within each cell, every node's response in every
+	// wave must hash identically to the cold reference (node 0's).
+	mismatches := 0
+	for c := range cells {
+		ref := cold[0][c].hash
+		check := func(s clusterSample) {
+			if s.status == http.StatusOK && s.hash != ref {
+				mismatches++
+			}
+		}
+		for t := 0; t < nT; t++ {
+			check(cold[t][c])
+			for _, w := range hot {
+				check(w[t][c])
+			}
+		}
+	}
+
+	r := clusterReport{
+		Targets:        o.targets,
+		Cells:          len(cells),
+		Concurrency:    o.concurrency,
+		HotIters:       o.hotIters,
+		InstsPerSim:    o.insts,
+		ByteMismatches: mismatches,
+	}
+	totalRequests := 0
+	for t := 0; t < nT; t++ {
+		var all, coldOnly, hotOnly []sample
+		tiers := map[string]int{}
+		errs := 0
+		collect := func(s clusterSample, hot bool) {
+			all = append(all, s.sample)
+			tiers[s.tier]++
+			if s.status != http.StatusOK {
+				errs++
+			}
+			if hot {
+				hotOnly = append(hotOnly, s.sample)
+			} else {
+				coldOnly = append(coldOnly, s.sample)
+			}
+		}
+		for c := range cells {
+			collect(cold[t][c], false)
+			for _, w := range hot {
+				collect(w[t][c], true)
+			}
+		}
+		coldP := percentiles(coldOnly)
+		hotP := percentiles(hotOnly)
+		sims := after[t].Cells.Sim - before[t].Cells.Sim
+		nr := nodeReport{
+			URL:        o.targets[t],
+			Requests:   len(all),
+			Errors:     errs,
+			ColdP50Us:  coldP[0],
+			ColdP99Us:  coldP[2],
+			HotP50Us:   hotP[0],
+			HotP99Us:   hotP[2],
+			TierCounts: tiers,
+			Sims:       sims,
+		}
+		if len(all) > 0 {
+			nr.HitRate = 1 - float64(sims)/float64(len(all))
+		}
+		if after[t].Peer != nil {
+			nr.PeerFills = after[t].Peer.Fills
+			nr.PeerServed = after[t].Peer.Served
+			nr.PeerFallbacks = after[t].Peer.Fallbacks
+			if before[t].Peer != nil {
+				nr.PeerFills -= before[t].Peer.Fills
+				nr.PeerServed -= before[t].Peer.Served
+				nr.PeerFallbacks -= before[t].Peer.Fallbacks
+			}
+		}
+		r.Nodes = append(r.Nodes, nr)
+		r.ClusterSims += sims
+		r.Errors += errs
+		totalRequests += len(all)
+	}
+	r.SimsPerCell = float64(r.ClusterSims) / float64(len(cells))
+	if totalRequests > 0 {
+		r.ClusterHitRate = 1 - float64(r.ClusterSims)/float64(totalRequests)
+	}
+	r.HotRPS = float64(len(cells)*nT*o.hotIters) / hotElapsed.Seconds()
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := os.WriteFile(o.out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %d cells x %d nodes, %d sims cluster-wide (%.2f/cell), hit rate %.3f, %.0f hot req/s, %d byte mismatches, %d errors\n",
+		o.out, r.Cells, nT, r.ClusterSims, r.SimsPerCell, r.ClusterHitRate, r.HotRPS, r.ByteMismatches, r.Errors)
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "psbload: GATE FAILED: "+format+"\n", args...)
+		return 1
+	}
+	switch {
+	case r.Errors > 0:
+		return fail("%d requests failed", r.Errors)
+	case r.ByteMismatches > 0:
+		return fail("%d responses diverged from the reference bytes", r.ByteMismatches)
+	case o.gateDedup && r.ClusterSims != uint64(len(cells)):
+		return fail("cluster ran %d sims for %d unique cells, want exactly one each", r.ClusterSims, len(cells))
+	case o.maxSims >= 0 && r.ClusterSims > uint64(o.maxSims):
+		return fail("cluster ran %d sims, budget was %d", r.ClusterSims, o.maxSims)
+	case o.minHitRate >= 0 && r.ClusterHitRate < o.minHitRate:
+		return fail("cluster hit rate %.3f below the %.3f floor", r.ClusterHitRate, o.minHitRate)
+	}
+	return 0
+}
+
+// oneHashed is one() plus a body hash, for cross-node byte-identity
+// checks without holding every response in memory.
+func oneHashed(client *http.Client, base string, r request) clusterSample {
+	start := time.Now()
+	for {
+		resp, err := client.Post(base+"/v1/sim", "application/json", strings.NewReader(r.body))
+		if err != nil {
+			return clusterSample{sample: sample{latency: time.Since(start), tier: "error", status: 0}}
+		}
+		h := sha256.New()
+		io.Copy(h, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		cs := clusterSample{sample: sample{
+			latency: time.Since(start),
+			tier:    resp.Header.Get("X-Psb-Cache"),
+			status:  resp.StatusCode,
+		}}
+		h.Sum(cs.hash[:0])
+		return cs
+	}
+}

@@ -9,6 +9,15 @@
 //	psbload                          # self-hosted: spins up the server in-process
 //	psbload -url http://host:8724    # drive an already-running psbserved
 //	psbload -insts 60000 -concurrency 8 -hot-iters 10 -out BENCH_serve.json
+//	psbload -targets host1:8724,host2:8724,host3:8724 \
+//	    -gate-dedup -min-hit-rate 0.9                  # cluster benchmark + CI gates
+//
+// With -targets it benchmarks a psbserved cluster instead: every cell
+// is requested from every node simultaneously (the worst case for a
+// shared cache), responses are checked byte-identical across nodes,
+// and BENCH_cluster.json records per-node latency, hit rate and peer
+// traffic plus the cluster-wide simulation count. The -gate-dedup,
+// -max-sims and -min-hit-rate flags turn the report into a CI gate.
 //
 // With -chaos it becomes a fault-tolerance harness instead of a
 // benchmark: it arms a deterministic fault plan (-chaos-faults),
@@ -101,7 +110,12 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "in-process server on-disk result tier (ignored with -url)")
 		concurrency = flag.Int("concurrency", 8, "concurrent client requests")
 		hotIters    = flag.Int("hot-iters", 12, "hot passes over the cell set")
-		out         = flag.String("out", "BENCH_serve.json", "output path (CHAOS_serve.json with -chaos)")
+		out         = flag.String("out", "BENCH_serve.json", "output path (CHAOS_serve.json with -chaos, BENCH_cluster.json with -targets)")
+
+		targets    = flag.String("targets", "", "comma-separated psbserved base URLs: cluster benchmark mode (overrides -url)")
+		minHitRate = flag.Float64("min-hit-rate", -1, "cluster: fail unless the cluster-wide hit rate reaches this (-1 = no gate)")
+		maxSims    = flag.Int64("max-sims", -1, "cluster: fail if the run cost more than this many simulations cluster-wide (-1 = no gate)")
+		gateDedup  = flag.Bool("gate-dedup", false, "cluster: fail unless the run cost exactly one simulation per unique cell cluster-wide")
 
 		chaos       = flag.Bool("chaos", false, "run the chaos harness instead of the benchmark")
 		chaosDur    = flag.Duration("chaos-dur", 12*time.Second, "chaos: traffic window length")
@@ -138,6 +152,43 @@ func main() {
 			rate:      *chaosRate,
 			recovery:  *chaosRecovery,
 			p99Max:    *chaosP99Max,
+		}))
+	}
+
+	if *targets != "" {
+		outPath := *out
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			outPath = "BENCH_cluster.json"
+		}
+		var urls []string
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				if !strings.Contains(t, "://") {
+					t = "http://" + t
+				}
+				urls = append(urls, t)
+			}
+		}
+		if len(urls) < 2 {
+			fmt.Fprintln(os.Stderr, "-targets needs at least 2 URLs")
+			os.Exit(2)
+		}
+		os.Exit(runClusterBench(clusterOptions{
+			targets:     urls,
+			insts:       *insts,
+			seed:        *seed,
+			concurrency: *concurrency,
+			hotIters:    *hotIters,
+			out:         outPath,
+			minHitRate:  *minHitRate,
+			maxSims:     *maxSims,
+			gateDedup:   *gateDedup,
 		}))
 	}
 

@@ -9,14 +9,27 @@
 //	psbserved -addr :8724 -workers -1 -cache-dir results/ -trace-dir traces/
 //	psbserved -tenant-rate 100 -tenant-weight gold=4 -log-requests
 //	psbserved -faults 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s'   # chaos testing
+//	psbserved -addr :8724 -advertise host1:8724 \
+//	    -peers host1:8724,host2:8724,host3:8724                          # cluster member
 //
 // Endpoints:
 //
-//	GET  /healthz      health: liveness + cache-tier state + degraded flag
-//	GET  /v1/stats     cache / queue / dedup / tenant / fault counters
-//	POST /v1/sim       one cell; body {"bench":"health","scheme":"ConfAlloc-Priority"}
-//	POST /v1/batch     many cells; body {"jobs":[...]}
-//	POST /v1/artifact  a named table or figure; body {"name":"fig5"}
+//	GET  /healthz       health: liveness + cache-tier state + degraded flag + cluster view
+//	GET  /metrics       the same counters in Prometheus text format
+//	GET  /v1/stats      cache / queue / dedup / tenant / fault / peer counters
+//	POST /v1/sim        one cell; body {"bench":"health","scheme":"ConfAlloc-Priority"}
+//	POST /v1/batch      many cells; body {"jobs":[...]}
+//	POST /v1/artifact   a named table or figure; body {"name":"fig5"}
+//	POST /v1/peer/sim   peer cache-fill (cluster members only)
+//
+// With -peers, every node places the full membership on a consistent-
+// hash ring (sha256 over the job fingerprint, -replicas virtual nodes
+// per member). A node receiving a cell it does not own forwards it to
+// the owner and caches the returned bytes, so each unique cell costs
+// one simulation cluster-wide no matter which node the request lands
+// on. A dead owner (probes and forwards fail) is routed around: the
+// receiving node simulates locally and the cluster degrades to
+// independent nodes rather than failing requests.
 //
 // Responses from /v1/sim are byte-identical to `psbsim -json` for the
 // same cell, whether simulated, deduplicated or cache-served (the
@@ -45,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -67,6 +81,10 @@ func main() {
 		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant burst allowance in cells (0 = max(8, 2*rate))")
 		healEvery    = flag.Duration("heal-interval", 2*time.Second, "how often a demoted disk cache tier is re-probed for recovery")
 		logRequests  = flag.Bool("log-requests", false, "emit one JSON line per request to stderr (fingerprint, tenant, tier, latency, outcome)")
+		peers        = flag.String("peers", "", "comma-separated cluster membership (host:port, self included); empty = standalone")
+		advertise    = flag.String("advertise", "", "this node's address as it appears in -peers (required with -peers)")
+		replicas     = flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = 128); every member must agree")
+		quarCap      = flag.Int64("quarantine-cap", 0, "byte budget for the disk-cache quarantine directory (0 = 64 MiB)")
 		faultSpec    = flag.String("faults", os.Getenv("PSB_FAULTS"),
 			"DANGEROUS: arm deterministic fault injection, e.g. 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s' (default from PSB_FAULTS)")
 	)
@@ -112,6 +130,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var cl *cluster.Cluster
+	if *peers != "" {
+		cl, err = cluster.New(cluster.Config{
+			Self:   *advertise,
+			Peers:  strings.Split(*peers, ","),
+			VNodes: *replicas,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	var reqLog *os.File
 	if *logRequests {
 		reqLog = os.Stderr
@@ -129,10 +160,12 @@ func main() {
 			Burst:   *tenantBurst,
 			Weights: weights,
 		},
-		Faults:       faults,
-		EventLog:     os.Stderr,
-		RequestLog:   logFile(reqLog),
-		HealInterval: *healEvery,
+		Faults:           faults,
+		EventLog:         os.Stderr,
+		RequestLog:       logFile(reqLog),
+		HealInterval:     *healEvery,
+		QuarantineBudget: *quarCap,
+		Cluster:          cl,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -151,6 +184,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "psbserved: listening on %s (workers=%d queue=%d cache=%s)\n",
 		*addr, s.Stats().Queue.Workers, s.Stats().Queue.Capacity, cacheLabel(*cacheDir))
+	if cl != nil {
+		fmt.Fprintf(os.Stderr, "psbserved: cluster member %s of %v (%d vnodes)\n",
+			cl.Self(), cl.Ring().Nodes(), cl.Ring().VNodes())
+	}
 	err = httpSrv.ListenAndServe()
 	// Shutdown finished or the listener failed; either way release the
 	// simulation workers before exiting.

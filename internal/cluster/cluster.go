@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for the health prober and the peer client. Probes are
+// cheap (GET /healthz over a pooled connection), so a tight interval
+// keeps the dead-peer detection latency well under a simulation's
+// cold cost; forwards carry whole simulations, so their budget is
+// generous.
+const (
+	defaultProbeInterval  = 1 * time.Second
+	defaultProbeTimeout   = 750 * time.Millisecond
+	defaultForwardTimeout = 2 * time.Minute
+	defaultForwardRetries = 1
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Self is this node's advertised base URL; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, self included, as base URLs
+	// ("http://host:port"; a bare "host:port" gets the scheme added).
+	Peers []string
+	// VNodes is the virtual-node count per peer (<= 0 selects
+	// DefaultVNodes). Every node in a cluster must agree on it.
+	VNodes int
+	// ProbeInterval is the health-probe period (<= 0 selects 1s);
+	// ProbeTimeout bounds one probe (<= 0 selects 750ms).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ForwardTimeout bounds one peer fill end to end, simulation
+	// included (<= 0 selects 2m). ForwardRetries is how many extra
+	// attempts a transport error earns (< 0 selects 1); HTTP-level
+	// errors are never retried — the peer answered, it just said no.
+	ForwardTimeout time.Duration
+	ForwardRetries int
+}
+
+// Normalize returns the config with URL schemes added and defaults
+// resolved, validating that Self is a member.
+func (c Config) normalize() (Config, error) {
+	c.Self = normalizeURL(c.Self)
+	if c.Self == "" {
+		return c, fmt.Errorf("cluster: -advertise is required with -peers")
+	}
+	seen := false
+	peers := make([]string, 0, len(c.Peers))
+	for _, p := range c.Peers {
+		u := normalizeURL(p)
+		if u == "" {
+			continue
+		}
+		peers = append(peers, u)
+		if u == c.Self {
+			seen = true
+		}
+	}
+	if len(peers) < 2 {
+		return c, fmt.Errorf("cluster: need at least 2 peers, got %d", len(peers))
+	}
+	if !seen {
+		return c, fmt.Errorf("cluster: advertised address %q is not in the peer list %v", c.Self, peers)
+	}
+	c.Peers = peers
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = defaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = defaultProbeTimeout
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = defaultForwardTimeout
+	}
+	if c.ForwardRetries < 0 {
+		c.ForwardRetries = defaultForwardRetries
+	}
+	return c, nil
+}
+
+// normalizeURL adds the http scheme to bare host:port addresses and
+// strips trailing slashes.
+func normalizeURL(s string) string {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if s == "" {
+		return ""
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
+// peerState is one remote member's liveness record.
+type peerState struct {
+	alive atomic.Bool
+	// probeFails counts consecutive failed probes (diagnostics only;
+	// a single failure already marks the peer dead — forwards fall
+	// back to local simulation, which is always safe).
+	probeFails atomic.Int64
+}
+
+// Cluster is the node's view of the fleet: the ring, per-peer health,
+// and the pooled client used for peer fills. Construct with New, call
+// Start to launch the prober, Close to stop it.
+type Cluster struct {
+	cfg  Config
+	self string
+	ring *Ring
+
+	peers map[string]*peerState // remote members only
+	http  *http.Client          // pooled across peers (per-host pools)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	forwards, forwardErrors atomic.Uint64
+	probes, probeFails      atomic.Uint64
+	marksDead, marksAlive   atomic.Uint64
+}
+
+// New validates the config and builds the cluster view. The ring
+// contains every peer (self included); health starts optimistic — all
+// peers presumed alive — so a cold-booting fleet routes correctly
+// before the first probe lands.
+func New(cfg Config) (*Cluster, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		self:  cfg.Self,
+		ring:  NewRing(cfg.Peers, cfg.VNodes),
+		peers: make(map[string]*peerState),
+		http: &http.Client{
+			Timeout: cfg.ForwardTimeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		stop: make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p == c.self {
+			continue
+		}
+		st := &peerState{}
+		st.alive.Store(true)
+		c.peers[p] = st
+	}
+	return c, nil
+}
+
+// Self returns this node's advertised base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring returns the (immutable) hash ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Start launches the background health prober.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go c.probeLoop()
+}
+
+// Close stops the prober and releases idle peer connections.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	if t, ok := c.http.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// Owner resolves the fingerprint's owning node, skipping peers
+// currently marked dead: the first alive member in ring-successor
+// order. self reports whether that owner is this node — including the
+// degenerate case where every other member is down, so the caller
+// always has a safe local path.
+func (c *Cluster) Owner(fp string) (node string, self bool) {
+	for _, n := range c.ring.Successors(fp, c.ring.Len()) {
+		if n == c.self {
+			return n, true
+		}
+		if c.Alive(n) {
+			return n, false
+		}
+	}
+	return c.self, true
+}
+
+// Alive reports whether the peer is currently presumed reachable
+// (self is always alive).
+func (c *Cluster) Alive(node string) bool {
+	if node == c.self {
+		return true
+	}
+	st, ok := c.peers[node]
+	return ok && st.alive.Load()
+}
+
+// MarkDead records a failed interaction with the peer (passive
+// failure detection): routing skips it until a probe succeeds again.
+func (c *Cluster) MarkDead(node string) {
+	if st, ok := c.peers[node]; ok && st.alive.CompareAndSwap(true, false) {
+		c.marksDead.Add(1)
+	}
+}
+
+// markAlive restores a peer after a successful probe.
+func (c *Cluster) markAlive(node string) {
+	if st, ok := c.peers[node]; ok {
+		st.probeFails.Store(0)
+		if st.alive.CompareAndSwap(false, true) {
+			c.marksAlive.Add(1)
+		}
+	}
+}
+
+// probeLoop pings every peer's /healthz each interval. A node that
+// fails its probe is marked dead (forwards route around it); any
+// success marks it alive again. A degraded peer still answers 200 —
+// degraded means its disk tier is gone, not that it cannot simulate —
+// so probes only test reachability.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll probes every remote peer concurrently and waits for the
+// round to finish (bounded by ProbeTimeout per peer).
+func (c *Cluster) probeAll() {
+	var wg sync.WaitGroup
+	for node := range c.peers {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			c.probes.Add(1)
+			if c.probeOne(node) {
+				c.markAlive(node)
+			} else {
+				c.probeFails.Add(1)
+				c.peers[node].probeFails.Add(1)
+				c.MarkDead(node)
+			}
+		}(node)
+	}
+	wg.Wait()
+}
+
+// probeOne reports whether one peer answered its health check.
+func (c *Cluster) probeOne(node string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Forward posts body to the peer's path and returns the response. A
+// transport error (connection refused, timeout) is retried up to
+// ForwardRetries times on the pooled client, then reported — the
+// caller falls back to local simulation and marks the peer dead. An
+// HTTP error status is returned as a response, not an error: the peer
+// is alive and its answer (400, 409, 429...) is meaningful.
+func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, hdr http.Header) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.ForwardRetries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, vs := range hdr {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+		c.forwards.Add(1)
+		resp, err := c.http.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		c.forwardErrors.Add(1)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// PeerHealth is one member's row in the cluster stats.
+type PeerHealth struct {
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	Self  bool   `json:"self,omitempty"`
+}
+
+// Stats is the cluster section of /v1/stats and /metrics.
+type Stats struct {
+	Self          string       `json:"self"`
+	VNodes        int          `json:"vnodes"`
+	Peers         []PeerHealth `json:"peers"`
+	PeersAlive    int          `json:"peers_alive"`
+	Forwards      uint64       `json:"forwards"`
+	ForwardErrors uint64       `json:"forward_errors"`
+	Probes        uint64       `json:"probes"`
+	ProbeFails    uint64       `json:"probe_fails"`
+	MarksDead     uint64       `json:"marks_dead"`
+	MarksAlive    uint64       `json:"marks_alive"`
+}
+
+// Stats snapshots the cluster view.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Self:          c.self,
+		VNodes:        c.ring.VNodes(),
+		Forwards:      c.forwards.Load(),
+		ForwardErrors: c.forwardErrors.Load(),
+		Probes:        c.probes.Load(),
+		ProbeFails:    c.probeFails.Load(),
+		MarksDead:     c.marksDead.Load(),
+		MarksAlive:    c.marksAlive.Load(),
+	}
+	for _, n := range c.ring.Nodes() {
+		ph := PeerHealth{URL: n, Alive: c.Alive(n), Self: n == c.self}
+		if ph.Alive {
+			st.PeersAlive++
+		}
+		st.Peers = append(st.Peers, ph)
+	}
+	return st
+}

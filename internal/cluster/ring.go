@@ -1,0 +1,178 @@
+// Package cluster turns a fleet of psbserved nodes into one logical
+// cache: a consistent-hash ring assigns every job fingerprint an
+// owning node, static membership with lightweight health probes tracks
+// which peers are reachable, and a pooled peer client carries the
+// fill protocol. The serving layer routes each fingerprint to its
+// owner so the expensive simulation happens once cluster-wide; when
+// the owner is down the caller degrades to local simulation, so a
+// cluster of N nodes never behaves worse than N independent nodes.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultVNodes is the default number of virtual nodes each peer
+// places on the ring. 128 points per node keeps the max/min key-load
+// ratio within ~1.3 for small clusters while membership changes stay
+// cheap (a join re-sorts N*128 points).
+const DefaultVNodes = 128
+
+// hashKey maps an arbitrary string to a ring position. SHA-256 is
+// already the repo's fingerprint hash; folding its first 8 bytes gives
+// a uniform 64-bit point without new dependencies.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// point is one virtual node: a ring position owned by a member.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring: nodes place VNodes
+// virtual points each, and a key belongs to the first point at or
+// clockwise after its hash. Immutability makes membership changes a
+// swap of one pointer and the remap properties easy to test (build
+// two rings, diff the ownership).
+type Ring struct {
+	vnodes int
+	points []point // sorted by hash
+	nodes  []string
+}
+
+// NewRing builds a ring over the given nodes with vnodes virtual
+// points per node (<= 0 selects DefaultVNodes). Duplicate node names
+// are collapsed; order does not affect placement.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	var uniq []string
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, nodes: uniq}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{
+				hash: hashKey(vnodeLabel(n, i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (astronomically unlikely) break on node name so the
+		// ring is deterministic regardless of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// vnodeLabel names one virtual point. The label feeds the point hash,
+// so it is part of the ring's wire-compatibility: every node in a
+// cluster must compute identical placements.
+func vnodeLabel(node string, i int) string {
+	// node "#" i in decimal; fmt.Sprintf avoided on the hot build path.
+	buf := make([]byte, 0, len(node)+8)
+	buf = append(buf, node...)
+	buf = append(buf, '#')
+	return string(appendUint(buf, uint64(i)))
+}
+
+func appendUint(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the node owning key: the first virtual point at or
+// clockwise after the key's hash. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.firstPoint(key)].node
+}
+
+// firstPoint locates the index of the key's successor point.
+func (r *Ring) firstPoint(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the top arc
+	}
+	return i
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// the key's owner. The serving layer walks this list when the owner is
+// unreachable, so every node computes the same fallback owner and the
+// cluster keeps one simulation per fingerprint even one node down.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.firstPoint(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Add returns a new ring with node joined (the receiver is unchanged).
+func (r *Ring) Add(node string) *Ring {
+	return NewRing(append(r.Nodes(), node), r.vnodes)
+}
+
+// Remove returns a new ring with node departed (the receiver is
+// unchanged).
+func (r *Ring) Remove(node string) *Ring {
+	var rest []string
+	for _, n := range r.nodes {
+		if n != node {
+			rest = append(rest, n)
+		}
+	}
+	return NewRing(rest, r.vnodes)
+}

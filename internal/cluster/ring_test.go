@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// fakeFingerprints generates n keys shaped exactly like runner.Job
+// fingerprints (16 hex chars of a sha256), so the distribution test
+// measures the hash the ring will actually see in production.
+func fakeFingerprints(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("job-%d", i)))
+		out[i] = hex.EncodeToString(sum[:8])
+	}
+	return out
+}
+
+// TestRingDistributionUniform places 10k fingerprint-shaped keys on a
+// 3-node ring and bounds the load imbalance: with 128 virtual nodes
+// per member the most-loaded node must carry less than 1.5x the
+// least-loaded one.
+func TestRingDistributionUniform(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes, DefaultVNodes)
+	counts := map[string]int{}
+	for _, fp := range fakeFingerprints(10_000) {
+		owner := r.Owner(fp)
+		if owner == "" {
+			t.Fatalf("no owner for %q", fp)
+		}
+		counts[owner]++
+	}
+	if len(counts) != len(nodes) {
+		t.Fatalf("only %d of %d nodes own keys: %v", len(counts), len(nodes), counts)
+	}
+	min, max := 1<<62, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.5 {
+		t.Errorf("load ratio %.2f exceeds 1.5: %v", ratio, counts)
+	}
+}
+
+// TestRingOwnerDeterministic checks placement ignores input order and
+// repeated construction.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2"}, 64)
+	for _, fp := range fakeFingerprints(500) {
+		if a.Owner(fp) != b.Owner(fp) {
+			t.Fatalf("owner of %q depends on construction order", fp)
+		}
+	}
+}
+
+// TestRingJoinRemapsMinimally adds a fourth node to a 3-node ring and
+// checks the consistent-hashing contract: roughly 1/4 of keys move,
+// every moved key moves TO the new node (never between survivors),
+// and unmoved keys keep their owner.
+func TestRingJoinRemapsMinimally(t *testing.T) {
+	keys := fakeFingerprints(10_000)
+	r3 := NewRing([]string{"n1", "n2", "n3"}, DefaultVNodes)
+	r4 := r3.Add("n4")
+	moved := 0
+	for _, fp := range keys {
+		before, after := r3.Owner(fp), r4.Owner(fp)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "n4" {
+			t.Fatalf("key %q moved %s -> %s, not to the joining node", fp, before, after)
+		}
+	}
+	// Expect ~1/4 (2500); allow generous noise either way but fail on
+	// wholesale reshuffles (a naive mod-N hash moves ~75%).
+	frac := float64(moved) / float64(len(keys))
+	if frac > 0.35 {
+		t.Errorf("join moved %.1f%% of keys, want ~25%% (<=35%%)", 100*frac)
+	}
+	if frac < 0.10 {
+		t.Errorf("join moved only %.1f%% of keys; the new node is underweighted", 100*frac)
+	}
+}
+
+// TestRingLeaveRemapsMinimally removes one node from a 4-node ring:
+// only the departed node's keys move (to survivors), everything else
+// stays put.
+func TestRingLeaveRemapsMinimally(t *testing.T) {
+	keys := fakeFingerprints(10_000)
+	r4 := NewRing([]string{"n1", "n2", "n3", "n4"}, DefaultVNodes)
+	r3 := r4.Remove("n4")
+	moved := 0
+	for _, fp := range keys {
+		before, after := r4.Owner(fp), r3.Owner(fp)
+		if before != "n4" && before != after {
+			t.Fatalf("key %q owned by surviving %s moved to %s on an unrelated leave",
+				fp, before, after)
+		}
+		if before == "n4" {
+			moved++
+			if after == "n4" {
+				t.Fatalf("key %q still owned by departed node", fp)
+			}
+		}
+	}
+	if frac := float64(moved) / float64(len(keys)); frac > 0.35 || frac < 0.10 {
+		t.Errorf("leave moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingSuccessors checks the fallback walk yields distinct nodes in
+// deterministic order starting at the owner.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 32)
+	for _, fp := range fakeFingerprints(100) {
+		succ := r.Successors(fp, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%q) = %v, want 3 distinct nodes", fp, succ)
+		}
+		if succ[0] != r.Owner(fp) {
+			t.Fatalf("successors(%q)[0] = %s, want owner %s", fp, succ[0], r.Owner(fp))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("successors(%q) repeats %s", fp, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors("k", 99); len(got) != 3 {
+		t.Errorf("successors capped at member count: got %d", len(got))
+	}
+	var empty Ring
+	if got := empty.Successors("k", 2); got != nil {
+		t.Errorf("empty ring successors = %v, want nil", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,12 @@ const defaultProbeInterval = 2 * time.Second
 // quarantineDir is the subdirectory (under the cache dir) that
 // corrupt entries are moved into for post-mortem inspection.
 const quarantineDir = "quarantine"
+
+// defaultQuarantineBudget caps the quarantine directory: sustained
+// disk-corrupt fault injection (or a genuinely rotting disk) must not
+// grow it without bound. Oldest entries are garbage-collected first —
+// recent corruption is the evidence worth keeping.
+const defaultQuarantineBudget = 64 << 20
 
 // diskIO abstracts the disk tier's two file operations so fault
 // injection can interpose; production uses osDisk, whose methods call
@@ -81,7 +88,10 @@ type CacheStats struct {
 	DiskErrors uint64 `json:"disk_errors"`
 	// Quarantined counts corrupt entries detected by checksum on read,
 	// moved aside, and transparently re-simulated.
-	Quarantined uint64 `json:"quarantined"`
+	// QuarantineEvicted counts quarantined files garbage-collected to
+	// keep the quarantine directory within its byte budget.
+	Quarantined       uint64 `json:"quarantined"`
+	QuarantineEvicted uint64 `json:"quarantine_evicted"`
 	// DiskDegraded reports the disk tier is currently demoted
 	// (memory-only operation; probes are retrying it).
 	DiskDegraded bool `json:"disk_degraded"`
@@ -123,6 +133,10 @@ type ResultCache struct {
 
 	events        *EventLogger
 	probeInterval time.Duration
+	// quarantineBudget bounds the quarantine directory in bytes; qgcMu
+	// serializes its oldest-first garbage collector.
+	quarantineBudget int64
+	qgcMu            sync.Mutex
 	// diskFailStreak counts consecutive disk I/O failures; at
 	// diskDemoteAfter the tier demotes. Any success resets it.
 	diskFailStreak atomic.Int64
@@ -130,6 +144,7 @@ type ResultCache struct {
 	lastProbe      atomic.Int64 // unix nanos of the last recovery probe
 
 	memHits, diskHits, misses, evictions, diskWrites, diskErrors, quarantined atomic.Uint64
+	quarantineEvicted                                                         atomic.Uint64
 }
 
 // lruEntry is one cached result in the LRU list.
@@ -147,12 +162,13 @@ func NewResultCache(entries int, dir string) *ResultCache {
 		entries = 4096
 	}
 	return &ResultCache{
-		cap:           entries,
-		dir:           dir,
-		disk:          osDisk{},
-		ll:            list.New(),
-		items:         make(map[string]*list.Element),
-		probeInterval: defaultProbeInterval,
+		cap:              entries,
+		dir:              dir,
+		disk:             osDisk{},
+		ll:               list.New(),
+		items:            make(map[string]*list.Element),
+		probeInterval:    defaultProbeInterval,
+		quarantineBudget: defaultQuarantineBudget,
 	}
 }
 
@@ -171,6 +187,15 @@ func (c *ResultCache) withProbeInterval(d time.Duration) *ResultCache {
 	return c
 }
 
+// withQuarantineBudget overrides the quarantine directory's byte cap
+// (b <= 0 keeps the default).
+func (c *ResultCache) withQuarantineBudget(b int64) *ResultCache {
+	if b > 0 {
+		c.quarantineBudget = b
+	}
+	return c
+}
+
 // Len returns the number of in-memory entries.
 func (c *ResultCache) Len() int {
 	c.mu.Lock()
@@ -184,16 +209,17 @@ func (c *ResultCache) Degraded() bool { return c.diskDown.Load() }
 // Stats returns a snapshot of the cache's counters.
 func (c *ResultCache) Stats() CacheStats {
 	return CacheStats{
-		Entries:      c.Len(),
-		Capacity:     c.cap,
-		MemHits:      c.memHits.Load(),
-		DiskHits:     c.diskHits.Load(),
-		Misses:       c.misses.Load(),
-		Evictions:    c.evictions.Load(),
-		DiskWrites:   c.diskWrites.Load(),
-		DiskErrors:   c.diskErrors.Load(),
-		Quarantined:  c.quarantined.Load(),
-		DiskDegraded: c.diskDown.Load(),
+		Entries:           c.Len(),
+		Capacity:          c.cap,
+		MemHits:           c.memHits.Load(),
+		DiskHits:          c.diskHits.Load(),
+		Misses:            c.misses.Load(),
+		Evictions:         c.evictions.Load(),
+		DiskWrites:        c.diskWrites.Load(),
+		DiskErrors:        c.diskErrors.Load(),
+		Quarantined:       c.quarantined.Load(),
+		QuarantineEvicted: c.quarantineEvicted.Load(),
+		DiskDegraded:      c.diskDown.Load(),
 	}
 }
 
@@ -337,6 +363,61 @@ func (c *ResultCache) quarantine(fp string, size int, cause error) {
 		"cause":       cause.Error(),
 		"moved_to":    dst,
 	})
+	c.gcQuarantine()
+}
+
+// gcQuarantine keeps the quarantine directory within its byte budget
+// by deleting the oldest entries first: sustained corruption (fault
+// injection, a rotting disk) keeps the freshest evidence and bounded
+// disk usage. Failures are best-effort — GC must never take the
+// serving path down with it.
+func (c *ResultCache) gcQuarantine() {
+	c.qgcMu.Lock()
+	defer c.qgcMu.Unlock()
+	qdir := filepath.Join(c.dir, quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var files []qfile
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil || !info.Mode().IsRegular() {
+			continue
+		}
+		files = append(files, qfile{e.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= c.quarantineBudget {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	var evicted, freed int64
+	for _, f := range files {
+		if total <= c.quarantineBudget {
+			break
+		}
+		if os.Remove(filepath.Join(qdir, f.name)) == nil {
+			total -= f.size
+			freed += f.size
+			evicted++
+			c.quarantineEvicted.Add(1)
+		}
+	}
+	if evicted > 0 {
+		c.events.Log("cache_quarantine_gc", map[string]any{
+			"evicted":         evicted,
+			"freed_bytes":     freed,
+			"remaining_bytes": total,
+			"budget_bytes":    c.quarantineBudget,
+		})
+	}
 }
 
 // QuarantineCount returns the number of entries quarantined so far.

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpoint drives one cold+hot request through a standalone
+// node and checks the scrape reflects it: tiered cell counters, cache
+// counters, queue gauges — and no cluster series on a non-member.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Base: tinyCfg(), Workers: 1})
+	w := workload.All()[0]
+	body := fmt.Sprintf(`{"bench":%q,"scheme":%q}`, w.Name, core.Variants()[0].String())
+	postSim(t, ts, body)
+	postSim(t, ts, body)
+
+	text := scrape(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE psb_cells_total counter",
+		`psb_cells_total{tier="sim"} 1`,
+		`psb_cells_total{tier="mem"} 1`,
+		`psb_cells_total{tier="peer"} 0`,
+		"psb_cache_misses_total 1",
+		"psb_requests_total 3", // two sims + the scrape itself
+		"psb_degraded 0",
+		"psb_queue_workers 1",
+		"psb_queue_finished_total 1",
+		"psb_cache_quarantine_evicted_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q\n%s", want, text)
+		}
+	}
+	for _, absent := range []string{"psb_peer_fills_total", "psb_cluster_peers_alive"} {
+		if strings.Contains(text, absent) {
+			t.Errorf("standalone node exposes cluster series %q", absent)
+		}
+	}
+}
+
+// TestMetricsClusterSeries checks a cluster member's scrape carries the
+// peer-protocol and membership series, including per-peer up gauges.
+func TestMetricsClusterSeries(t *testing.T) {
+	srvs, tss, _ := newTestCluster(t, 3, tinyCfg())
+	w := workload.All()[0]
+	v := core.Variants()[0]
+	body := fmt.Sprintf(`{"bench":%q,"scheme":%q}`, w.Name, v.String())
+	owner, _ := ownerIndex(t, srvs, tss, JobRequest{Bench: w.Name, Scheme: v.String()})
+	caller := (owner + 1) % 3
+	postSim(t, tss[caller], body)
+
+	text := scrape(t, tss[caller].URL)
+	for _, want := range []string{
+		"psb_peer_fills_total 1",
+		"psb_peer_fallbacks_total 0",
+		"psb_cluster_peers_alive 3",
+		fmt.Sprintf("psb_cluster_peer_up{peer=%q} 1", tss[owner].URL),
+		`psb_cells_total{tier="peer"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cluster scrape missing %q\n%s", want, text)
+		}
+	}
+	ownerText := scrape(t, tss[owner].URL)
+	if !strings.Contains(ownerText, "psb_peer_served_total 1") {
+		t.Errorf("owner scrape missing served counter\n%s", ownerText)
+	}
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// The peer-fill protocol rides the existing HTTP surface: a node that
+// receives a job it does not own forwards the (normalized) request to
+// the fingerprint's owner at POST /v1/peer/sim, and caches the
+// returned canonical bytes locally — replica fan-out for hot
+// artifacts. Three headers carry the protocol:
+//
+//   - PeerHopHeader counts forwarding hops. Ingress requests carry
+//     none; a forward sets 1. The peer endpoint never forwards, so a
+//     higher count can only mean a routing loop (or a spoofer) and is
+//     rejected with 508 Loop Detected.
+//   - PeerFingerprintHeader is the caller's fingerprint for the job.
+//     The owner recomputes its own and refuses on mismatch (409):
+//     the nodes disagree on the cell's identity, which means their
+//     base configurations have skewed and a shared cache would serve
+//     wrong bytes.
+//   - PeerOwnerHeader on responses names the node that answered a
+//     forwarded request (diagnostics).
+const (
+	PeerHopHeader         = "X-Psb-Peer-Hop"
+	PeerFingerprintHeader = "X-Psb-Expect-Fingerprint"
+	PeerOwnerHeader       = "X-Psb-Owner"
+	PeerTierHeader        = "X-Psb-Peer-Tier"
+)
+
+// maxPeerHops is the hop budget: ingress forwards once, the owner
+// serves locally. Anything beyond is a loop.
+const maxPeerHops = 1
+
+// maxPeerResponseBytes bounds a peer-fill response body (a canonical
+// sim.Result rendering; the fig4 histogram variant is the largest).
+const maxPeerResponseBytes = 32 << 20
+
+// routedCell resolves one job cluster-aware: local cache (replica
+// hits), then the fingerprint owner's /v1/peer/sim (the expensive
+// simulation happens once cluster-wide), then — owner down or
+// refusing — the plain local path, so a broken cluster degrades to N
+// independent nodes rather than failing requests. Without a cluster
+// it is exactly cell().
+func (s *Server) routedCell(job runner.Job, tenant string) (runner.CellResult, string, error) {
+	cl := s.cluster
+	if cl == nil {
+		return s.cell(job, tenant)
+	}
+	fp := job.Fingerprint()
+	// Replica check first: peer-filled copies of remotely-owned keys
+	// serve locally. peek, not Get — the fallthrough paths run cell(),
+	// whose lookup does the hit/miss accounting.
+	if res, tier, ok := s.cache.peek(fp); ok {
+		s.countTier(tier)
+		return runner.CellResult{Result: res, Cached: true}, tier, nil
+	}
+	if owner, self := cl.Owner(fp); !self {
+		if body, ok := s.peerBody(job, fp); ok {
+			if res, ok := s.fillFromPeer(owner, body, fp, tenant); ok {
+				s.cache.Put(fp, res)
+				s.countTier("peer")
+				return runner.CellResult{Result: res, Cached: true}, "peer", nil
+			}
+			// Owner unreachable or refusing: degrade to local
+			// simulation. The result is still correct — the cluster
+			// only loses the one-sim-per-fingerprint economy.
+			s.peerFallbacks.Add(1)
+		}
+	}
+	return s.cell(job, tenant)
+}
+
+// peerBody renders the job as a normalized single-cell request body
+// and proves the rendering is faithful: re-expanding it against this
+// node's base configuration must reproduce the job's fingerprint.
+// Cells the request vocabulary cannot express (a config field only an
+// experiment driver sets, a workload outside the registry) report
+// !ok and are simulated locally instead of forwarded.
+func (s *Server) peerBody(job runner.Job, fp string) ([]byte, bool) {
+	cfg := job.Config
+	seed := cfg.Seed
+	req := JobRequest{
+		Bench:       job.Workload.Name,
+		Scheme:      job.Variant.String(),
+		Insts:       cfg.MaxInsts,
+		Seed:        &seed,
+		L1Size:      cfg.Mem.L1D.SizeBytes,
+		L1Ways:      cfg.Mem.L1D.Ways,
+		NoDis:       cfg.CPU.Disambiguation == cpu.DisNone,
+		CollectFig4: cfg.CollectFig4,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false
+	}
+	jobs, err := req.Jobs(s.base)
+	if err != nil || len(jobs) != 1 || jobs[0].Fingerprint() != fp {
+		return nil, false
+	}
+	return body, true
+}
+
+// fillFromPeer asks the owner for the cell and validates the answer:
+// the payload must decode to a sim.Result whose canonical rendering
+// is byte-identical to what arrived, preserving the cache contract
+// across the wire. Any failure — transport error (owner marked dead),
+// non-200, oversized or corrupt payload — reports !ok and the caller
+// simulates locally.
+func (s *Server) fillFromPeer(owner string, body []byte, fp, tenant string) (sim.Result, bool) {
+	hdr := http.Header{}
+	hdr.Set(PeerHopHeader, "1")
+	hdr.Set(PeerFingerprintHeader, fp)
+	if tenant != "" && tenant != AnonTenant {
+		hdr.Set(TenantHeader, tenant)
+	}
+	start := time.Now()
+	resp, err := s.cluster.Forward(s.ctx, owner, "/v1/peer/sim", body, hdr)
+	if err != nil {
+		s.cluster.MarkDead(owner)
+		s.events.Log("peer_unreachable", map[string]any{
+			"owner": owner, "fingerprint": fp, "cause": err.Error(),
+		})
+		return sim.Result{}, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		detail, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		s.events.Log("peer_refused", map[string]any{
+			"owner": owner, "fingerprint": fp,
+			"status": resp.StatusCode, "body": string(bytes.TrimSpace(detail)),
+		})
+		return sim.Result{}, false
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes+1))
+	if err != nil || len(payload) > maxPeerResponseBytes {
+		s.cluster.MarkDead(owner)
+		return sim.Result{}, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		s.events.Log("peer_corrupt", map[string]any{
+			"owner": owner, "fingerprint": fp, "cause": err.Error(),
+		})
+		return sim.Result{}, false
+	}
+	// The cache contract survives the wire only if the peer's bytes
+	// are the canonical rendering; a mismatch means version skew, and
+	// serving it would break byte-identity with local simulation.
+	if !bytes.Equal(EncodeResult(res), payload) {
+		s.events.Log("peer_corrupt", map[string]any{
+			"owner": owner, "fingerprint": fp, "cause": "non-canonical payload",
+		})
+		return sim.Result{}, false
+	}
+	s.peerFills.Add(1)
+	s.notePeerFillDuration(time.Since(start))
+	return res, true
+}
+
+// notePeerFillDuration folds one peer fill's wall time into its EWMA
+// (exposed in stats; a fill should cost a network hop plus the
+// owner's tier, far below a local simulation).
+func (s *Server) notePeerFillDuration(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := s.peerFillNanos.Load()
+		nw := uint64(d)
+		if old != 0 {
+			nw = (old*7 + uint64(d)) / 8
+		}
+		if s.peerFillNanos.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// handlePeerSim serves one cell on behalf of a peer. It never
+// forwards — the hop guard makes routing loops structurally
+// impossible — and never charges the tenant's rate bucket (ingress
+// already did); the tenant identity still rides along so the owner's
+// fair queue prices the simulation against the right key. The
+// response body is the canonical rendering, byte-identical to
+// /v1/sim.
+func (s *Server) handlePeerSim(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		httpError(w, http.StatusNotFound, "not a cluster member (started without -peers)")
+		return
+	}
+	if hopStr := r.Header.Get(PeerHopHeader); hopStr != "" {
+		hop, err := strconv.Atoi(hopStr)
+		if err != nil || hop < 0 || hop > maxPeerHops {
+			s.peerLoopRejects.Add(1)
+			s.events.Log("peer_loop_rejected", map[string]any{"hop": hopStr, "from": r.RemoteAddr})
+			httpError(w, http.StatusLoopDetected,
+				"peer hop count %q exceeds %d: forwarding loop (mismatched -peers lists?)", hopStr, maxPeerHops)
+			return
+		}
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	jobs, err := req.Jobs(s.base)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(jobs) != 1 {
+		httpError(w, http.StatusBadRequest, "/v1/peer/sim runs exactly one cell (%d requested)", len(jobs))
+		return
+	}
+	fp := jobs[0].Fingerprint()
+	if expect := r.Header.Get(PeerFingerprintHeader); expect != "" && expect != fp {
+		// The caller and this node expanded the same body to different
+		// identities: the cluster's base configurations have skewed.
+		// Refusing is the only safe answer — a shared cache over
+		// disagreeing keys serves wrong bytes.
+		s.peerSkewRejects.Add(1)
+		s.events.Log("peer_skew_rejected", map[string]any{
+			"ours": fp, "theirs": expect, "from": r.RemoteAddr,
+		})
+		httpError(w, http.StatusConflict,
+			"fingerprint skew: caller expects %s, this node computes %s (mismatched base flags across the cluster?)",
+			expect, fp)
+		return
+	}
+
+	start := time.Now()
+	cell, tier, err := s.cell(jobs[0], tenantOf(r))
+	if err != nil || cell.Err != nil {
+		s.writeCellError(w, cell, err)
+		return
+	}
+	s.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Psb-Cache", tier)
+	w.Header().Set("X-Psb-Fingerprint", fp)
+	w.Header().Set(PeerOwnerHeader, s.cluster.Self())
+	w.Header().Set("X-Psb-Serve-Us", fmt.Sprintf("%d", time.Since(start).Microseconds()))
+	w.Write(EncodeResult(cell.Result))
+}
+
+// PeerCounters is the peer-protocol section of /v1/stats: the
+// cluster-cache economy as seen from this node.
+type PeerCounters struct {
+	// Fills counts cells this node fetched from their owner instead of
+	// simulating; Fallbacks counts cells simulated locally because the
+	// owner was unreachable or refused.
+	Fills     uint64 `json:"fills"`
+	Fallbacks uint64 `json:"fallbacks"`
+	// Served counts cells this node answered for peers.
+	Served uint64 `json:"served"`
+	// LoopRejects and SkewRejects count refused peer requests (hop
+	// budget exceeded / fingerprint disagreement).
+	LoopRejects uint64 `json:"loop_rejects"`
+	SkewRejects uint64 `json:"skew_rejects"`
+	// FillP50Us is the EWMA cost of one peer fill in microseconds.
+	FillP50Us float64 `json:"fill_ewma_us"`
+}
+
+func (s *Server) peerCounters() *PeerCounters {
+	if s.cluster == nil {
+		return nil
+	}
+	return &PeerCounters{
+		Fills:       s.peerFills.Load(),
+		Fallbacks:   s.peerFallbacks.Load(),
+		Served:      s.peerServed.Load(),
+		LoopRejects: s.peerLoopRejects.Load(),
+		SkewRejects: s.peerSkewRejects.Load(),
+		FillP50Us:   float64(s.peerFillNanos.Load()) / 1e3,
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -64,6 +65,16 @@ type Config struct {
 	// HealInterval is how often a demoted disk tier is re-probed for
 	// recovery (<= 0 selects 2s).
 	HealInterval time.Duration
+	// QuarantineBudget caps the disk-cache quarantine directory in
+	// bytes; oldest entries are garbage-collected past it (<= 0
+	// selects 64 MiB).
+	QuarantineBudget int64
+	// Cluster, when non-nil, joins the node to a fleet: fingerprints
+	// route to their consistent-hash owner, misses fill from peers,
+	// and this node answers /v1/peer/sim for the keys it owns. The
+	// server starts the cluster's health prober and closes the
+	// cluster on Close.
+	Cluster *cluster.Cluster
 }
 
 // Server is the simulation service: it resolves requests against the
@@ -86,6 +97,7 @@ type Server struct {
 	faults  *Injector
 	events  *EventLogger
 	reqLog  *EventLogger
+	cluster *cluster.Cluster
 
 	// ctx governs simulation execution. It is the server's lifetime,
 	// not any single request's: a client disconnect must not abort a
@@ -96,11 +108,17 @@ type Server struct {
 
 	// simNanos is an EWMA of recent simulation wall time, feeding the
 	// Retry-After estimate (queue depth x per-sim cost / workers).
-	simNanos atomic.Uint64
+	// peerFillNanos is the analogous EWMA for peer cache fills.
+	simNanos      atomic.Uint64
+	peerFillNanos atomic.Uint64
 
-	requests                                  atomic.Uint64
-	cellsMem, cellsDisk, cellsDedup, cellsSim atomic.Uint64
-	cellsFailed, cellsRejected                atomic.Uint64
+	requests                                             atomic.Uint64
+	cellsMem, cellsDisk, cellsDedup, cellsSim, cellsPeer atomic.Uint64
+	cellsFailed, cellsRejected                           atomic.Uint64
+
+	// Peer-protocol counters (cluster mode only; see PeerCounters).
+	peerFills, peerFallbacks, peerServed atomic.Uint64
+	peerLoopRejects, peerSkewRejects     atomic.Uint64
 }
 
 // New starts a server. The caller owns the HTTP listener; Handler
@@ -116,7 +134,8 @@ func New(cfg Config) *Server {
 	faults := NewInjector(cfg.Faults)
 	cache := NewResultCache(cfg.CacheEntries, cfg.CacheDir).
 		withEvents(events).
-		withProbeInterval(cfg.HealInterval)
+		withProbeInterval(cfg.HealInterval).
+		withQuarantineBudget(cfg.QuarantineBudget)
 	if faults != nil {
 		cache.withDisk(faultDisk{in: faults, next: osDisk{}})
 		events.Log("faults_armed", map[string]any{"plan": cfg.Faults.String()})
@@ -135,9 +154,17 @@ func New(cfg Config) *Server {
 		faults:  faults,
 		events:  events,
 		reqLog:  NewEventLogger(cfg.RequestLog),
+		cluster: cfg.Cluster,
 		ctx:     ctx,
 		cancel:  cancel,
 		start:   time.Now(),
+	}
+	if s.cluster != nil {
+		s.cluster.Start()
+		events.Log("cluster_joined", map[string]any{
+			"self":  s.cluster.Self(),
+			"peers": s.cluster.Ring().Nodes(),
+		})
 	}
 	return s
 }
@@ -160,16 +187,21 @@ func (s *Server) Degraded() bool { return s.cache.Degraded() }
 func (s *Server) Close() {
 	s.cancel()
 	s.disp.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }
 
 // Handler returns the server's routing entry point.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/sim", s.handleSim)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/artifact", s.handleArtifact)
+	mux.HandleFunc("POST /v1/peer/sim", s.handlePeerSim)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		if s.reqLog == nil {
@@ -271,6 +303,8 @@ func (s *Server) countTier(tier string) {
 		s.cellsDedup.Add(1)
 	case "sim":
 		s.cellsSim.Add(1)
+	case "peer":
+		s.cellsPeer.Add(1)
 	}
 }
 
@@ -433,7 +467,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	cell, tier, err := s.cell(jobs[0], tenant)
+	cell, tier, err := s.routedCell(jobs[0], tenant)
 	if err != nil || cell.Err != nil {
 		s.writeCellError(w, cell, err)
 		return
@@ -529,8 +563,8 @@ type batchOutcome struct {
 	err  error
 }
 
-// runAll resolves jobs concurrently through the cell path on the
-// tenant's queue.
+// runAll resolves jobs concurrently through the cluster-aware cell
+// path on the tenant's queue.
 func (s *Server) runAll(jobs []runner.Job, tenant string) []batchOutcome {
 	out := make([]batchOutcome, len(jobs))
 	var wg sync.WaitGroup
@@ -538,7 +572,7 @@ func (s *Server) runAll(jobs []runner.Job, tenant string) []batchOutcome {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].cell, out[i].tier, out[i].err = s.cell(jobs[i], tenant)
+			out[i].cell, out[i].tier, out[i].err = s.routedCell(jobs[i], tenant)
 		}(i)
 	}
 	wg.Wait()
@@ -623,12 +657,23 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 // still answers 200 — it serves correct results from memory — but
 // orchestration can see it and route around.
 type HealthReport struct {
-	Status       string      `json:"status"` // "ok" or "degraded"
-	Degraded     bool        `json:"degraded"`
-	UptimeSec    float64     `json:"uptime_sec"`
-	Cache        CacheHealth `json:"cache"`
-	Queue        QueueStats  `json:"queue"`
-	FaultsActive bool        `json:"faults_active,omitempty"`
+	Status       string         `json:"status"` // "ok" or "degraded"
+	Degraded     bool           `json:"degraded"`
+	UptimeSec    float64        `json:"uptime_sec"`
+	Cache        CacheHealth    `json:"cache"`
+	Queue        QueueStats     `json:"queue"`
+	Cluster      *ClusterHealth `json:"cluster,omitempty"`
+	FaultsActive bool           `json:"faults_active,omitempty"`
+}
+
+// ClusterHealth is the cluster section of /healthz: this node's
+// identity plus how much of the fleet it can currently see. A node
+// with zero alive peers still answers 200 — it has degraded to
+// independent operation, which serves correct results.
+type ClusterHealth struct {
+	Self       string `json:"self"`
+	PeersAlive int    `json:"peers_alive"`
+	PeersTotal int    `json:"peers_total"`
 }
 
 // Health snapshots the node's health.
@@ -638,7 +683,7 @@ func (s *Server) Health() HealthReport {
 	if degraded {
 		status = "degraded"
 	}
-	return HealthReport{
+	h := HealthReport{
 		Status:       status,
 		Degraded:     degraded,
 		UptimeSec:    time.Since(s.start).Seconds(),
@@ -646,6 +691,15 @@ func (s *Server) Health() HealthReport {
 		Queue:        s.queueStats(),
 		FaultsActive: s.faults.Active(),
 	}
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		h.Cluster = &ClusterHealth{
+			Self:       cs.Self,
+			PeersAlive: cs.PeersAlive,
+			PeersTotal: len(cs.Peers),
+		}
+	}
+	return h
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -662,6 +716,9 @@ type CellCounters struct {
 	DiskHits uint64 `json:"disk_hits"`
 	Dedup    uint64 `json:"dedup_hits"`
 	Sim      uint64 `json:"simulated"`
+	// PeerHits counts cells served by fetching the result from the
+	// fingerprint's owning node instead of simulating (cluster mode).
+	PeerHits uint64 `json:"peer_hits"`
 	Failed   uint64 `json:"failed"`
 	Rejected uint64 `json:"rejected"`
 }
@@ -692,21 +749,24 @@ type FaultStats struct {
 
 // ServerStats is the response body of GET /v1/stats.
 type ServerStats struct {
-	UptimeSec  float64       `json:"uptime_sec"`
-	Requests   uint64        `json:"requests"`
-	Degraded   bool          `json:"degraded"`
-	Cells      CellCounters  `json:"cells"`
-	Cache      CacheStats    `json:"cache"`
-	Queue      QueueStats    `json:"queue"`
-	Tenants    []TenantStats `json:"tenants,omitempty"`
-	Faults     *FaultStats   `json:"faults,omitempty"`
-	Trace      trace.Stats   `json:"trace"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
+	UptimeSec  float64        `json:"uptime_sec"`
+	Requests   uint64         `json:"requests"`
+	Degraded   bool           `json:"degraded"`
+	Cells      CellCounters   `json:"cells"`
+	Cache      CacheStats     `json:"cache"`
+	Queue      QueueStats     `json:"queue"`
+	Tenants    []TenantStats  `json:"tenants,omitempty"`
+	Faults     *FaultStats    `json:"faults,omitempty"`
+	Peer       *PeerCounters  `json:"peer,omitempty"`
+	Cluster    *cluster.Stats `json:"cluster,omitempty"`
+	Trace      trace.Stats    `json:"trace"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() ServerStats {
-	mem, disk, dedup, simd := s.cellsMem.Load(), s.cellsDisk.Load(), s.cellsDedup.Load(), s.cellsSim.Load()
+	mem, disk, dedup, simd, peer := s.cellsMem.Load(), s.cellsDisk.Load(),
+		s.cellsDedup.Load(), s.cellsSim.Load(), s.cellsPeer.Load()
 	var faults *FaultStats
 	if s.faults != nil {
 		faults = &FaultStats{
@@ -715,16 +775,22 @@ func (s *Server) Stats() ServerStats {
 			Injected: s.faults.Counters(),
 		}
 	}
+	var clusterStats *cluster.Stats
+	if s.cluster != nil {
+		cs := s.cluster.Stats()
+		clusterStats = &cs
+	}
 	return ServerStats{
 		UptimeSec: time.Since(s.start).Seconds(),
 		Requests:  s.requests.Load(),
 		Degraded:  s.cache.Degraded(),
 		Cells: CellCounters{
-			Total:    mem + disk + dedup + simd,
+			Total:    mem + disk + dedup + simd + peer,
 			MemHits:  mem,
 			DiskHits: disk,
 			Dedup:    dedup,
 			Sim:      simd,
+			PeerHits: peer,
 			Failed:   s.cellsFailed.Load(),
 			Rejected: s.cellsRejected.Load(),
 		},
@@ -732,6 +798,8 @@ func (s *Server) Stats() ServerStats {
 		Queue:      s.queueStats(),
 		Tenants:    s.tenantStats(),
 		Faults:     faults,
+		Peer:       s.peerCounters(),
+		Cluster:    clusterStats,
 		Trace:      trace.Shared().Stats(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
