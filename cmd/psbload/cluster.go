@@ -31,6 +31,12 @@ type clusterOptions struct {
 	minHitRate float64
 	maxSims    int64
 	gateDedup  bool
+	// batchSize > 0 adds a batched phase: a fresh (cold) cell set is
+	// driven through /v1/batch in batches this large, measuring the
+	// scatter-gather fan-out. gateBatchRPCs fails the run unless every
+	// posted batch cost at most one peer RPC per remote owner.
+	batchSize     int
+	gateBatchRPCs bool
 }
 
 // nodeReport is one target's row in BENCH_cluster.json.
@@ -78,6 +84,45 @@ type clusterReport struct {
 	ByteMismatches int     `json:"byte_mismatches"`
 	HotRPS         float64 `json:"hot_rps"`
 	Errors         int     `json:"errors"`
+
+	// Batch is the scatter-gather phase's report (-batch-size > 0).
+	Batch *batchReport `json:"batch,omitempty"`
+}
+
+// batchReport is the batched (/v1/batch) phase of BENCH_cluster.json.
+type batchReport struct {
+	BatchSize int `json:"batch_size"`
+	// Batches is the distinct batch count; BatchesPosted counts every
+	// posting (cold + hot waves, each batch posted to every target).
+	Batches       int `json:"batches"`
+	BatchesPosted int `json:"batches_posted"`
+	// Cells is the unique batched cell count (fresh seed, disjoint
+	// from the per-cell phase so the cold fan-out is real).
+	Cells int `json:"cells"`
+
+	// Per-batch wall-time percentiles, cold (fan-out + simulation)
+	// and hot (every cell cache-served somewhere).
+	ColdP50Us float64 `json:"cold_p50_us"`
+	ColdP95Us float64 `json:"cold_p95_us"`
+	HotP50Us  float64 `json:"hot_p50_us"`
+	HotP95Us  float64 `json:"hot_p95_us"`
+
+	// HotCellsPerSec is the batched hot path's throughput in cells per
+	// second; SpeedupVsPerCell is its ratio to the per-cell hot RPS on
+	// the same box (the batching win).
+	HotCellsPerSec   float64 `json:"hot_cells_per_sec"`
+	SpeedupVsPerCell float64 `json:"speedup_vs_per_cell"`
+
+	// Fleet-wide deltas across the batched phase.
+	Sims           uint64 `json:"sims"`
+	PeerBatchRPCs  uint64 `json:"peer_batch_rpcs"`
+	PeerBatchCells uint64 `json:"peer_batch_cells"`
+	CoalescedFills uint64 `json:"coalesced_fills"`
+	WarmPushSent   uint64 `json:"warm_push_sent"`
+
+	// ByteMismatches counts batched cells whose canonical bytes
+	// differed from the per-cell /v1/sim answer (must be 0).
+	ByteMismatches int `json:"byte_mismatches"`
 }
 
 // clusterSample is one request's measurement plus its body hash.
@@ -235,6 +280,24 @@ func runClusterBench(o clusterOptions) int {
 	}
 	r.HotRPS = float64(len(cells)*nT*o.hotIters) / hotElapsed.Seconds()
 
+	if o.batchSize > 0 {
+		br, batchErrs := runBatchedPhase(client, o, after)
+		if r.HotRPS > 0 {
+			br.SpeedupVsPerCell = br.HotCellsPerSec / r.HotRPS
+		}
+		r.Batch = br
+		r.Errors += batchErrs
+		r.ClusterSims += br.Sims
+		// Unique cells and request-cells now span both phases (the
+		// differential singles count as one request-cell each).
+		uniqueCells := len(cells) + br.Cells
+		r.SimsPerCell = float64(r.ClusterSims) / float64(uniqueCells)
+		totalRequests += br.Cells*len(o.targets)*(1+o.hotIters) + br.Cells
+		if totalRequests > 0 {
+			r.ClusterHitRate = 1 - float64(r.ClusterSims)/float64(totalRequests)
+		}
+	}
+
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -247,7 +310,17 @@ func runClusterBench(o clusterOptions) int {
 	fmt.Fprintf(os.Stderr,
 		"%s: %d cells x %d nodes, %d sims cluster-wide (%.2f/cell), hit rate %.3f, %.0f hot req/s, %d byte mismatches, %d errors\n",
 		o.out, r.Cells, nT, r.ClusterSims, r.SimsPerCell, r.ClusterHitRate, r.HotRPS, r.ByteMismatches, r.Errors)
+	if r.Batch != nil {
+		fmt.Fprintf(os.Stderr,
+			"%s: batched: %d cells in %d batches, %d peer RPCs (%d postings), hot %.0f cells/s (%.1fx per-cell), %d byte mismatches\n",
+			o.out, r.Batch.Cells, r.Batch.Batches, r.Batch.PeerBatchRPCs, r.Batch.BatchesPosted,
+			r.Batch.HotCellsPerSec, r.Batch.SpeedupVsPerCell, r.Batch.ByteMismatches)
+	}
 
+	uniqueCells := len(cells)
+	if r.Batch != nil {
+		uniqueCells += r.Batch.Cells
+	}
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "psbload: GATE FAILED: "+format+"\n", args...)
 		return 1
@@ -257,14 +330,216 @@ func runClusterBench(o clusterOptions) int {
 		return fail("%d requests failed", r.Errors)
 	case r.ByteMismatches > 0:
 		return fail("%d responses diverged from the reference bytes", r.ByteMismatches)
-	case o.gateDedup && r.ClusterSims != uint64(len(cells)):
-		return fail("cluster ran %d sims for %d unique cells, want exactly one each", r.ClusterSims, len(cells))
+	case r.Batch != nil && r.Batch.ByteMismatches > 0:
+		return fail("%d batched cells diverged from their per-cell bytes", r.Batch.ByteMismatches)
+	case o.gateDedup && r.ClusterSims != uint64(uniqueCells):
+		return fail("cluster ran %d sims for %d unique cells, want exactly one each", r.ClusterSims, uniqueCells)
 	case o.maxSims >= 0 && r.ClusterSims > uint64(o.maxSims):
 		return fail("cluster ran %d sims, budget was %d", r.ClusterSims, o.maxSims)
 	case o.minHitRate >= 0 && r.ClusterHitRate < o.minHitRate:
 		return fail("cluster hit rate %.3f below the %.3f floor", r.ClusterHitRate, o.minHitRate)
+	case o.gateBatchRPCs && r.Batch != nil && r.Batch.PeerBatchRPCs > uint64(r.Batch.BatchesPosted*(nT-1)):
+		return fail("batched phase cost %d peer RPCs for %d postings; budget is %d (one per remote owner)",
+			r.Batch.PeerBatchRPCs, r.Batch.BatchesPosted, r.Batch.BatchesPosted*(nT-1))
 	}
 	return 0
+}
+
+// batchPost is one /v1/batch posting's measurement: wall time plus the
+// canonical hash of every returned cell.
+type batchPost struct {
+	latency time.Duration
+	status  int
+	hashes  [][sha256.Size]byte
+	errs    int
+}
+
+// postOneBatch sends one batch, retrying 429s like a real client.
+// With verify it decodes the response and hashes each cell's
+// canonical rendering for the differential check; without, it drains
+// the body so timed hot waves measure serving, not client decoding.
+func postOneBatch(client *http.Client, base, body string, verify bool) batchPost {
+	start := time.Now()
+	for {
+		resp, err := client.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			return batchPost{latency: time.Since(start), errs: 1}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if !verify {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			out := batchPost{latency: time.Since(start), status: resp.StatusCode}
+			if resp.StatusCode != http.StatusOK {
+				out.errs = 1
+			}
+			return out
+		}
+		var br serve.BatchResponse
+		err = json.NewDecoder(resp.Body).Decode(&br)
+		resp.Body.Close()
+		out := batchPost{latency: time.Since(start), status: resp.StatusCode}
+		if err != nil || resp.StatusCode != http.StatusOK {
+			out.errs = 1
+			return out
+		}
+		for _, c := range br.Cells {
+			if c.Error != "" || c.Result == nil {
+				out.errs++
+				out.hashes = append(out.hashes, [sha256.Size]byte{})
+				continue
+			}
+			out.hashes = append(out.hashes, sha256.Sum256(serve.EncodeResult(*c.Result)))
+		}
+		return out
+	}
+}
+
+// runBatchedPhase drives a fresh (cold) cell set through /v1/batch
+// from every node at once: the cold wave fans each batch out to its
+// owners (concurrent cross-node fills coalesce to one simulation per
+// cell), hot waves re-post every batch everywhere, and a final
+// differential pass re-fetches every cell through /v1/sim to prove
+// the batched bytes identical. mid is the /v1/stats snapshot taken
+// just before this phase; the report's counters are deltas against it.
+func runBatchedPhase(client *http.Client, o clusterOptions, mid []serve.ServerStats) (*batchReport, int) {
+	nT := len(o.targets)
+	seed := o.seed + 1000
+	var jobs []string
+	var singles []request
+	for _, w := range workload.All() {
+		for _, v := range core.Variants() {
+			body := fmt.Sprintf(`{"bench":%q,"scheme":%q,"insts":%d,"seed":%d}`, w.Name, v.String(), o.insts, seed)
+			jobs = append(jobs, body)
+			singles = append(singles, request{body: body})
+		}
+	}
+	var batches []string
+	for i := 0; i < len(jobs); i += o.batchSize {
+		end := min(i+o.batchSize, len(jobs))
+		batches = append(batches, fmt.Sprintf(`{"jobs":[%s]}`, strings.Join(jobs[i:end], ",")))
+	}
+
+	// One wave posts every batch to every target, all pairs in flight
+	// together under the concurrency bound — the same shape as the
+	// per-cell wave, so the throughput comparison is apples to apples.
+	// The cold wave's concurrent cross-node postings also exercise the
+	// cluster singleflight: three ingress nodes fill the same cells at
+	// once and the owner simulates each exactly once.
+	wave := func(verify bool) [][]batchPost {
+		out := make([][]batchPost, nT)
+		for i := range out {
+			out[i] = make([]batchPost, len(batches))
+		}
+		type pair struct{ batch, target int }
+		pairs := make(chan pair)
+		var wg sync.WaitGroup
+		for w := 0; w < o.concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range pairs {
+					out[p.target][p.batch] = postOneBatch(client, o.targets[p.target], batches[p.batch], verify)
+				}
+			}()
+		}
+		for b := range batches {
+			for t := 0; t < nT; t++ {
+				pairs <- pair{b, t}
+			}
+		}
+		close(pairs)
+		wg.Wait()
+		return out
+	}
+
+	errs := 0
+	mismatches := 0
+	cold := wave(true)
+	// Within each batch, every node's rendering of every cell must hash
+	// identically to the cold reference (node 0's). Hot waves skip the
+	// per-cell decode (verify=false) so their timing measures serving;
+	// identity on the hot path is what the differential pass proves.
+	check := func(w [][]batchPost, samples *[]sample) {
+		for t := 0; t < nT; t++ {
+			for b := range batches {
+				p := w[t][b]
+				errs += p.errs
+				*samples = append(*samples, sample{latency: p.latency, status: p.status})
+				ref := cold[0][b].hashes
+				if p.status != http.StatusOK || p.hashes == nil || len(p.hashes) != len(ref) {
+					continue
+				}
+				for k := range p.hashes {
+					if p.hashes[k] != ref[k] {
+						mismatches++
+					}
+				}
+			}
+		}
+	}
+	var coldSamples, hotSamples []sample
+	check(cold, &coldSamples)
+	hotStart := time.Now()
+	for i := 0; i < o.hotIters; i++ {
+		check(wave(false), &hotSamples)
+	}
+	hotElapsed := time.Since(hotStart)
+
+	// Differential: every batched cell re-fetched per-cell (hot now)
+	// must hash identically to the batch's canonical rendering.
+	for c := range singles {
+		b, k := c/o.batchSize, c%o.batchSize
+		if len(cold[0][b].hashes) <= k {
+			continue // the batch itself failed; already counted
+		}
+		s := oneHashed(client, o.targets[c%nT], singles[c])
+		if s.status != http.StatusOK {
+			errs++
+			continue
+		}
+		if s.hash != cold[0][b].hashes[k] {
+			mismatches++
+		}
+	}
+
+	br := &batchReport{
+		BatchSize:      o.batchSize,
+		Batches:        len(batches),
+		BatchesPosted:  len(batches) * nT * (1 + o.hotIters),
+		Cells:          len(jobs),
+		ByteMismatches: mismatches,
+	}
+	coldP := percentiles(coldSamples)
+	hotP := percentiles(hotSamples)
+	br.ColdP50Us, br.ColdP95Us = coldP[0], coldP[1]
+	br.HotP50Us, br.HotP95Us = hotP[0], hotP[1]
+	if o.hotIters > 0 && hotElapsed > 0 {
+		br.HotCellsPerSec = float64(len(jobs)*nT*o.hotIters) / hotElapsed.Seconds()
+	}
+	for i, t := range o.targets {
+		final := fetchStats(client, t)
+		br.Sims += final.Cells.Sim - mid[i].Cells.Sim
+		if final.Peer == nil {
+			continue
+		}
+		br.PeerBatchRPCs += final.Peer.BatchRPCs
+		br.PeerBatchCells += final.Peer.BatchCells
+		br.CoalescedFills += final.Peer.Coalesced
+		br.WarmPushSent += final.Peer.WarmPushSent
+		if mid[i].Peer != nil {
+			br.PeerBatchRPCs -= mid[i].Peer.BatchRPCs
+			br.PeerBatchCells -= mid[i].Peer.BatchCells
+			br.CoalescedFills -= mid[i].Peer.Coalesced
+			br.WarmPushSent -= mid[i].Peer.WarmPushSent
+		}
+	}
+	return br, errs
 }
 
 // oneHashed is one() plus a body hash, for cross-node byte-identity

@@ -18,6 +18,13 @@
 // and BENCH_cluster.json records per-node latency, hit rate and peer
 // traffic plus the cluster-wide simulation count. The -gate-dedup,
 // -max-sims and -min-hit-rate flags turn the report into a CI gate.
+// Adding -batch-size N appends a scatter-gather phase: a fresh cell
+// set is driven through /v1/batch in N-cell batches (cold fan-out,
+// hot rotated-ingress waves, then a per-cell differential re-check),
+// and the report's "batch" section records per-batch latency, hot
+// cells/sec versus the per-cell path, and the peer-RPC counters;
+// -gate-batch-rpcs fails the run unless every posted batch cost at
+// most one peer RPC per remote owner.
 //
 // With -chaos it becomes a fault-tolerance harness instead of a
 // benchmark: it arms a deterministic fault plan (-chaos-faults),
@@ -116,6 +123,8 @@ func main() {
 		minHitRate = flag.Float64("min-hit-rate", -1, "cluster: fail unless the cluster-wide hit rate reaches this (-1 = no gate)")
 		maxSims    = flag.Int64("max-sims", -1, "cluster: fail if the run cost more than this many simulations cluster-wide (-1 = no gate)")
 		gateDedup  = flag.Bool("gate-dedup", false, "cluster: fail unless the run cost exactly one simulation per unique cell cluster-wide")
+		batchSize  = flag.Int("batch-size", 0, "cluster: also drive /v1/batch with fresh cells in batches this large (0 = skip the batched phase)")
+		gateBatch  = flag.Bool("gate-batch-rpcs", false, "cluster: fail unless every posted batch cost at most one peer RPC per remote owner")
 
 		chaos       = flag.Bool("chaos", false, "run the chaos harness instead of the benchmark")
 		chaosDur    = flag.Duration("chaos-dur", 12*time.Second, "chaos: traffic window length")
@@ -180,15 +189,17 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runClusterBench(clusterOptions{
-			targets:     urls,
-			insts:       *insts,
-			seed:        *seed,
-			concurrency: *concurrency,
-			hotIters:    *hotIters,
-			out:         outPath,
-			minHitRate:  *minHitRate,
-			maxSims:     *maxSims,
-			gateDedup:   *gateDedup,
+			targets:       urls,
+			insts:         *insts,
+			seed:          *seed,
+			concurrency:   *concurrency,
+			hotIters:      *hotIters,
+			out:           outPath,
+			minHitRate:    *minHitRate,
+			maxSims:       *maxSims,
+			gateDedup:     *gateDedup,
+			batchSize:     *batchSize,
+			gateBatchRPCs: *gateBatch,
 		}))
 	}
 

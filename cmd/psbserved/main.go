@@ -20,16 +20,23 @@
 //	POST /v1/sim        one cell; body {"bench":"health","scheme":"ConfAlloc-Priority"}
 //	POST /v1/batch      many cells; body {"jobs":[...]}
 //	POST /v1/artifact   a named table or figure; body {"name":"fig5"}
-//	POST /v1/peer/sim   peer cache-fill (cluster members only)
+//	POST /v1/peer/sim   peer cache-fill, one cell (cluster members only)
+//	POST /v1/peer/batch peer cache-fill, many cells in one RPC (cluster members only)
+//	POST /v1/peer/warm  successor warm-push replication (cluster members only)
 //
 // With -peers, every node places the full membership on a consistent-
 // hash ring (sha256 over the job fingerprint, -replicas virtual nodes
 // per member). A node receiving a cell it does not own forwards it to
 // the owner and caches the returned bytes, so each unique cell costs
 // one simulation cluster-wide no matter which node the request lands
-// on. A dead owner (probes and forwards fail) is routed around: the
-// receiving node simulates locally and the cluster degrades to
-// independent nodes rather than failing requests.
+// on. Batches scatter-gather: cells are grouped by owner and travel in
+// one /v1/peer/batch RPC per owner, with concurrent fills for the same
+// fingerprint coalesced node-wide. After a cold simulation the entry
+// is also warm-pushed, best-effort, to the fingerprint's next ring
+// successor (-warm-push-queue bounds the replication queue) so
+// failover lands on a warm cache. A dead owner (probes and forwards
+// fail) is routed around: the receiving node simulates locally and the
+// cluster degrades to independent nodes rather than failing requests.
 //
 // Responses from /v1/sim are byte-identical to `psbsim -json` for the
 // same cell, whether simulated, deduplicated or cache-served (the
@@ -84,6 +91,7 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated cluster membership (host:port, self included); empty = standalone")
 		advertise    = flag.String("advertise", "", "this node's address as it appears in -peers (required with -peers)")
 		replicas     = flag.Int("replicas", 0, "virtual nodes per member on the hash ring (0 = 128); every member must agree")
+		warmQueue    = flag.Int("warm-push-queue", 256, "successor warm-push queue depth (cluster mode; 0 disables)")
 		quarCap      = flag.Int64("quarantine-cap", 0, "byte budget for the disk-cache quarantine directory (0 = 64 MiB)")
 		faultSpec    = flag.String("faults", os.Getenv("PSB_FAULTS"),
 			"DANGEROUS: arm deterministic fault injection, e.g. 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s' (default from PSB_FAULTS)")
@@ -166,6 +174,7 @@ func main() {
 		HealInterval:     *healEvery,
 		QuarantineBudget: *quarCap,
 		Cluster:          cl,
+		WarmPushQueue:    warmPushConfig(*warmQueue),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -209,6 +218,15 @@ func logFile(f *os.File) interface {
 		return nil
 	}
 	return f
+}
+
+// warmPushConfig maps the flag's "0 disables" convention onto the
+// serve config's "negative disables, 0 selects the default".
+func warmPushConfig(depth int) int {
+	if depth <= 0 {
+		return -1
+	}
+	return depth
 }
 
 func cacheLabel(dir string) string {

@@ -22,6 +22,12 @@ const (
 	defaultProbeTimeout   = 750 * time.Millisecond
 	defaultForwardTimeout = 2 * time.Minute
 	defaultForwardRetries = 1
+	// defaultPeerMaxIdle is the idle-connection pool depth per peer.
+	// Scatter-gather batching turns N cell fills into one RPC per
+	// owner, but ingress bursts still fan many concurrent forwards at
+	// the same owner; a deep per-peer pool keeps them off the TCP
+	// handshake path.
+	defaultPeerMaxIdle = 32
 )
 
 // Config parameterizes a Cluster.
@@ -44,6 +50,11 @@ type Config struct {
 	// errors are never retried — the peer answered, it just said no.
 	ForwardTimeout time.Duration
 	ForwardRetries int
+	// PeerMaxIdle is the idle-connection pool depth kept per peer
+	// (<= 0 selects 32). Forwards reuse pooled connections, so a hot
+	// ingress node talks to each owner over a handful of long-lived
+	// sockets instead of handshaking per fill.
+	PeerMaxIdle int
 }
 
 // Normalize returns the config with URL schemes added and defaults
@@ -86,6 +97,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.ForwardRetries < 0 {
 		c.ForwardRetries = defaultForwardRetries
+	}
+	if c.PeerMaxIdle <= 0 {
+		c.PeerMaxIdle = defaultPeerMaxIdle
 	}
 	return c, nil
 }
@@ -149,7 +163,11 @@ func New(cfg Config) (*Cluster, error) {
 		http: &http.Client{
 			Timeout: cfg.ForwardTimeout,
 			Transport: &http.Transport{
-				MaxIdleConnsPerHost: 16,
+				// Per-peer pool depth, and a total budget sized so every
+				// peer can hold a full pool at once — a scatter-gather
+				// batch touches every owner in the same instant.
+				MaxIdleConnsPerHost: cfg.PeerMaxIdle,
+				MaxIdleConns:        cfg.PeerMaxIdle * len(cfg.Peers),
 				IdleConnTimeout:     90 * time.Second,
 			},
 		},
@@ -289,6 +307,28 @@ func (c *Cluster) probeOne(node string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// forwardBody is a pooled request body: a bytes.Reader plus a close
+// signal. RoundTrip may keep draining the body from another goroutine
+// after it returns (the io.RoundTripper contract), so the reader is
+// only reusable once the transport has Closed it — the signal says
+// when.
+type forwardBody struct {
+	bytes.Reader
+	closed chan struct{}
+}
+
+func (b *forwardBody) Close() error {
+	select {
+	case b.closed <- struct{}{}:
+	default: // double close: the first signal already stands
+	}
+	return nil
+}
+
+var bodyPool = sync.Pool{New: func() any {
+	return &forwardBody{closed: make(chan struct{}, 1)}
+}}
+
 // Forward posts body to the peer's path and returns the response. A
 // transport error (connection refused, timeout) is retried up to
 // ForwardRetries times on the pooled client, then reported — the
@@ -298,18 +338,7 @@ func (c *Cluster) probeOne(node string) bool {
 func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, hdr http.Header) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.ForwardRetries; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		for k, vs := range hdr {
-			for _, v := range vs {
-				req.Header.Add(k, v)
-			}
-		}
-		c.forwards.Add(1)
-		resp, err := c.http.Do(req)
+		resp, err := c.forwardOnce(ctx, peer, path, body, hdr)
 		if err == nil {
 			return resp, nil
 		}
@@ -320,6 +349,47 @@ func (c *Cluster) Forward(ctx context.Context, peer, path string, body []byte, h
 		}
 	}
 	return nil, lastErr
+}
+
+// forwardOnce sends one attempt over a pooled connection with a pooled
+// body reader.
+func (c *Cluster) forwardOnce(ctx context.Context, peer, path string, body []byte, hdr http.Header) (*http.Response, error) {
+	fb := bodyPool.Get().(*forwardBody)
+	select {
+	case <-fb.closed: // clear a stale double-close signal
+	default:
+	}
+	fb.Reset(body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, fb)
+	if err != nil {
+		bodyPool.Put(fb)
+		return nil, err
+	}
+	// fb is not one of the types NewRequest sniffs, so declare the
+	// length (keeps Content-Length framing instead of chunked) and a
+	// rewind hook for the transport's internal connection retries.
+	req.ContentLength = int64(len(body))
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(body)), nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	c.forwards.Add(1)
+	resp, err := c.http.Do(req)
+	// The reader goes back to the pool only if the transport has
+	// already Closed it (the common case: the request was fully
+	// written before the response arrived); otherwise the transport
+	// may still be draining it and the reader is abandoned to the GC.
+	select {
+	case <-fb.closed:
+		bodyPool.Put(fb)
+	default:
+	}
+	return resp, err
 }
 
 // PeerHealth is one member's row in the cluster stats.

@@ -40,6 +40,15 @@ func (h *handlerVar) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // deterministically.
 func newTestCluster(t *testing.T, n int, base sim.Config) ([]*Server, []*httptest.Server, func(int)) {
 	t.Helper()
+	// Warm-push is disabled here: replicas appearing asynchronously on
+	// successors would make per-node tier assertions nondeterministic.
+	// Warm-push tests opt in via newTestClusterWith.
+	return newTestClusterWith(t, n, base, func(cfg *Config) { cfg.WarmPushQueue = -1 })
+}
+
+// newTestClusterWith is newTestCluster with a per-node Config hook.
+func newTestClusterWith(t *testing.T, n int, base sim.Config, tune func(*Config)) ([]*Server, []*httptest.Server, func(int)) {
+	t.Helper()
 	hs := make([]*handlerVar, n)
 	tss := make([]*httptest.Server, n)
 	urls := make([]string, n)
@@ -59,7 +68,11 @@ func newTestCluster(t *testing.T, n int, base sim.Config) ([]*Server, []*httptes
 		if err != nil {
 			t.Fatalf("cluster.New(node %d): %v", i, err)
 		}
-		srvs[i] = New(Config{Base: base, Workers: 2, Cluster: cl})
+		cfg := Config{Base: base, Workers: 2, Cluster: cl}
+		if tune != nil {
+			tune(&cfg)
+		}
+		srvs[i] = New(cfg)
 		hs[i].v.Store(srvs[i].Handler())
 	}
 	t.Cleanup(func() {

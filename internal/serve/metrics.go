@@ -105,6 +105,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "psb_peer_loop_rejects_total %d\n", st.Peer.LoopRejects)
 		mf("psb_peer_skew_rejects_total", "counter", "Peer requests refused for fingerprint disagreement (config skew).")
 		fmt.Fprintf(&b, "psb_peer_skew_rejects_total %d\n", st.Peer.SkewRejects)
+		mf("psb_peer_batch_rpcs_total", "counter", "Outgoing scatter-gather fill RPCs (one per remote owner per batch).")
+		fmt.Fprintf(&b, "psb_peer_batch_rpcs_total %d\n", st.Peer.BatchRPCs)
+		mf("psb_peer_batch_cells_total", "counter", "Cells carried by outgoing scatter-gather fill RPCs.")
+		fmt.Fprintf(&b, "psb_peer_batch_cells_total %d\n", st.Peer.BatchCells)
+		mf("psb_peer_coalesced_fills_total", "counter", "Fills that joined an in-flight wire fetch instead of paying their own RPC.")
+		fmt.Fprintf(&b, "psb_peer_coalesced_fills_total %d\n", st.Peer.Coalesced)
+		mf("psb_warm_push_total", "counter", "Successor warm-push replication events, by outcome.")
+		for _, o := range []struct {
+			outcome string
+			n       uint64
+		}{
+			{"sent", st.Peer.WarmPushSent}, {"dropped", st.Peer.WarmPushDropped},
+			{"failed", st.Peer.WarmPushFailed}, {"received", st.Peer.WarmPushReceived},
+			{"rejected", st.Peer.WarmPushRejected},
+		} {
+			fmt.Fprintf(&b, "psb_warm_push_total{outcome=%q} %d\n", o.outcome, o.n)
+		}
 	}
 	if st.Cluster != nil {
 		mf("psb_cluster_forwards_total", "counter", "Forward attempts to peers (retries included).")

@@ -84,6 +84,19 @@ func TestMetricsClusterSeries(t *testing.T) {
 		"psb_cluster_peers_alive 3",
 		fmt.Sprintf("psb_cluster_peer_up{peer=%q} 1", tss[owner].URL),
 		`psb_cells_total{tier="peer"} 1`,
+		// Scatter-gather and warm-push series exist from the first
+		// scrape (single-cell traffic leaves the batch counters at 0;
+		// warm-push is disabled in newTestCluster so all outcomes are 0).
+		"# TYPE psb_peer_batch_rpcs_total counter",
+		"psb_peer_batch_rpcs_total 0",
+		"psb_peer_batch_cells_total 0",
+		"psb_peer_coalesced_fills_total 0",
+		"# TYPE psb_warm_push_total counter",
+		`psb_warm_push_total{outcome="sent"} 0`,
+		`psb_warm_push_total{outcome="dropped"} 0`,
+		`psb_warm_push_total{outcome="failed"} 0`,
+		`psb_warm_push_total{outcome="received"} 0`,
+		`psb_warm_push_total{outcome="rejected"} 0`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("cluster scrape missing %q\n%s", want, text)

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/cpu"
@@ -67,8 +66,7 @@ func (s *Server) routedCell(job runner.Job, tenant string) (runner.CellResult, s
 	}
 	if owner, self := cl.Owner(fp); !self {
 		if body, ok := s.peerBody(job, fp); ok {
-			if res, ok := s.fillFromPeer(owner, body, fp, tenant); ok {
-				s.cache.Put(fp, res)
+			if res, ok := s.coalescedFill(owner, body, fp, tenant); ok {
 				s.countTier("peer")
 				return runner.CellResult{Result: res, Cached: true}, "peer", nil
 			}
@@ -81,13 +79,37 @@ func (s *Server) routedCell(job runner.Job, tenant string) (runner.CellResult, s
 	return s.cell(job, tenant)
 }
 
-// peerBody renders the job as a normalized single-cell request body
+// coalescedFill runs one wire fill under the fingerprint's flight:
+// the first caller goes to the owner, concurrent callers — other
+// single requests or whole batches wanting the same cell — share its
+// outcome instead of each paying a round trip. Successful fills land
+// in the cache before waiters are released.
+func (s *Server) coalescedFill(owner string, body []byte, fp, tenant string) (sim.Result, bool) {
+	call, leader := s.peerFlight.begin(fp)
+	if !leader {
+		s.peerCoalesced.Add(1)
+		<-call.done
+		return call.res, call.ok
+	}
+	var res sim.Result
+	var ok bool
+	defer func() {
+		if ok {
+			s.cache.Put(fp, res)
+		}
+		s.peerFlight.finish(fp, call, res, ok)
+	}()
+	res, ok = s.fillFromPeer(owner, body, fp, tenant)
+	return res, ok
+}
+
+// peerRequest renders the job as a normalized single-cell JobRequest
 // and proves the rendering is faithful: re-expanding it against this
 // node's base configuration must reproduce the job's fingerprint.
 // Cells the request vocabulary cannot express (a config field only an
 // experiment driver sets, a workload outside the registry) report
 // !ok and are simulated locally instead of forwarded.
-func (s *Server) peerBody(job runner.Job, fp string) ([]byte, bool) {
+func (s *Server) peerRequest(job runner.Job, fp string) (JobRequest, bool) {
 	cfg := job.Config
 	seed := cfg.Seed
 	req := JobRequest{
@@ -100,12 +122,21 @@ func (s *Server) peerBody(job runner.Job, fp string) ([]byte, bool) {
 		NoDis:       cfg.CPU.Disambiguation == cpu.DisNone,
 		CollectFig4: cfg.CollectFig4,
 	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, false
-	}
 	jobs, err := req.Jobs(s.base)
 	if err != nil || len(jobs) != 1 || jobs[0].Fingerprint() != fp {
+		return JobRequest{}, false
+	}
+	return req, true
+}
+
+// peerBody is peerRequest marshaled for the single-cell wire path.
+func (s *Server) peerBody(job runner.Job, fp string) ([]byte, bool) {
+	req, ok := s.peerRequest(job, fp)
+	if !ok {
+		return nil, false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
 		return nil, false
 	}
 	return body, true
@@ -198,19 +229,11 @@ func (s *Server) notePeerFillDuration(d time.Duration) {
 // response body is the canonical rendering, byte-identical to
 // /v1/sim.
 func (s *Server) handlePeerSim(w http.ResponseWriter, r *http.Request) {
-	if s.cluster == nil {
-		httpError(w, http.StatusNotFound, "not a cluster member (started without -peers)")
+	if !s.requirePeerCluster(w) {
 		return
 	}
-	if hopStr := r.Header.Get(PeerHopHeader); hopStr != "" {
-		hop, err := strconv.Atoi(hopStr)
-		if err != nil || hop < 0 || hop > maxPeerHops {
-			s.peerLoopRejects.Add(1)
-			s.events.Log("peer_loop_rejected", map[string]any{"hop": hopStr, "from": r.RemoteAddr})
-			httpError(w, http.StatusLoopDetected,
-				"peer hop count %q exceeds %d: forwarding loop (mismatched -peers lists?)", hopStr, maxPeerHops)
-			return
-		}
+	if !s.peerHopGuard(w, r) {
+		return
 	}
 	body, ok := readBody(w, r)
 	if !ok {
@@ -277,18 +300,45 @@ type PeerCounters struct {
 	SkewRejects uint64 `json:"skew_rejects"`
 	// FillP50Us is the EWMA cost of one peer fill in microseconds.
 	FillP50Us float64 `json:"fill_ewma_us"`
+	// BatchRPCs counts outgoing scatter-gather fill RPCs; BatchCells
+	// the cells they carried (cells/RPCs is the batching win).
+	// Coalesced counts fills that joined one already in flight instead
+	// of paying their own round trip.
+	BatchRPCs  uint64 `json:"batch_rpcs"`
+	BatchCells uint64 `json:"batch_cells"`
+	Coalesced  uint64 `json:"coalesced_fills"`
+	// Warm-push replication: entries pushed to the ring successor
+	// after a cold simulation (sender side: sent/dropped/failed) and
+	// entries accepted or refused from pushing peers (receiver side).
+	WarmPushSent     uint64 `json:"warm_push_sent"`
+	WarmPushDropped  uint64 `json:"warm_push_dropped"`
+	WarmPushFailed   uint64 `json:"warm_push_failed"`
+	WarmPushReceived uint64 `json:"warm_push_received"`
+	WarmPushRejected uint64 `json:"warm_push_rejected"`
 }
 
 func (s *Server) peerCounters() *PeerCounters {
 	if s.cluster == nil {
 		return nil
 	}
-	return &PeerCounters{
+	pc := &PeerCounters{
 		Fills:       s.peerFills.Load(),
 		Fallbacks:   s.peerFallbacks.Load(),
 		Served:      s.peerServed.Load(),
 		LoopRejects: s.peerLoopRejects.Load(),
 		SkewRejects: s.peerSkewRejects.Load(),
 		FillP50Us:   float64(s.peerFillNanos.Load()) / 1e3,
+		BatchRPCs:   s.peerBatchRPCs.Load(),
+		BatchCells:  s.peerBatchCells.Load(),
+		Coalesced:   s.peerCoalesced.Load(),
+
+		WarmPushReceived: s.warmRecv.Load(),
+		WarmPushRejected: s.warmRejected.Load(),
 	}
+	if p := s.warmPush; p != nil {
+		pc.WarmPushSent = p.sent.Load()
+		pc.WarmPushDropped = p.dropped.Load()
+		pc.WarmPushFailed = p.failed.Load()
+	}
+	return pc
 }

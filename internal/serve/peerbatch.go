@@ -1,0 +1,412 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Scatter-gather peer batching: POST /v1/batch used to resolve every
+// remotely-owned cell with its own /v1/peer/sim round trip — an
+// N-cell batch over R remote owners cost up to N peer RPCs. This
+// layer groups a batch's misses by ring owner and carries each group
+// in a single POST /v1/peer/batch, so the same batch costs at most R
+// RPCs. Each cell still travels with its own fingerprint (the skew
+// guard holds per cell) and the hop budget applies to the whole
+// request (the endpoint never forwards, exactly like /v1/peer/sim).
+//
+// On top of the grouping sits a cluster-level singleflight: a per-node
+// map of in-flight wire fills keyed by fingerprint. Concurrent batches
+// (or a batch and a single /v1/sim) asking this node for the same
+// remotely-owned cell share one fill instead of each paying a wire
+// round trip.
+
+// PeerBatchJob is one cell of a scatter-gather peer fill: the
+// normalized single-cell request plus the caller's fingerprint for it,
+// so the owner verifies identity cell by cell.
+type PeerBatchJob struct {
+	Req         JobRequest `json:"req"`
+	Fingerprint string     `json:"fingerprint"`
+}
+
+// PeerBatchRequest is the request body of POST /v1/peer/batch.
+type PeerBatchRequest struct {
+	Jobs []PeerBatchJob `json:"jobs"`
+}
+
+// PeerBatchCell is one cell's outcome in a peer batch response. The
+// payload is the canonical EncodeResult rendering carried as a JSON
+// string: string escaping round-trips the exact bytes, where a
+// RawMessage would be re-compacted in transit and break the
+// byte-identity contract.
+type PeerBatchCell struct {
+	Fingerprint string `json:"fingerprint"`
+	Tier        string `json:"tier,omitempty"`
+	Payload     string `json:"payload,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// Status carries per-cell guard outcomes (409 fingerprint skew,
+	// 429 admission) without failing the cells that passed.
+	Status int `json:"status,omitempty"`
+}
+
+// PeerBatchResponse is the response body of POST /v1/peer/batch.
+type PeerBatchResponse struct {
+	Cells []PeerBatchCell `json:"cells"`
+}
+
+// DecodePeerBatchRequest parses a peer batch request body.
+func DecodePeerBatchRequest(data []byte) (PeerBatchRequest, error) {
+	var r PeerBatchRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return PeerBatchRequest{}, err
+	}
+	return r, nil
+}
+
+// peerCall is one in-flight wire fill of a fingerprint.
+type peerCall struct {
+	done chan struct{}
+	res  sim.Result
+	ok   bool
+}
+
+// peerFlight is the cluster-level singleflight: concurrent requests on
+// this node for the same remotely-owned fingerprint share one wire
+// fill. It mirrors flightGroup but carries a fill outcome instead of a
+// cell — a failed fill is not an answer, it sends every sharer to the
+// local fallback path.
+type peerFlight struct {
+	mu    sync.Mutex
+	calls map[string]*peerCall
+}
+
+// begin registers interest in the fingerprint's fill. The first caller
+// becomes the leader (and must call finish exactly once); everyone
+// else waits on the returned call's done channel.
+func (g *peerFlight) begin(fp string) (*peerCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*peerCall)
+	}
+	if c, ok := g.calls[fp]; ok {
+		return c, false
+	}
+	c := &peerCall{done: make(chan struct{})}
+	g.calls[fp] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome and releases the waiters. The
+// call is forgotten immediately: fills are never cached here (the
+// ResultCache holds successes), so a later request retries a failed
+// owner instead of inheriting a stale no.
+func (g *peerFlight) finish(fp string, c *peerCall, res sim.Result, ok bool) {
+	c.res, c.ok = res, ok
+	g.mu.Lock()
+	delete(g.calls, fp)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// peerBatchItem is one batch cell bound for a remote owner.
+type peerBatchItem struct {
+	idx int // index in the ingress batch
+	fp  string
+	req JobRequest
+	job runner.Job
+}
+
+// scatterGather resolves a batch cluster-aware with one peer RPC per
+// remote owner: local cache peeks first, self-owned and inexpressible
+// cells through the plain cell path, and the rest grouped by ring
+// owner into single /v1/peer/batch calls. Any cell whose fill fails —
+// owner dead, per-cell refusal, corrupt payload — falls back to local
+// simulation, so the batch degrades cell by cell, never whole.
+func (s *Server) scatterGather(jobs []runner.Job, tenant string) []batchOutcome {
+	out := make([]batchOutcome, len(jobs))
+	var wg sync.WaitGroup
+	local := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i].cell, out[i].tier, out[i].err = s.cell(jobs[i], tenant)
+		}()
+	}
+	groups := make(map[string][]peerBatchItem)
+	for i := range jobs {
+		fp := jobs[i].Fingerprint()
+		if res, tier, ok := s.cache.peek(fp); ok {
+			s.countTier(tier)
+			out[i] = batchOutcome{cell: runner.CellResult{Result: res, Cached: true}, tier: tier}
+			continue
+		}
+		owner, self := s.cluster.Owner(fp)
+		if self {
+			local(i)
+			continue
+		}
+		req, ok := s.peerRequest(jobs[i], fp)
+		if !ok {
+			local(i)
+			continue
+		}
+		groups[owner] = append(groups[owner], peerBatchItem{idx: i, fp: fp, req: req, job: jobs[i]})
+	}
+	for owner, items := range groups {
+		wg.Add(1)
+		go func(owner string, items []peerBatchItem) {
+			defer wg.Done()
+			s.fillOwnerBatch(owner, items, tenant, out)
+		}(owner, items)
+	}
+	wg.Wait()
+	return out
+}
+
+// peerFill pairs one decoded, validated fill with its validity.
+type peerFill struct {
+	res sim.Result
+	ok  bool
+}
+
+// fillOwnerBatch resolves one owner's group of cells: fills already in
+// flight on this node are joined (coalesced), the rest travel in a
+// single batch RPC, and whatever comes back empty-handed simulates
+// locally.
+func (s *Server) fillOwnerBatch(owner string, items []peerBatchItem, tenant string, out []batchOutcome) {
+	calls := make([]*peerCall, len(items))
+	isLeader := make([]bool, len(items))
+	var leaders []peerBatchItem
+	for k := range items {
+		call, leader := s.peerFlight.begin(items[k].fp)
+		calls[k], isLeader[k] = call, leader
+		if leader {
+			leaders = append(leaders, items[k])
+		} else {
+			s.peerCoalesced.Add(1)
+		}
+	}
+	if len(leaders) > 0 {
+		fills := make(map[string]peerFill, len(leaders))
+		func() {
+			// Settle every leader's flight in a defer so waiters are
+			// released even if the send path panics. Fingerprints a
+			// failed RPC left unfilled settle as !ok and fall back.
+			defer func() {
+				for k := range items {
+					if !isLeader[k] {
+						continue
+					}
+					f := fills[items[k].fp]
+					if f.ok {
+						s.cache.Put(items[k].fp, f.res)
+					}
+					s.peerFlight.finish(items[k].fp, calls[k], f.res, f.ok)
+				}
+			}()
+			s.sendPeerBatch(owner, leaders, tenant, fills)
+		}()
+	}
+	// Resolve every cell from its flight; losers simulate locally,
+	// concurrently (they are real simulations, not cache reads).
+	var wg sync.WaitGroup
+	for k := range items {
+		it := items[k]
+		<-calls[k].done
+		if calls[k].ok {
+			s.countTier("peer")
+			out[it.idx] = batchOutcome{cell: runner.CellResult{Result: calls[k].res, Cached: true}, tier: "peer"}
+			continue
+		}
+		s.peerFallbacks.Add(1)
+		wg.Add(1)
+		go func(it peerBatchItem) {
+			defer wg.Done()
+			out[it.idx].cell, out[it.idx].tier, out[it.idx].err = s.cell(it.job, tenant)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// sendPeerBatch issues one POST /v1/peer/batch carrying every leader
+// cell and records validated fills into fills (missing key = failed).
+func (s *Server) sendPeerBatch(owner string, leaders []peerBatchItem, tenant string, fills map[string]peerFill) {
+	preq := PeerBatchRequest{Jobs: make([]PeerBatchJob, len(leaders))}
+	for k, it := range leaders {
+		preq.Jobs[k] = PeerBatchJob{Req: it.req, Fingerprint: it.fp}
+	}
+	body, err := json.Marshal(preq)
+	if err != nil {
+		return
+	}
+	hdr := http.Header{}
+	hdr.Set(PeerHopHeader, "1")
+	if tenant != "" && tenant != AnonTenant {
+		hdr.Set(TenantHeader, tenant)
+	}
+	start := time.Now()
+	s.peerBatchRPCs.Add(1)
+	s.peerBatchCells.Add(uint64(len(leaders)))
+	resp, err := s.cluster.Forward(s.ctx, owner, "/v1/peer/batch", body, hdr)
+	if err != nil {
+		s.cluster.MarkDead(owner)
+		s.events.Log("peer_unreachable", map[string]any{"peer": owner, "cells": len(leaders), "err": err.Error()})
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		s.events.Log("peer_refused", map[string]any{"peer": owner, "cells": len(leaders), "status": resp.StatusCode})
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes+1))
+	if err != nil || len(payload) > maxPeerResponseBytes {
+		s.cluster.MarkDead(owner)
+		return
+	}
+	var presp PeerBatchResponse
+	if err := json.Unmarshal(payload, &presp); err != nil {
+		s.events.Log("peer_corrupt", map[string]any{"peer": owner, "cause": "undecodable batch response"})
+		return
+	}
+	byFp := make(map[string]*PeerBatchCell, len(presp.Cells))
+	for k := range presp.Cells {
+		byFp[presp.Cells[k].Fingerprint] = &presp.Cells[k]
+	}
+	for _, it := range leaders {
+		pc := byFp[it.fp]
+		if pc == nil || pc.Error != "" || pc.Payload == "" {
+			continue
+		}
+		pb := []byte(pc.Payload)
+		var res sim.Result
+		if json.Unmarshal(pb, &res) != nil || !bytes.Equal(EncodeResult(res), pb) {
+			// Same trust boundary as single-cell fills: a non-canonical
+			// payload never enters the cache.
+			s.peerSkewRejects.Add(1)
+			s.events.Log("peer_corrupt", map[string]any{"peer": owner, "fingerprint": it.fp, "cause": "non-canonical batch payload"})
+			continue
+		}
+		fills[it.fp] = peerFill{res: res, ok: true}
+		s.peerFills.Add(1)
+	}
+	s.notePeerFillDuration(time.Since(start))
+}
+
+// handlePeerBatch serves POST /v1/peer/batch: the owner-side half of
+// scatter-gather. Cells run concurrently through the ordinary cell
+// path (cache → singleflight → simulate) and each answers with the
+// canonical payload bytes. Like /v1/peer/sim it never forwards and
+// skips tenant admission — the ingress node already charged the
+// caller — but queue-full refusals surface per cell as 429s.
+func (s *Server) handlePeerBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.requirePeerCluster(w) {
+		return
+	}
+	if !s.peerHopGuard(w, r) {
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := DecodePeerBatchRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad peer batch request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "peer batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > maxBatchCells {
+		httpError(w, http.StatusBadRequest, "peer batch has %d cells; cap is %d", len(req.Jobs), maxBatchCells)
+		return
+	}
+	start := time.Now()
+	tenant := tenantOf(r)
+	cells := make([]PeerBatchCell, len(req.Jobs))
+	var wg sync.WaitGroup
+	for i := range req.Jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cells[i] = s.servePeerBatchCell(req.Jobs[i], tenant)
+		}(i)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(PeerOwnerHeader, s.cluster.Self())
+	w.Header().Set("X-Psb-Serve-Us", fmt.Sprintf("%d", time.Since(start).Microseconds()))
+	json.NewEncoder(w).Encode(PeerBatchResponse{Cells: cells})
+}
+
+// requirePeerCluster rejects peer-protocol requests on a standalone
+// node (404, matching the route simply not existing).
+func (s *Server) requirePeerCluster(w http.ResponseWriter) bool {
+	if s.cluster == nil {
+		httpError(w, http.StatusNotFound, "not a cluster member (started without -peers)")
+		return false
+	}
+	return true
+}
+
+// peerHopGuard enforces the forwarding hop budget, writing the 508
+// and reporting false when the request claims more hops than the
+// protocol allows (a routing loop or a spoofer).
+func (s *Server) peerHopGuard(w http.ResponseWriter, r *http.Request) bool {
+	hopStr := r.Header.Get(PeerHopHeader)
+	if hopStr == "" {
+		return true
+	}
+	hop, err := strconv.Atoi(hopStr)
+	if err != nil || hop < 0 || hop > maxPeerHops {
+		s.peerLoopRejects.Add(1)
+		s.events.Log("peer_loop_rejected", map[string]any{"hop": hopStr, "from": r.RemoteAddr, "path": r.URL.Path})
+		httpError(w, http.StatusLoopDetected,
+			"peer hop count %q exceeds %d: forwarding loop (mismatched -peers lists?)", hopStr, maxPeerHops)
+		return false
+	}
+	return true
+}
+
+// servePeerBatchCell resolves one cell of an incoming peer batch.
+func (s *Server) servePeerBatchCell(pj PeerBatchJob, tenant string) PeerBatchCell {
+	jobs, err := pj.Req.Jobs(s.base)
+	if err != nil {
+		return PeerBatchCell{Fingerprint: pj.Fingerprint, Status: http.StatusBadRequest, Error: err.Error()}
+	}
+	if len(jobs) != 1 {
+		return PeerBatchCell{Fingerprint: pj.Fingerprint, Status: http.StatusBadRequest, Error: "peer batch cell must describe exactly one job"}
+	}
+	fp := jobs[0].Fingerprint()
+	if pj.Fingerprint != "" && pj.Fingerprint != fp {
+		s.peerSkewRejects.Add(1)
+		s.events.Log("peer_fingerprint_skew", map[string]any{"got": fp, "want": pj.Fingerprint, "path": "/v1/peer/batch"})
+		return PeerBatchCell{Fingerprint: pj.Fingerprint, Status: http.StatusConflict,
+			Error: "fingerprint skew: caller expects " + pj.Fingerprint + ", this node computes " + fp + " (mixed versions in the cluster?)"}
+	}
+	cell, tier, err := s.cell(jobs[0], tenant)
+	switch {
+	case errors.Is(err, runner.ErrQueueFull):
+		return PeerBatchCell{Fingerprint: fp, Status: http.StatusTooManyRequests, Error: err.Error()}
+	case err != nil:
+		return PeerBatchCell{Fingerprint: fp, Status: http.StatusInternalServerError, Error: err.Error()}
+	case cell.Err != nil:
+		return PeerBatchCell{Fingerprint: fp, Status: http.StatusUnprocessableEntity, Error: cell.Err.Error()}
+	}
+	s.peerServed.Add(1)
+	return PeerBatchCell{Fingerprint: fp, Tier: tier, Payload: string(EncodeResult(cell.Result))}
+}

@@ -75,6 +75,12 @@ type Config struct {
 	// server starts the cluster's health prober and closes the
 	// cluster on Close.
 	Cluster *cluster.Cluster
+	// WarmPushQueue bounds the successor warm-push queue (cluster
+	// mode only): after a cold simulation the encoded entry is
+	// replicated, best-effort, to the fingerprint's next alive ring
+	// successor so failover hits a warm cache. 0 selects 256;
+	// negative disables warm-push entirely.
+	WarmPushQueue int
 }
 
 // Server is the simulation service: it resolves requests against the
@@ -119,6 +125,14 @@ type Server struct {
 	// Peer-protocol counters (cluster mode only; see PeerCounters).
 	peerFills, peerFallbacks, peerServed atomic.Uint64
 	peerLoopRejects, peerSkewRejects     atomic.Uint64
+
+	// Scatter-gather machinery: the cluster-level singleflight over
+	// wire fills, batch-RPC accounting, and the warm-push replicator
+	// (nil when disabled or standalone).
+	peerFlight                                   peerFlight
+	peerBatchRPCs, peerBatchCells, peerCoalesced atomic.Uint64
+	warmPush                                     *warmPusher
+	warmRecv, warmRejected                       atomic.Uint64
 }
 
 // New starts a server. The caller owns the HTTP listener; Handler
@@ -165,6 +179,14 @@ func New(cfg Config) *Server {
 			"self":  s.cluster.Self(),
 			"peers": s.cluster.Ring().Nodes(),
 		})
+		if cfg.WarmPushQueue >= 0 {
+			depth := cfg.WarmPushQueue
+			if depth == 0 {
+				depth = 256
+			}
+			s.warmPush = newWarmPusher(depth)
+			go s.warmPush.run(s)
+		}
 	}
 	return s
 }
@@ -202,6 +224,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/artifact", s.handleArtifact)
 	mux.HandleFunc("POST /v1/peer/sim", s.handlePeerSim)
+	mux.HandleFunc("POST /v1/peer/batch", s.handlePeerBatch)
+	mux.HandleFunc("POST /v1/peer/warm", s.handlePeerWarm)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		if s.reqLog == nil {
@@ -271,6 +295,7 @@ func (s *Server) cell(job runner.Job, tenant string) (cell runner.CellResult, ti
 		simDur = time.Since(start)
 		if cell.OK() {
 			s.cache.Put(fp, cell.Result)
+			s.maybeWarmPush(job, fp, cell.Result)
 		}
 		return cell, nil
 	})
@@ -487,11 +512,19 @@ type BatchCell struct {
 	Cache       string      `json:"cache,omitempty"`
 	Result      *sim.Result `json:"result,omitempty"`
 	Error       string      `json:"error,omitempty"`
+	// RetryAfterSec prices a queue-rejected cell's retry — the same
+	// queue-depth estimate a single-cell 429's Retry-After carries.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // BatchResponse is the response body of POST /v1/batch.
 type BatchResponse struct {
 	Cells []BatchCell `json:"cells"`
+	// RetryAfterSec and Queue appear when admission control refused
+	// any cell: the same queue-priced guidance a /v1/sim 429 body
+	// carries, so batch clients back off identically.
+	RetryAfterSec int         `json:"retry_after_sec,omitempty"`
+	Queue         *QueueStats `json:"queue,omitempty"`
 }
 
 // handleBatch serves a list of cells, resolving each through the cache
@@ -533,6 +566,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	cells := s.runAll(jobs, tenant)
 	resp := BatchResponse{Cells: make([]BatchCell, len(jobs))}
+	rejected := 0
+	retry := 0
 	for i, job := range jobs {
 		bc := BatchCell{
 			Bench:       job.Workload.Name,
@@ -541,6 +576,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Cache:       cells[i].tier,
 		}
 		switch {
+		case errors.Is(cells[i].err, runner.ErrQueueFull):
+			// Queue-priced like the single-cell 429, so batch clients
+			// back off with the same guidance.
+			if retry == 0 {
+				retry = s.retryAfterSec()
+			}
+			rejected++
+			bc.Error = cells[i].err.Error()
+			bc.RetryAfterSec = retry
 		case cells[i].err != nil:
 			bc.Error = cells[i].err.Error()
 		case cells[i].cell.Err != nil:
@@ -550,6 +594,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			bc.Result = &res
 		}
 		resp.Cells[i] = bc
+	}
+	if rejected == len(jobs) {
+		// Nothing was served: answer exactly like a refused /v1/sim.
+		s.writeOverloaded(w, "server overloaded: all %d batch cells rejected (queue full)", rejected)
+		return
+	}
+	if rejected > 0 {
+		qs := s.queueStats()
+		resp.RetryAfterSec = retry
+		resp.Queue = &qs
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	b, _ := json.MarshalIndent(resp, "", "  ")
@@ -563,16 +618,20 @@ type batchOutcome struct {
 	err  error
 }
 
-// runAll resolves jobs concurrently through the cluster-aware cell
-// path on the tenant's queue.
+// runAll resolves jobs concurrently on the tenant's queue. In cluster
+// mode the batch scatter-gathers — one peer RPC per remote owner —
+// instead of paying a round trip per cell.
 func (s *Server) runAll(jobs []runner.Job, tenant string) []batchOutcome {
+	if s.cluster != nil {
+		return s.scatterGather(jobs, tenant)
+	}
 	out := make([]batchOutcome, len(jobs))
 	var wg sync.WaitGroup
 	for i := range jobs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i].cell, out[i].tier, out[i].err = s.routedCell(jobs[i], tenant)
+			out[i].cell, out[i].tier, out[i].err = s.cell(jobs[i], tenant)
 		}(i)
 	}
 	wg.Wait()
