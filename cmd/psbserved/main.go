@@ -9,6 +9,7 @@
 //	psbserved -addr :8724 -workers -1 -cache-dir results/ -trace-dir traces/
 //	psbserved -tenant-rate 100 -tenant-weight gold=4 -log-requests
 //	psbserved -faults 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s'   # chaos testing
+//	psbserved -pprof localhost:6060      # profiling side listener (GET /debug/pprof/*)
 //	psbserved -addr :8724 -advertise host1:8724 \
 //	    -peers host1:8724,host2:8724,host3:8724                          # cluster member
 //
@@ -58,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof side listener's mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -95,6 +97,7 @@ func main() {
 		quarCap      = flag.Int64("quarantine-cap", 0, "byte budget for the disk-cache quarantine directory (0 = 64 MiB)")
 		faultSpec    = flag.String("faults", os.Getenv("PSB_FAULTS"),
 			"DANGEROUS: arm deterministic fault injection, e.g. 'seed=7,sim-panic=0.1,disk-corrupt=0.05,for=30s' (default from PSB_FAULTS)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); keep it off the public listener")
 	)
 	weights := map[string]float64{}
 	flag.Func("tenant-weight", "fair-queue weight for one API key as key=weight (repeatable; default 1)", func(v string) error {
@@ -177,6 +180,19 @@ func main() {
 		WarmPushQueue:    warmPushConfig(*warmQueue),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	if *pprofAddr != "" {
+		// A private mux: the default ServeMux is what net/http/pprof
+		// registers its handlers on, and this listener serves nothing
+		// else — the public API mux never exposes /debug/pprof/*.
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux}
+		go func() {
+			fmt.Fprintf(os.Stderr, "psbserved: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "psbserved: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

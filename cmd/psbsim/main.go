@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -74,6 +75,11 @@ func main() {
 		traceFlag  = flag.String("trace", "memory", "instruction stream source: off = live functional execution per cell, memory = record each workload once and replay (bit-identical), disk = memory plus .psbtrace persistence in -trace-dir")
 		traceDir   = flag.String("trace-dir", "", "directory for .psbtrace recordings (implies -trace disk)")
 		cycleMode  = flag.String("cycle-mode", "", "clock advancement: event = skip to the next event (default), accurate = tick every cycle (debug fallback; results are bit-identical)")
+		sample     = flag.Bool("sample", false, "sampled simulation: functional fast-forward with detailed measurement intervals and an IPC estimate with confidence bounds")
+		samplePer  = flag.Uint64("sample-period", 0, "instructions between measurement intervals (0 = default)")
+		sampleLen  = flag.Uint64("sample-len", 0, "measured instructions per interval (0 = default)")
+		sampleWarm = flag.Uint64("sample-warmup", 0, "detailed-but-unmeasured warm-up instructions per interval (0 = default)")
+		progress   = flag.Bool("progress", false, "print a progress line to stderr about once a second (committed instructions, simulation rate, ETA); serializes the run")
 	)
 	flag.Parse()
 
@@ -115,6 +121,22 @@ func main() {
 	}
 	cfg.TraceMode = traceMode
 	cfg.TraceDir = *traceDir
+	if *sample {
+		cfg.SampleMode = sim.SampleOn
+		cfg.SamplePeriod = *samplePer
+		cfg.SampleLen = *sampleLen
+		cfg.SampleWarmup = *sampleWarm
+		if cfg.TraceMode == sim.TraceOff {
+			usageError("-sample needs a replayable stream: use -trace memory or -trace disk")
+		}
+	}
+	if *progress && *sample {
+		// Sampled runs jump between intervals, so a committed-
+		// instruction progress line would be misleading; the run is
+		// short anyway.
+		fmt.Fprintln(os.Stderr, "psbsim: -progress is not available with -sample; continuing without progress")
+		*progress = false
+	}
 
 	var benches []workload.Workload
 	if *benchName == "all" {
@@ -154,7 +176,12 @@ func main() {
 		}
 	}
 	opts := runner.Options{Timeout: *jobTimeout, Retries: *retries}
-	cells, _ := runner.ForWorkers(*parallel).RunChecked(ctx, jobs, opts)
+	var cells []runner.CellResult
+	if *progress {
+		cells = runWithProgress(ctx, jobs)
+	} else {
+		cells, _ = runner.ForWorkers(*parallel).RunChecked(ctx, jobs, opts)
+	}
 	failed := 0
 	for i, c := range cells {
 		if c.Err != nil {
@@ -178,6 +205,72 @@ func main() {
 	}
 }
 
+// runWithProgress runs the jobs serially on this goroutine through
+// resumable machines, printing a progress line to stderr about once a
+// second. The simulator is the same one the checked path drives, so
+// results are bit-identical; what -progress trades away is parallelism
+// and per-cell retry, which an interactive run does not want anyway.
+func runWithProgress(ctx context.Context, jobs []runner.Job) []runner.CellResult {
+	cells := make([]runner.CellResult, len(jobs))
+	for i, j := range jobs {
+		cells[i] = progressCell(ctx, j)
+		if ctx.Err() != nil {
+			// Fail the remaining cells fast, like a canceled RunChecked.
+			for k := i + 1; k < len(jobs); k++ {
+				cells[k] = cellFailure(jobs[k], 0, ctx.Err())
+			}
+			break
+		}
+	}
+	return cells
+}
+
+func progressCell(ctx context.Context, j runner.Job) runner.CellResult {
+	m, err := sim.NewMachine(j.Workload, j.Variant, j.Config)
+	if err != nil {
+		return cellFailure(j, 0, err)
+	}
+	const chunk = 20_000 // ~ms-scale turns: responsive without print overhead
+	start := time.Now()
+	lastPrint := start
+	label := fmt.Sprintf("%s/%s", j.Workload.Name, j.Variant)
+	for {
+		done, err := m.Advance(ctx, m.Committed()+chunk)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\rpsbsim: %s: aborted after %d insts            \n", label, m.Committed())
+			return cellFailure(j, 1, err)
+		}
+		if done {
+			break
+		}
+		if now := time.Now(); now.Sub(lastPrint) >= time.Second {
+			lastPrint = now
+			committed := m.Committed()
+			rate := float64(committed) / now.Sub(start).Seconds()
+			eta := "?"
+			if rate > 0 {
+				rem := float64(j.Config.MaxInsts-committed) / rate
+				eta = (time.Duration(rem * float64(time.Second))).Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "psbsim: %s %d/%d insts (%.1f%%)  %.2fM insts/s  ETA %s\n",
+				label, committed, j.Config.MaxInsts,
+				100*float64(committed)/float64(j.Config.MaxInsts), rate/1e6, eta)
+		}
+	}
+	if time.Since(start) >= time.Second {
+		fmt.Fprintf(os.Stderr, "psbsim: %s done: %d insts in %s\n",
+			label, m.Committed(), time.Since(start).Round(time.Millisecond))
+	}
+	return runner.CellResult{Result: m.Result(), Attempts: 1}
+}
+
+func cellFailure(j runner.Job, attempts int, err error) runner.CellResult {
+	return runner.CellResult{Err: &runner.JobError{
+		Workload: j.Workload.Name, Variant: j.Variant,
+		Fingerprint: j.Fingerprint(), Attempts: attempts, Err: err,
+	}, Attempts: attempts}
+}
+
 func printDetail(r sim.Result) {
 	c := r.CPU
 	fmt.Printf("  cycles=%d committed=%d loads=%d stores=%d\n",
@@ -193,4 +286,10 @@ func printDetail(r sim.Result) {
 		s.Accuracy()*100)
 	fmt.Printf("  L1I MR=%.3f%%  L2 MR=%.1f%%  buses: L1L2=%.1f%% mem=%.1f%%\n",
 		r.L1I.MissRate()*100, r.L2.MissRate()*100, r.L1L2Util*100, r.MemBusUtil*100)
+	if e := r.Sampled; e != nil {
+		fmt.Printf("  sampled: IPC=%.4f CI95=[%.4f, %.4f] (±%.2f%%)  intervals=%d  certainty=%d runs/%d insts\n",
+			e.IPC, e.IPCLow, e.IPCHigh, e.CIRelPct, e.Intervals, e.CertaintyRuns, e.CertaintyInsts)
+		fmt.Printf("  sampled work: measured=%d warmup=%d fast-forward=%d  checkpoints %d hit / %d miss\n",
+			e.MeasuredInsts, e.WarmupInsts, e.FunctionalInsts, e.CheckpointHits, e.CheckpointMisses)
+	}
 }

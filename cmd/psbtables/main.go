@@ -32,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -98,6 +100,12 @@ func run() int {
 		cycleMode  = flag.String("cycle-mode", "", "clock advancement: event = skip to the next event (default), accurate = tick every cycle (debug fallback; results are bit-identical)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		sample     = flag.Bool("sample", false, "sampled simulation for every cell: functional fast-forward between detailed measurement intervals; tables carry the IPC estimates")
+		samplePer  = flag.Uint64("sample-period", 0, "instructions between measurement intervals (0 = default)")
+		sampleLen  = flag.Uint64("sample-len", 0, "measured instructions per interval (0 = default)")
+		sampleWarm = flag.Uint64("sample-warmup", 0, "detailed-but-unmeasured warm-up instructions per interval (0 = default)")
+		sampleAcc  = flag.Bool("sample-accuracy", false, "differential accuracy gate: run the full matrix exact and sampled, print per-cell IPC errors, fail if any exceeds -sample-tolerance")
+		sampleTol  = flag.Float64("sample-tolerance", 3.0, "maximum per-cell relative IPC error percent -sample-accuracy accepts")
 	)
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable: 4..11)")
 	flag.Var(&tables, "table", "table number to regenerate (repeatable: 2)")
@@ -125,6 +133,12 @@ func run() int {
 	}
 	if *batch < 0 {
 		usageError("-batch must be >= 0, got %d", *batch)
+	}
+	if *sampleAcc && (*all || *ablations || *extensions || *benchJSON || len(figs) > 0 || len(tables) > 0) {
+		usageError("-sample-accuracy runs its own exact-vs-sampled matrix; drop the other modes")
+	}
+	if *sample && (*benchJSON || *sampleAcc) {
+		usageError("-sample does not combine with -bench-json or -sample-accuracy (they run their own sampled legs)")
 	}
 
 	if *cpuProfile != "" {
@@ -179,8 +193,27 @@ func run() int {
 	cfg.TraceMode = traceMode
 	cfg.TraceDir = *traceDir
 	cfg.CPU.CycleMode = mode
+	if *sample || *sampleAcc {
+		if traceMode == sim.TraceOff {
+			usageError("sampled simulation needs a replayable stream: use -trace memory or -trace disk")
+		}
+		cfg.SamplePeriod = *samplePer
+		cfg.SampleLen = *sampleLen
+		cfg.SampleWarmup = *sampleWarm
+	}
+	if *sample {
+		cfg.SampleMode = sim.SampleOn
+	}
 	if err := cfg.Validate(); err != nil {
 		usageError("invalid configuration: %v", err)
+	}
+
+	if *sampleAcc {
+		if err := sampleAccuracy(cfg, *sampleTol); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	if *benchJSON {
@@ -350,6 +383,66 @@ func benchRunner(cfg sim.Config, outPath, gatePath string) error {
 	accurateSec, _ := matrix(0, 0, sim.TraceMemory, cpu.CycleModeAccurate)
 	eventSec, em := matrix(0, 0, sim.TraceMemory, cpu.CycleModeEvent)
 	batchedSec, _ := matrix(0, batchSize, sim.TraceMemory, cpu.CycleModeEvent)
+
+	// Functional fast-forward leg: the sampled engine's executor over
+	// the same warm recordings, no timing model at all. Its throughput
+	// against the serial event leg is the headline fast-forward
+	// speedup. The Source calls sit outside the timed region (the
+	// recordings are warm from the traced legs above).
+	type funcLeg struct {
+		f *cpu.Functional
+	}
+	var funcLegs []funcLeg
+	for _, w := range workload.All() {
+		c := cfg
+		c.TraceMode = sim.TraceMemory
+		rep, err := trace.Shared().Source(sim.TraceKey(w, c), sim.TraceNeed(c), "",
+			func() *vm.Machine { return w.Build(c.Seed) })
+		if err != nil {
+			return err
+		}
+		funcLegs = append(funcLegs, funcLeg{f: cpu.NewFunctional(c.Mem, c.CPU.Gshare, rep.Rest())})
+	}
+	funcStart := time.Now()
+	var funcInsts uint64
+	for _, l := range funcLegs {
+		funcInsts += l.f.AdvanceTo(cfg.MaxInsts)
+	}
+	funcSec := time.Since(funcStart).Seconds()
+
+	// Sampled leg: the full matrix under sampled simulation (serial,
+	// warm trace, event clock — the apples-to-apples peer of eventSec).
+	// Alongside the wall clock it yields the estimate-vs-exact IPC
+	// error against the event matrix and the checkpoint-sharing
+	// counters.
+	sampledCfg := cfg
+	sampledCfg.Workers = 0
+	sampledCfg.Batch = 0
+	sampledCfg.TraceMode = sim.TraceMemory
+	sampledCfg.TraceDir = ""
+	sampledCfg.CPU.CycleMode = cpu.CycleModeEvent
+	sampledCfg.SampleMode = sim.SampleOn
+	start := time.Now()
+	sm := experiments.RunMatrix(sampledCfg)
+	sampledSec := time.Since(start).Seconds()
+	var maxRelErr float64
+	var ckHits, ckMisses, ffInsts uint64
+	for name, row := range sm.Results {
+		for v, r := range row {
+			est := r.Sampled
+			if est == nil {
+				continue
+			}
+			ckHits += est.CheckpointHits
+			ckMisses += est.CheckpointMisses
+			ffInsts += est.FunctionalInsts
+			if exact, ok := em.Results[name][v]; ok && exact.IPC() > 0 {
+				if rel := 100 * math.Abs(est.IPC-exact.IPC()) / exact.IPC(); rel > maxRelErr {
+					maxRelErr = rel
+				}
+			}
+		}
+	}
 	ts := trace.Shared().Stats()
 
 	// Aggregate the event loop's telemetry across the matrix.
@@ -392,6 +485,14 @@ func benchRunner(cfg sim.Config, outPath, gatePath string) error {
 		EventSec         float64 `json:"serial_traced_event_sec"`
 		BatchSize        int     `json:"batch_size"`
 		BatchedSec       float64 `json:"batched_sec"`
+		SampledSec       float64 `json:"sampled_sec"`
+		SpeedupSampled   float64 `json:"speedup_sampled"`
+		IPCRelErr        float64 `json:"ipc_rel_err"`
+		FuncInstsPerSec  float64 `json:"functional_insts_per_sec"`
+		SpeedupFunc      float64 `json:"speedup_functional"`
+		SampleCkptHits   uint64  `json:"sample_checkpoint_hits"`
+		SampleCkptMisses uint64  `json:"sample_checkpoint_misses"`
+		SampleFFInsts    uint64  `json:"sample_functional_insts"`
 		SimsPerSecPar    float64 `json:"sims_per_sec_parallel"`
 		SimsPerSecBest   float64 `json:"sims_per_sec_parallel_traced"`
 		InstsPerSecBest  float64 `json:"insts_per_sec_parallel_traced"`
@@ -424,6 +525,14 @@ func benchRunner(cfg sim.Config, outPath, gatePath string) error {
 		EventSec:         eventSec,
 		BatchSize:        batchSize,
 		BatchedSec:       batchedSec,
+		SampledSec:       sampledSec,
+		SpeedupSampled:   eventSec / sampledSec,
+		IPCRelErr:        maxRelErr,
+		FuncInstsPerSec:  float64(funcInsts) / funcSec,
+		SpeedupFunc:      (float64(funcInsts) / funcSec) / (totalInsts / eventSec),
+		SampleCkptHits:   ckHits,
+		SampleCkptMisses: ckMisses,
+		SampleFFInsts:    ffInsts,
 		SimsPerSecPar:    float64(sims) / parSec,
 		SimsPerSecBest:   float64(sims) / parTracedSec,
 		InstsPerSecBest:  totalInsts / parTracedSec,
@@ -454,9 +563,77 @@ func benchRunner(cfg sim.Config, outPath, gatePath string) error {
 		outPath, sims, serialSec, parSec, serialTracedSec, parTracedSec,
 		accurateSec, eventSec, out.SpeedupEvent, skipFrac*100,
 		batchSize, batchedSec, out.SpeedupBatched, out.Workers)
+	fmt.Fprintf(os.Stderr,
+		"sampled: %.2fs (%.2fx vs event), max IPC err %.2f%%, functional %.2fM insts/s (%.1fx vs serial event), checkpoints %d hit / %d miss\n",
+		sampledSec, out.SpeedupSampled, maxRelErr,
+		out.FuncInstsPerSec/1e6, out.SpeedupFunc, ckHits, ckMisses)
 	fmt.Println(string(b))
 	if gatePath != "" {
 		return benchGateCheck(gatePath, out.InstsPerSecEvent, degraded)
+	}
+	return nil
+}
+
+// sampleAccuracy is the differential gate behind CI's sample-accuracy
+// job: the full benchmark x scheme matrix runs exact and sampled under
+// identical budgets, every cell's sampled IPC estimate is compared
+// against the exact run, and any relative error beyond tolPct fails
+// the command. The per-cell table goes to stdout so the CI artifact
+// shows exactly which cell drifted.
+func sampleAccuracy(cfg sim.Config, tolPct float64) error {
+	exactCfg := cfg
+	exactCfg.SampleMode = sim.SampleOff
+	sampledCfg := cfg
+	sampledCfg.SampleMode = sim.SampleOn
+	sampledCfg.Batch = 0 // sampled runs manage their own machines
+	if err := sampledCfg.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "sample-accuracy: %d benchmarks x %d schemes at %d insts, tolerance ±%.1f%%\n",
+		len(workload.All()), len(experiments.Schemes()), cfg.MaxInsts, tolPct)
+	start := time.Now()
+	exact := experiments.RunMatrix(exactCfg)
+	exactSec := time.Since(start).Seconds()
+	start = time.Now()
+	sampled := experiments.RunMatrix(sampledCfg)
+	sampledSec := time.Since(start).Seconds()
+	if n := exact.Failed() + sampled.Failed(); n > 0 {
+		return fmt.Errorf("sample-accuracy: %d cell(s) failed to simulate", n)
+	}
+
+	var worst float64
+	var worstCell string
+	fails := 0
+	for _, w := range workload.All() {
+		for _, v := range experiments.Schemes() {
+			e := exact.Results[w.Name][v]
+			s := sampled.Results[w.Name][v]
+			est := s.Sampled
+			if est == nil {
+				return fmt.Errorf("sample-accuracy: cell %s/%s carries no sampled estimate", w.Name, v)
+			}
+			if e.IPC() == 0 {
+				return fmt.Errorf("sample-accuracy: cell %s/%s has zero exact IPC", w.Name, v)
+			}
+			rel := 100 * math.Abs(est.IPC-e.IPC()) / e.IPC()
+			status := "ok"
+			if rel > tolPct {
+				status = "FAIL"
+				fails++
+			}
+			fmt.Printf("%-10s %-22s exact %.4f  sampled %.4f  err %5.2f%%  ci ±%5.2f%%  n=%-3d %s\n",
+				w.Name, v, e.IPC(), est.IPC, rel, est.CIRelPct, est.Intervals, status)
+			if rel > worst {
+				worst = rel
+				worstCell = fmt.Sprintf("%s/%s", w.Name, v)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sample-accuracy: worst %.2f%% (%s); exact matrix %.1fs, sampled %.1fs (%.2fx)\n",
+		worst, worstCell, exactSec, sampledSec, exactSec/sampledSec)
+	if fails > 0 {
+		return fmt.Errorf("sample-accuracy: %d cell(s) exceed ±%.1f%% relative IPC error", fails, tolPct)
 	}
 	return nil
 }

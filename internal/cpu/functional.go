@@ -1,0 +1,326 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/vm"
+)
+
+// Functional is the retire-at-fetch fast-forward executor for sampled
+// simulation: it walks the recorded committed-instruction stream in
+// program order, advancing every structure whose warm-up matters for a
+// later detailed interval — L1I/L1D/L2 tag arrays, the data TLB, and
+// the gshare front end — without modelling the ROB, functional units,
+// issue timing, or buses. Architectural state needs no work at all:
+// the trace *is* the architectural execution, so "position in the
+// trace" fully determines registers and memory.
+//
+// Fidelity notes, in decreasing order of exactness:
+//
+//   - Gshare and the L1I are advanced bit-exactly: the detailed front
+//     end fetches the committed path in program order and trains the
+//     predictor at fetch, so replaying the same stream through the
+//     same structures reproduces their state precisely (including the
+//     lastIBlock access-dedup behaviour and its resets on taken and
+//     mispredicted control transfers). Tests assert this equivalence.
+//   - The DTLB and L1D/L2 are advanced in program order, whereas the
+//     detailed core touches them in (out-of-order) issue order and
+//     stream-buffer fills add scheme-dependent contents. Residency is
+//     near-identical; LRU ordering can differ locally. The detailed
+//     warm-up prefix of each measurement interval absorbs this.
+//   - Prefetcher state is not advanced here (it is scheme-specific and
+//     checkpoints are shared across schemes). Instead the executor
+//     records the most recent TrainRingCap L1D load tag-misses in
+//     program order; each scheme replays that ring through its own
+//     Prefetcher.Train at interval start, warming Markov/stride tables
+//     with exactly the event stream the detailed commit stage feeds
+//     them.
+type Functional struct {
+	hier *mem.Hierarchy
+	bp   *Gshare
+
+	insts []vm.DynInst
+	pos   uint64
+
+	lastIBlock uint64
+
+	ring     []TrainEvent // fixed-capacity ring of recent train events
+	ringHead int          // next write slot
+	ringLen  int
+
+	executed uint64 // total instructions executed (across restores)
+
+	// Optional per-bucket L1D miss profile (EnableMissProfile).
+	profShift uint
+	profile   []uint32
+}
+
+// TrainRingCap bounds the train-event ring carried by a checkpoint.
+// 4096 events comfortably cover the training horizon of every
+// predictor variant (Markov tables key on consecutive misses; stride
+// tables on a handful of events per PC) at ~16 bytes per event.
+const TrainRingCap = 4096
+
+// TrainEvent is one prefetcher-training event: a committed load whose
+// block missed the L1D tag array, in program order.
+type TrainEvent struct {
+	PC   uint64
+	Addr uint64
+}
+
+// FunctionalState is a checkpoint of the functional executor: the
+// scheme-independent warm state at a trace position. It is what the
+// sample store persists and what detailed measurement intervals resume
+// from.
+type FunctionalState struct {
+	Pos uint64
+	// IBlock is the fetch dedup cursor (the last I-cache block
+	// touched). Carrying it makes restore+advance bit-identical to a
+	// straight-through pass, so a checkpoint's content is independent
+	// of the request order that produced it.
+	IBlock uint64
+	Mem    mem.WarmState
+	BP     GshareState
+	Train  []TrainEvent // oldest first, at most TrainRingCap events
+}
+
+// NewFunctional builds a cold executor over a committed-instruction
+// recording. memCfg and gcfg must match the detailed configuration the
+// checkpoints will seed, or SetWarmState/SetBranchState will reject
+// the snapshots later.
+func NewFunctional(memCfg mem.Config, gcfg GshareConfig, insts []vm.DynInst) *Functional {
+	return &Functional{
+		hier:       mem.New(memCfg),
+		bp:         NewGshare(gcfg),
+		insts:      insts,
+		lastIBlock: math.MaxUint64,
+		ring:       make([]TrainEvent, TrainRingCap),
+	}
+}
+
+// Pos returns the executor's position in the recording (instructions
+// executed since position zero, not counting restores).
+func (f *Functional) Pos() uint64 { return f.pos }
+
+// Len returns the length of the underlying recording.
+func (f *Functional) Len() uint64 { return uint64(len(f.insts)) }
+
+// Executed returns the total instructions this executor has run,
+// summed across restores — the fast-forward work actually performed.
+func (f *Functional) Executed() uint64 { return f.executed }
+
+// EnableMissProfile makes the executor count data-side L2 misses per bucket of
+// 2^shift instructions, indexed by stream position. The profile is the
+// scheme-independent covariate sampled simulation stratifies on: a
+// bucket with an extreme miss count marks a burst whose cycle cost
+// systematic time-sampling would mis-weight, so such buckets are
+// measured in detail instead of sampled.
+func (f *Functional) EnableMissProfile(shift uint, buckets int) {
+	f.profShift = shift
+	f.profile = make([]uint32, buckets)
+}
+
+// MissProfile returns the profile being collected (nil when disabled).
+func (f *Functional) MissProfile() []uint32 { return f.profile }
+
+// AdvanceTo executes instructions until the position reaches pos
+// (clamped to the recording length) and returns how many instructions
+// were executed. Advancing backwards is a no-op; use Restore.
+func (f *Functional) AdvanceTo(pos uint64) uint64 {
+	if pos > uint64(len(f.insts)) {
+		pos = uint64(len(f.insts))
+	}
+	if pos <= f.pos {
+		return 0
+	}
+	n := pos - f.pos
+	h, bp := f.hier, f.bp
+	idx := f.pos
+	for _, d := range f.insts[f.pos:pos] {
+		// Instruction side: one access per new block, exactly like the
+		// detailed fetch stage (including its dedup resets below).
+		if blk := h.L1I.BlockAddr(d.PC); blk != f.lastIBlock {
+			f.lastIBlock = blk
+			if !h.L1I.Access(d.PC) {
+				if !h.L2.Access(blk) {
+					h.L2.Insert(h.L2.BlockAddr(blk))
+				}
+				h.L1I.Insert(blk)
+			}
+		}
+		mispredict := false
+		if d.IsCTI() {
+			mispredict = bp.Predict(&d)
+		}
+		if mispredict || d.Taken {
+			// The detailed front end re-accesses the I-cache after a
+			// taken transfer or a mispredict redirect.
+			f.lastIBlock = math.MaxUint64
+		}
+		// Data side, in program order.
+		if d.IsLoad() || d.IsStore() {
+			h.DTLB.Translate(d.EffAddr)
+			if !h.L1D.Access(d.EffAddr) {
+				blk := h.L1D.BlockAddr(d.EffAddr)
+				if !h.L2.Access(blk) {
+					if f.profile != nil {
+						// Profile L2 misses, not L1D ones: cycle-mass
+						// bursts come from serialized memory-latency
+						// chains, which L1D miss counts barely see.
+						if b := idx >> f.profShift; b < uint64(len(f.profile)) {
+							f.profile[b]++
+						}
+					}
+					h.L2.Insert(h.L2.BlockAddr(blk))
+				}
+				h.L1D.Insert(blk)
+				if d.IsLoad() {
+					f.ring[f.ringHead] = TrainEvent{PC: d.PC, Addr: d.EffAddr}
+					f.ringHead++
+					if f.ringHead == len(f.ring) {
+						f.ringHead = 0
+					}
+					if f.ringLen < len(f.ring) {
+						f.ringLen++
+					}
+				}
+			}
+		}
+		idx++
+	}
+	f.pos = pos
+	f.executed += n
+	return n
+}
+
+// Snapshot captures the executor's state as a checkpoint. The returned
+// state shares nothing with the executor and stays valid as it keeps
+// advancing.
+func (f *Functional) Snapshot() *FunctionalState {
+	train := make([]TrainEvent, f.ringLen)
+	start := f.ringHead - f.ringLen
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.ringLen; i++ {
+		train[i] = f.ring[(start+i)%len(f.ring)]
+	}
+	return &FunctionalState{
+		Pos:    f.pos,
+		IBlock: f.lastIBlock,
+		Mem:    f.hier.WarmState(),
+		BP:     f.bp.State(),
+		Train:  train,
+	}
+}
+
+// Restore rewinds (or jumps) the executor to a checkpoint taken from
+// an identically-configured executor over the same recording.
+func (f *Functional) Restore(st *FunctionalState) error {
+	if st.Pos > uint64(len(f.insts)) {
+		return fmt.Errorf("cpu: checkpoint position %d beyond recording length %d", st.Pos, len(f.insts))
+	}
+	if len(st.Train) > len(f.ring) {
+		return fmt.Errorf("cpu: checkpoint carries %d train events, ring capacity is %d", len(st.Train), len(f.ring))
+	}
+	if err := f.hier.SetWarmState(st.Mem); err != nil {
+		return err
+	}
+	if err := f.bp.SetState(st.BP); err != nil {
+		return err
+	}
+	f.pos = st.Pos
+	f.lastIBlock = st.IBlock
+	copy(f.ring, st.Train)
+	f.ringHead = len(st.Train) % len(f.ring)
+	f.ringLen = len(st.Train)
+	return nil
+}
+
+// BTBEntryState is one BTB line of a GshareState.
+type BTBEntryState struct {
+	PC      uint64
+	Target  uint64
+	Valid   bool
+	LastUse uint64
+}
+
+// GshareState is a deep snapshot of the branch predictor: history,
+// counters, BTB, RAS and its statistics (the statistics ride along so
+// equivalence tests can compare complete predictors; interval
+// measurement diffs stats and is insensitive to the restored base).
+type GshareState struct {
+	History  uint64
+	Counters []uint8
+	BTB      []BTBEntryState
+	RAS      []uint64
+	RASTop   int
+	Clock    uint64
+
+	Branches    uint64
+	DirWrong    uint64
+	TargetWrong uint64
+}
+
+// State returns a deep copy of the predictor's state.
+func (g *Gshare) State() GshareState {
+	st := GshareState{
+		History:     g.history,
+		Counters:    append([]uint8(nil), g.counters...),
+		BTB:         make([]BTBEntryState, len(g.btb)),
+		RAS:         append([]uint64(nil), g.ras...),
+		RASTop:      g.rasTop,
+		Clock:       g.clock,
+		Branches:    g.Branches,
+		DirWrong:    g.DirWrong,
+		TargetWrong: g.TargetWrong,
+	}
+	for i, e := range g.btb {
+		st.BTB[i] = BTBEntryState{PC: e.pc, Target: e.target, Valid: e.valid, LastUse: e.lastUse}
+	}
+	return st
+}
+
+// SetState overwrites the predictor's state from a snapshot taken from
+// an identically-configured predictor.
+func (g *Gshare) SetState(st GshareState) error {
+	if len(st.Counters) != len(g.counters) || len(st.BTB) != len(g.btb) || len(st.RAS) != len(g.ras) {
+		return fmt.Errorf("cpu: gshare snapshot shape (%d counters, %d btb, %d ras) does not match geometry (%d, %d, %d)",
+			len(st.Counters), len(st.BTB), len(st.RAS), len(g.counters), len(g.btb), len(g.ras))
+	}
+	if st.RASTop < 0 || st.RASTop >= len(g.ras) {
+		return fmt.Errorf("cpu: gshare snapshot rasTop %d out of range for %d entries", st.RASTop, len(g.ras))
+	}
+	copy(g.counters, st.Counters)
+	for i, e := range st.BTB {
+		g.btb[i] = btbEntry{pc: e.PC, target: e.Target, valid: e.Valid, lastUse: e.LastUse}
+	}
+	copy(g.ras, st.RAS)
+	g.history = st.History
+	g.rasTop = st.RASTop
+	g.clock = st.Clock
+	g.Branches = st.Branches
+	g.DirWrong = st.DirWrong
+	g.TargetWrong = st.TargetWrong
+	return nil
+}
+
+// SetBranchState seeds the core's branch predictor from a checkpoint,
+// before the first Advance.
+func (c *CPU) SetBranchState(st GshareState) error { return c.bp.SetState(st) }
+
+// BranchState returns a deep copy of the core's branch predictor
+// state. Used by the functional-equivalence tests.
+func (c *CPU) BranchState() GshareState { return c.bp.State() }
+
+// Fetched returns how many instructions the front end has consumed
+// from a replay-backed source, or -1 for streaming sources. Used by
+// the functional-equivalence tests to align executor positions.
+func (c *CPU) Fetched() int {
+	if c.srcBuf == nil {
+		return -1
+	}
+	return c.srcPos
+}

@@ -1,0 +1,195 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sbuf"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// recordStream steps a fresh workload machine n instructions and
+// returns both the recording and the machine (for architectural-state
+// comparison).
+func recordStream(tb testing.TB, w workload.Workload, n int) ([]vm.DynInst, *vm.Machine) {
+	tb.Helper()
+	m := w.Build(1)
+	insts := make([]vm.DynInst, 0, n)
+	for len(insts) < n {
+		d, err := m.Step()
+		if err != nil {
+			tb.Fatalf("%s halted after %d insts: %v", w.Name, len(insts), err)
+		}
+		insts = append(insts, d)
+	}
+	return insts, m
+}
+
+// replaySource exposes a recording through the core's zero-copy
+// shared-slice path (like trace.Replay), so CPU.Fetched is meaningful.
+type replaySource struct{ insts []vm.DynInst }
+
+func (s replaySource) Next() (vm.DynInst, bool) { return vm.DynInst{}, false }
+func (s replaySource) Rest() []vm.DynInst       { return s.insts }
+
+// TestFunctionalFrontEndEquivalence drives the detailed core and the
+// functional executor over the same recording for every workload and
+// requires bit-identical branch-predictor and L1I state at the point
+// the detailed front end stopped fetching. Both consume the committed
+// path in program order, so these structures must agree exactly — any
+// drift here would silently bias every sampled measurement.
+func TestFunctionalFrontEndEquivalence(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			insts, _ := recordStream(t, w, 35_000)
+			cfg := DefaultConfig()
+			memCfg := mem.DefaultConfig()
+
+			hier := mem.New(memCfg)
+			c := New(cfg, hier, sbuf.Null{}, replaySource{insts: insts})
+			c.Run(30_000)
+			fetched := c.Fetched()
+			if fetched <= 0 || fetched > len(insts) {
+				t.Fatalf("detailed core fetched %d of %d recorded insts", fetched, len(insts))
+			}
+
+			f := NewFunctional(memCfg, cfg.Gshare, insts)
+			f.AdvanceTo(uint64(fetched))
+
+			if got, want := f.Snapshot().BP, c.BranchState(); !reflect.DeepEqual(got, want) {
+				t.Errorf("gshare state diverged after %d fetched insts", fetched)
+			}
+			st := f.Snapshot()
+			if got, want := st.Mem.L1I, hier.L1I.State(); !reflect.DeepEqual(got, want) {
+				t.Errorf("L1I state diverged after %d fetched insts", fetched)
+			}
+		})
+	}
+}
+
+// TestFunctionalArchitecturalEquivalence checks that replaying the
+// recorded stream is equivalent to architectural execution: a second
+// independently-built machine commits the identical dynamic
+// instruction sequence and ends with the identical register file, PC,
+// and memory contents at every stored location.
+func TestFunctionalArchitecturalEquivalence(t *testing.T) {
+	const n = 20_000
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			insts, ma := recordStream(t, w, n)
+			mb := w.Build(1)
+			stores := make(map[uint64]struct{})
+			for i := 0; i < n; i++ {
+				d, err := mb.Step()
+				if err != nil {
+					t.Fatalf("replay halted at %d: %v", i, err)
+				}
+				if d != insts[i] {
+					t.Fatalf("inst %d diverged: %+v vs %+v", i, d, insts[i])
+				}
+				if d.IsStore() {
+					stores[d.EffAddr] = struct{}{}
+				}
+			}
+			if ma.IntReg != mb.IntReg {
+				t.Errorf("integer register files diverged")
+			}
+			if ma.FPReg != mb.FPReg {
+				t.Errorf("FP register files diverged")
+			}
+			if ma.PC != mb.PC {
+				t.Errorf("PC diverged: %#x vs %#x", ma.PC, mb.PC)
+			}
+			for addr := range stores {
+				if ga, gb := ma.Mem.Read64(addr), mb.Mem.Read64(addr); ga != gb {
+					t.Fatalf("memory diverged at %#x: %#x vs %#x", addr, ga, gb)
+				}
+			}
+		})
+	}
+}
+
+// TestFunctionalSnapshotRoundTrip requires that restoring a checkpoint
+// and re-advancing reproduces the exact state the original pass had —
+// the property the incremental checkpoint store depends on.
+func TestFunctionalSnapshotRoundTrip(t *testing.T) {
+	w, err := workload.ByName("health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, _ := recordStream(t, w, 20_000)
+	memCfg := mem.DefaultConfig()
+	gcfg := DefaultGshareConfig()
+
+	f := NewFunctional(memCfg, gcfg, insts)
+	f.AdvanceTo(8_000)
+	mid := f.Snapshot()
+	f.AdvanceTo(16_000)
+	want := f.Snapshot()
+
+	g := NewFunctional(memCfg, gcfg, insts)
+	if err := g.Restore(mid); err != nil {
+		t.Fatal(err)
+	}
+	if g.Pos() != 8_000 {
+		t.Fatalf("restored position %d, want 8000", g.Pos())
+	}
+	g.AdvanceTo(16_000)
+	if got := g.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("state after restore+advance differs from straight-through pass")
+	}
+	if got := f.Executed() + 8_000; g.Executed() != 8_000 {
+		_ = got
+		t.Errorf("restored executor ran %d insts, want 8000", g.Executed())
+	}
+}
+
+// TestFunctionalStateRejectsWrongGeometry covers the snapshot shape
+// guards.
+func TestFunctionalStateRejectsWrongGeometry(t *testing.T) {
+	w, err := workload.ByName("health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, _ := recordStream(t, w, 1_000)
+	f := NewFunctional(mem.DefaultConfig(), DefaultGshareConfig(), insts)
+	f.AdvanceTo(500)
+	st := f.Snapshot()
+
+	small := mem.DefaultConfig()
+	small.L1D.SizeBytes /= 2
+	if err := NewFunctional(small, DefaultGshareConfig(), insts).Restore(st); err == nil {
+		t.Error("mismatched cache geometry accepted")
+	}
+	gsmall := DefaultGshareConfig()
+	gsmall.TableBits--
+	if err := NewFunctional(mem.DefaultConfig(), gsmall, insts).Restore(st); err == nil {
+		t.Error("mismatched gshare geometry accepted")
+	}
+}
+
+// BenchmarkFunctionalExec measures raw functional fast-forward
+// throughput over a warm recording (the speed that makes sampling
+// pay).
+func BenchmarkFunctionalExec(b *testing.B) {
+	w, err := workload.ByName("health")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 200_000
+	insts, _ := recordStream(b, w, n)
+	memCfg := mem.DefaultConfig()
+	gcfg := DefaultGshareConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFunctional(memCfg, gcfg, insts)
+		f.AdvanceTo(n)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}

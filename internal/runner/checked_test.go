@@ -187,6 +187,21 @@ func TestFingerprint(t *testing.T) {
 	if j.Fingerprint() != mode.Fingerprint() {
 		t.Error("CycleMode changed the fingerprint; resume across -cycle-mode values would re-run everything")
 	}
+	sampled := j
+	sampled.Config.SampleMode = sim.SampleOn
+	if j.Fingerprint() == sampled.Fingerprint() {
+		t.Error("sampling shares the exact run's fingerprint; resume would serve sampled cells from exact results")
+	}
+	period := sampled
+	period.Config.SamplePeriod = 50_000
+	if sampled.Fingerprint() == period.Fingerprint() {
+		t.Error("sample period does not participate in the fingerprint")
+	}
+	warm := sampled
+	warm.Config.SampleWarmup = 5_000
+	if sampled.Fingerprint() == warm.Fingerprint() {
+		t.Error("sample warmup does not participate in the fingerprint")
+	}
 }
 
 func matrixJobs(cfg sim.Config) []Job {

@@ -1,0 +1,329 @@
+// Package sample implements SMARTS-style sampled simulation support:
+// a content-addressed store of functional fast-forward checkpoints and
+// the statistics that turn per-interval measurements into an IPC
+// estimate with a confidence interval.
+//
+// Checkpoints are scheme-independent (see cpu.Functional): a cell
+// matrix evaluating N prefetcher variants over one workload performs
+// the functional fast-forward exactly once, and every scheme resumes
+// its detailed measurement intervals from the same stored state. The
+// store is keyed like the trace cache — workload, seed, and a digest
+// of the warm-structure geometry — plus the interval-boundary position
+// within the stream, and persists checkpoints next to trace recordings
+// via the same write-to-temp-then-rename idiom.
+package sample
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// FileExt is the on-disk extension of persisted checkpoints.
+const FileExt = ".psbckpt"
+
+// Key identifies one workload's checkpoint stream. Two configurations
+// share checkpoints exactly when they share the committed instruction
+// stream (workload + seed) and the geometry of every warmed structure
+// (caches, TLB, gshare); the prefetcher scheme deliberately does not
+// participate.
+type Key struct {
+	Workload string
+	Seed     int64
+	// Geometry is GeometryDigest over the mem and gshare configuration.
+	Geometry string
+}
+
+// filename is the on-disk name of the key's checkpoint at pos.
+func (k Key) filename(pos uint64) string {
+	return fmt.Sprintf("%s-seed%d-pos%d-g%s%s", k.Workload, k.Seed, pos, k.Geometry, FileExt)
+}
+
+// GeometryDigest fingerprints the configuration of every structure a
+// checkpoint carries. Mismatched geometries hash differently and so
+// never share (or even see) each other's checkpoints.
+func GeometryDigest(mc mem.Config, gc cpu.GshareConfig) string {
+	b, err := json.Marshal(struct {
+		Mem    mem.Config
+		Gshare cpu.GshareConfig
+	}{mc, gc})
+	if err != nil {
+		panic(err) // static config structs always marshal
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Stats counts store traffic (atomic snapshots; safe to read while
+// simulations run).
+type Stats struct {
+	// Hits counts requests answered by an existing in-memory
+	// checkpoint; Misses counts requests that had to advance the
+	// functional executor (or load from disk) to produce one.
+	Hits, Misses uint64
+	// DiskLoads counts checkpoints restored from a checkpoint
+	// directory; DiskWrites counts .psbckpt files written.
+	DiskLoads, DiskWrites uint64
+	// FunctionalInsts is the total number of instructions executed by
+	// functional fast-forward on behalf of the store — the work every
+	// hit avoided repeating.
+	FunctionalInsts uint64
+}
+
+// entry is one key's checkpoint set plus its live functional executor.
+// mu guards the states map (readers take it briefly); gen serializes
+// generation, so concurrent requests that both miss advance one
+// executor once instead of fast-forwarding twice (singleflight).
+type entry struct {
+	mu     sync.Mutex
+	states map[uint64]*cpu.FunctionalState
+
+	gen sync.Mutex
+	f   *cpu.Functional
+
+	profMu   sync.Mutex
+	profiles map[uint64][]uint32 // miss profile by covered length
+}
+
+func (e *entry) lookup(pos uint64) *cpu.FunctionalState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.states[pos]
+}
+
+func (e *entry) publish(st *cpu.FunctionalState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.states[st.Pos] = st
+}
+
+// best returns the cached checkpoint with the greatest position not
+// exceeding pos, or nil.
+func (e *entry) best(pos uint64) *cpu.FunctionalState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var b *cpu.FunctionalState
+	for p, st := range e.states {
+		if p <= pos && (b == nil || p > b.Pos) {
+			b = st
+		}
+	}
+	return b
+}
+
+// Store is the process-wide checkpoint store. The zero value is ready
+// to use; Shared returns the instance the simulator uses.
+type Store struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+
+	hits, misses, diskLoads, diskWrites, functional atomic.Uint64
+}
+
+var shared Store
+
+// Shared returns the process-wide store: every sampled simulation in
+// the process (all matrix cells, across all worker goroutines) draws
+// on the same checkpoints.
+func Shared() *Store { return &shared }
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		DiskLoads:       s.diskLoads.Load(),
+		DiskWrites:      s.diskWrites.Load(),
+		FunctionalInsts: s.functional.Load(),
+	}
+}
+
+func (s *Store) entry(k Key) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[Key]*entry)
+	}
+	e := s.entries[k]
+	if e == nil {
+		e = &entry{states: make(map[uint64]*cpu.FunctionalState)}
+		s.entries[k] = e
+	}
+	return e
+}
+
+// AtInfo attributes one At call: whether it hit a cached checkpoint,
+// whether the checkpoint came from disk, and how many instructions of
+// functional fast-forward the call performed (0 on any kind of hit).
+type AtInfo struct {
+	Hit             bool
+	Disk            bool
+	FunctionalInsts uint64
+}
+
+// At returns the checkpoint for key k at stream position pos,
+// fast-forwarding functionally to create it if no cached or persisted
+// checkpoint exists. boot constructs a cold executor positioned at the
+// stream's start; it is only called when work is actually needed. When
+// dir is non-empty, checkpoints are loaded from and persisted to
+// <dir>/<workload>-seed<seed>-pos<pos>-g<geom>.psbckpt.
+//
+// Generation is incremental and singleflight per key: a request for
+// position P resumes the key's live executor (or the nearest earlier
+// checkpoint) rather than replaying from zero, and concurrent misses
+// on one key wait for a single generator. The returned state is shared
+// and must be treated as read-only.
+func (s *Store) At(k Key, pos uint64, dir string, boot func() *cpu.Functional) (*cpu.FunctionalState, AtInfo, error) {
+	e := s.entry(k)
+	if st := e.lookup(pos); st != nil {
+		s.hits.Add(1)
+		return st, AtInfo{Hit: true}, nil
+	}
+
+	// Serialize generation for this key; whoever held the lock may
+	// have produced exactly the checkpoint we want.
+	e.gen.Lock()
+	defer e.gen.Unlock()
+	if st := e.lookup(pos); st != nil {
+		s.hits.Add(1)
+		return st, AtInfo{Hit: true}, nil
+	}
+
+	if dir != "" {
+		if st, err := s.load(k, pos, dir); err == nil {
+			// A persisted checkpoint from an earlier process. Corrupt
+			// or mismatched files fall through and are regenerated
+			// (and overwritten) below.
+			s.diskLoads.Add(1)
+			e.publish(st)
+			return st, AtInfo{Disk: true}, nil
+		}
+	}
+
+	s.misses.Add(1)
+	if e.f == nil {
+		e.f = boot()
+	}
+	if e.f.Pos() > pos {
+		// The executor ran past the requested position (out-of-order
+		// request): rewind via the nearest earlier checkpoint, or
+		// rebuild cold.
+		if b := e.best(pos); b != nil {
+			if err := e.f.Restore(b); err != nil {
+				return nil, AtInfo{}, fmt.Errorf("sample: restoring checkpoint at %d: %w", b.Pos, err)
+			}
+		} else {
+			e.f = boot()
+		}
+	} else if b := e.best(pos); b != nil && b.Pos > e.f.Pos() {
+		// A cached (e.g. disk-loaded) checkpoint is ahead of the live
+		// executor: jump forward through it.
+		if err := e.f.Restore(b); err != nil {
+			return nil, AtInfo{}, fmt.Errorf("sample: restoring checkpoint at %d: %w", b.Pos, err)
+		}
+	}
+	advanced := e.f.AdvanceTo(pos)
+	s.functional.Add(advanced)
+	if e.f.Pos() != pos {
+		return nil, AtInfo{}, fmt.Errorf("sample: %s/seed%d: recording ends at %d, checkpoint position %d unreachable",
+			k.Workload, k.Seed, e.f.Pos(), pos)
+	}
+	st := e.f.Snapshot()
+	e.publish(st)
+	if dir != "" {
+		if err := s.store(k, dir, st); err != nil {
+			return nil, AtInfo{}, err
+		}
+	}
+	return st, AtInfo{FunctionalInsts: advanced}, nil
+}
+
+// ProfileShift is the miss-profile bucket granularity: buckets of
+// 2^ProfileShift instructions.
+const ProfileShift = 10
+
+// Profile returns the per-bucket L1D miss profile of the key's stream
+// over [0, n), computing it with one dedicated functional pass on
+// first request (singleflight per key; later calls, from other schemes
+// sharing the workload, return the cached slice). The second return
+// value is the functional work this call performed — zero on a cache
+// hit. The profile is the stratification covariate for sampled
+// simulation: it is scheme-independent by construction, so every
+// scheme derives the identical measurement schedule from it. The
+// returned slice is shared and must be treated as read-only.
+func (s *Store) Profile(k Key, n uint64, boot func() *cpu.Functional) ([]uint32, uint64, error) {
+	e := s.entry(k)
+	e.profMu.Lock()
+	defer e.profMu.Unlock()
+	if p := e.profiles[n]; p != nil {
+		s.hits.Add(1)
+		return p, 0, nil
+	}
+	s.misses.Add(1)
+	f := boot()
+	buckets := int((n + (1 << ProfileShift) - 1) >> ProfileShift)
+	f.EnableMissProfile(ProfileShift, buckets)
+	advanced := f.AdvanceTo(n)
+	s.functional.Add(advanced)
+	if f.Pos() != n {
+		return nil, 0, fmt.Errorf("sample: %s/seed%d: recording ends at %d, cannot profile %d instructions",
+			k.Workload, k.Seed, f.Pos(), n)
+	}
+	p := f.MissProfile()
+	if e.profiles == nil {
+		e.profiles = make(map[uint64][]uint32)
+	}
+	e.profiles[n] = p
+	return p, advanced, nil
+}
+
+// load reads a persisted checkpoint, returning an error when the file
+// is missing, corrupt, or written under a different key or geometry.
+func (s *Store) load(k Key, pos uint64, dir string) (*cpu.FunctionalState, error) {
+	data, err := os.ReadFile(filepath.Join(dir, k.filename(pos)))
+	if err != nil {
+		return nil, err
+	}
+	st, err := Decode(data, k)
+	if err != nil {
+		return nil, err
+	}
+	if st.Pos != pos {
+		return nil, fmt.Errorf("sample: %s holds position %d", k.filename(pos), st.Pos)
+	}
+	return st, nil
+}
+
+// store persists a checkpoint via write-to-temp-then-rename, so a
+// crashed or concurrent writer never leaves a torn file behind.
+func (s *Store) store(k Key, dir string, st *cpu.FunctionalState) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sample: %w", err)
+	}
+	name := k.filename(st.Pos)
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sample: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	_, err = tmp.Write(Encode(k, st))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sample: writing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("sample: %w", err)
+	}
+	s.diskWrites.Add(1)
+	return nil
+}

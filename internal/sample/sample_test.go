@@ -1,0 +1,268 @@
+package sample
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func healthStream(tb testing.TB, n int) []vm.DynInst {
+	tb.Helper()
+	w, err := workload.ByName("health")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := w.Build(1)
+	insts := make([]vm.DynInst, 0, n)
+	for len(insts) < n {
+		d, err := m.Step()
+		if err != nil {
+			tb.Fatalf("health halted after %d insts: %v", len(insts), err)
+		}
+		insts = append(insts, d)
+	}
+	return insts
+}
+
+func testKey() Key {
+	return Key{Workload: "health", Seed: 1,
+		Geometry: GeometryDigest(mem.DefaultConfig(), cpu.DefaultGshareConfig())}
+}
+
+func bootFor(insts []vm.DynInst) func() *cpu.Functional {
+	return func() *cpu.Functional {
+		return cpu.NewFunctional(mem.DefaultConfig(), cpu.DefaultGshareConfig(), insts)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	insts := healthStream(t, 5_000)
+	f := bootFor(insts)()
+	f.AdvanceTo(3_000)
+	st := f.Snapshot()
+	k := testKey()
+
+	data := Encode(k, st)
+	got, err := Decode(data, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Error("decoded checkpoint differs from original")
+	}
+
+	// Any flipped bit must be detected.
+	for _, i := range []int{0, 11, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad, k); err == nil {
+			t.Errorf("corruption at byte %d accepted", i)
+		}
+	}
+
+	// A checkpoint written for another key must be rejected.
+	other := k
+	other.Seed = 2
+	if _, err := Decode(data, other); err == nil {
+		t.Error("checkpoint accepted under the wrong key")
+	}
+	short := k
+	short.Geometry = "deadbeef"
+	if _, err := Decode(data, short); err == nil {
+		t.Error("checkpoint accepted under the wrong geometry")
+	}
+}
+
+// TestStoreIncrementalReuse pins the store's core economics: repeated
+// requests hit, forward requests advance incrementally (never from
+// zero), and rewinds restore the nearest earlier checkpoint.
+func TestStoreIncrementalReuse(t *testing.T) {
+	insts := healthStream(t, 4_000)
+	var s Store
+	k := testKey()
+	boot := bootFor(insts)
+
+	st0, info, err := s.At(k, 0, "", boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hit || info.FunctionalInsts != 0 {
+		t.Errorf("position 0: info = %+v, want cold zero-work miss", info)
+	}
+	if st0.Pos != 0 {
+		t.Errorf("position 0 checkpoint at pos %d", st0.Pos)
+	}
+
+	if _, info, err = s.At(k, 1_000, "", boot); err != nil || info.FunctionalInsts != 1_000 {
+		t.Fatalf("advance to 1000: info=%+v err=%v, want 1000 functional insts", info, err)
+	}
+	if _, info, err = s.At(k, 1_000, "", boot); err != nil || !info.Hit {
+		t.Fatalf("repeat at 1000: info=%+v err=%v, want hit", info, err)
+	}
+	// Incremental: 1000 -> 3000 costs 2000, not 3000.
+	if _, info, err = s.At(k, 3_000, "", boot); err != nil || info.FunctionalInsts != 2_000 {
+		t.Fatalf("advance to 3000: info=%+v err=%v, want 2000 functional insts", info, err)
+	}
+	// Rewind: restored from the checkpoint at 1000, so 500 insts.
+	if _, info, err = s.At(k, 1_500, "", boot); err != nil || info.FunctionalInsts != 500 {
+		t.Fatalf("rewind to 1500: info=%+v err=%v, want 500 functional insts", info, err)
+	}
+
+	stats := s.Stats()
+	if stats.Hits != 1 || stats.Misses != 4 || stats.FunctionalInsts != 3_500 {
+		t.Errorf("stats = %+v, want 1 hit, 4 misses, 3500 functional insts", stats)
+	}
+
+	// Beyond the recording: an explicit error, not a silent short state.
+	if _, _, err := s.At(k, 10_000, "", boot); err == nil {
+		t.Error("position beyond the recording accepted")
+	}
+}
+
+func TestStoreDiskPersistence(t *testing.T) {
+	insts := healthStream(t, 3_000)
+	k := testKey()
+	dir := t.TempDir()
+
+	var s1 Store
+	want, info, err := s1.At(k, 2_000, dir, bootFor(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hit || info.Disk {
+		t.Errorf("first generation: info=%+v, want miss", info)
+	}
+	if s1.Stats().DiskWrites != 1 {
+		t.Errorf("disk writes = %d, want 1", s1.Stats().DiskWrites)
+	}
+	name := filepath.Join(dir, k.filename(2_000))
+	if _, err := os.Stat(name); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	// A fresh store (fresh process) loads from disk without functional
+	// work.
+	var s2 Store
+	got, info, err := s2.At(k, 2_000, dir, bootFor(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Disk || info.FunctionalInsts != 0 {
+		t.Errorf("disk restore: info=%+v, want disk hit with zero work", info)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("disk-restored checkpoint differs from generated one")
+	}
+	if s2.Stats().DiskLoads != 1 {
+		t.Errorf("disk loads = %d, want 1", s2.Stats().DiskLoads)
+	}
+
+	// Corruption self-heals: the store regenerates and overwrites.
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var s3 Store
+	healed, info, err := s3.At(k, 2_000, dir, bootFor(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Disk || info.FunctionalInsts != 2_000 {
+		t.Errorf("corrupt file: info=%+v, want full regeneration", info)
+	}
+	if !reflect.DeepEqual(healed, want) {
+		t.Error("regenerated checkpoint differs")
+	}
+	var s4 Store
+	if _, info, err = s4.At(k, 2_000, dir, bootFor(insts)); err != nil || !info.Disk {
+		t.Errorf("after healing: info=%+v err=%v, want disk hit (file overwritten)", info, err)
+	}
+}
+
+func TestEstimateStatistics(t *testing.T) {
+	// Four identical CPI samples: zero variance, tight CI
+	// (statistics-only reduction, no extrapolation).
+	e := NewEstimate(1000, 100, 50, []float64{2, 2, 2, 2}, 400, 800, 0, 0, 0)
+	if e.Intervals != 4 || e.CPIMean != 2 || e.CPIStdDev != 0 || e.CoV != 0 || e.CIRelPct != 0 {
+		t.Errorf("degenerate-variance estimate wrong: %+v", e)
+	}
+	if e.IPC != 0.5 || e.IPCLow != 0.5 || e.IPCHigh != 0.5 {
+		t.Errorf("IPC bounds wrong: %+v", e)
+	}
+
+	// Known two-sample case: mean 3, sd sqrt(2), half-width
+	// 1.96*sqrt(2)/sqrt(2) = 1.96.
+	e = NewEstimate(1000, 100, 50, []float64{2, 4}, 200, 600, 0, 0, 0)
+	if math.Abs(e.CPIMean-3) > 1e-12 || math.Abs(e.CPIStdDev-math.Sqrt2) > 1e-12 {
+		t.Errorf("mean/sd wrong: %+v", e)
+	}
+	wantHalf := 1.96 * math.Sqrt2 / math.Sqrt(2)
+	if math.Abs(e.CIRelPct-100*wantHalf/3) > 1e-9 {
+		t.Errorf("CI rel%% = %v, want %v", e.CIRelPct, 100*wantHalf/3)
+	}
+	if math.Abs(e.IPCLow-1/(3+wantHalf)) > 1e-12 || math.Abs(e.IPCHigh-1/(3-wantHalf)) > 1e-12 {
+		t.Errorf("IPC bounds wrong: %+v", e)
+	}
+
+	// No intervals: everything zero, no NaNs.
+	e = NewEstimate(1000, 100, 50, nil, 0, 0, 0, 0, 0)
+	if e.IPC != 0 || e.CPIMean != 0 || e.CIRelPct != 0 {
+		t.Errorf("empty estimate not zero: %+v", e)
+	}
+}
+
+func TestEstimateWithCertaintyStratum(t *testing.T) {
+	// 100K-inst budget: a 20K certainty stratum measured at 40K cycles
+	// exactly, the rest sampled at CPI 1 with zero variance. Total
+	// cycles = 40K + 1·80K = 120K, IPC = 100K/120K.
+	e := NewEstimate(1000, 100, 50, []float64{1, 1, 1, 1}, 400, 400, 20_000, 40_000, 100_000)
+	want := 100_000.0 / 120_000.0
+	if math.Abs(e.IPC-want) > 1e-12 {
+		t.Errorf("IPC = %v, want %v", e.IPC, want)
+	}
+	if e.IPCLow != e.IPC || e.IPCHigh != e.IPC {
+		t.Errorf("zero-variance bounds should collapse: %+v", e)
+	}
+	if e.CertaintyInsts != 20_000 || e.CertaintyCycles != 40_000 || e.TotalInsts != 100_000 {
+		t.Errorf("certainty accounting wrong: %+v", e)
+	}
+
+	// With sample variance the bounds bracket the point estimate, and
+	// only the sampled remainder widens them.
+	e = NewEstimate(1000, 100, 50, []float64{0.8, 1.2}, 400, 400, 20_000, 40_000, 100_000)
+	if !(e.IPCLow < e.IPC && e.IPC < e.IPCHigh) {
+		t.Errorf("bounds do not bracket the estimate: %+v", e)
+	}
+
+	// Nothing sampled but a certainty stratum present: report the
+	// certainty ratio rather than extrapolating from nothing.
+	e = NewEstimate(1000, 100, 50, nil, 0, 0, 20_000, 40_000, 100_000)
+	if e.IPC != 0.5 {
+		t.Errorf("certainty-only IPC = %v, want 0.5", e.IPC)
+	}
+}
+
+func TestGeometryDigestDistinguishes(t *testing.T) {
+	base := GeometryDigest(mem.DefaultConfig(), cpu.DefaultGshareConfig())
+	mc := mem.DefaultConfig()
+	mc.L1D.SizeBytes *= 2
+	if GeometryDigest(mc, cpu.DefaultGshareConfig()) == base {
+		t.Error("L1D size change did not change the digest")
+	}
+	gc := cpu.DefaultGshareConfig()
+	gc.HistoryBits++
+	if GeometryDigest(mem.DefaultConfig(), gc) == base {
+		t.Error("gshare change did not change the digest")
+	}
+}

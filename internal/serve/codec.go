@@ -48,6 +48,17 @@ type JobRequest struct {
 	// result (a different cell: histogram collection is part of the
 	// fingerprint).
 	CollectFig4 bool `json:"collect_fig4,omitempty"`
+	// Sample selects the sampled tier: functional fast-forward with
+	// detailed measurement intervals and an IPC estimate with
+	// confidence bounds in the result's Sampled section. Sampled and
+	// exact cells have different fingerprints, so they cache
+	// independently. The period/len/warmup knobs override the
+	// sampling parameters (0 = simulator defaults); they are ignored
+	// without "sample": true.
+	Sample       bool   `json:"sample,omitempty"`
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
+	SampleLen    uint64 `json:"sample_len,omitempty"`
+	SampleWarmup uint64 `json:"sample_warmup,omitempty"`
 }
 
 // BatchRequest is the request body of POST /v1/batch.
@@ -133,6 +144,18 @@ func (r JobRequest) config(base sim.Config) sim.Config {
 		cfg.CPU.Disambiguation = cpu.DisNone
 	}
 	cfg.CollectFig4 = r.CollectFig4
+	if r.Sample {
+		cfg.SampleMode = sim.SampleOn
+		cfg.SamplePeriod = r.SamplePeriod
+		cfg.SampleLen = r.SampleLen
+		cfg.SampleWarmup = r.SampleWarmup
+		if cfg.TraceMode == sim.TraceOff {
+			// Sampling needs a replayable stream; servers started
+			// without a trace cache still serve sampled cells from
+			// the in-memory one.
+			cfg.TraceMode = sim.TraceMemory
+		}
+	}
 	return cfg
 }
 

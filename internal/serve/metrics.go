@@ -48,6 +48,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mf("psb_cells_rejected_total", "counter", "Cells refused by admission control or rate limiting.")
 	fmt.Fprintf(&b, "psb_cells_rejected_total %d\n", st.Cells.Rejected)
 
+	if st.Sampled != nil {
+		mf("psb_sampled_cells_total", "counter", "Cells served from the sampled tier (IPC estimate instead of an exact run).")
+		fmt.Fprintf(&b, "psb_sampled_cells_total %d\n", st.Sampled.Cells)
+		mf("psb_sampled_intervals_total", "counter", "Detailed measurement intervals behind served sampled cells.")
+		fmt.Fprintf(&b, "psb_sampled_intervals_total %d\n", st.Sampled.Intervals)
+		mf("psb_sampled_last_ci_rel_pct", "gauge", "Relative 95% CI half-width of the most recent estimate, percent.")
+		fmt.Fprintf(&b, "psb_sampled_last_ci_rel_pct %s\n", num(st.Sampled.LastCIRelPct))
+	}
+
 	mf("psb_cache_entries", "gauge", "In-memory result cache entries.")
 	fmt.Fprintf(&b, "psb_cache_entries %d\n", st.Cache.Entries)
 	mf("psb_cache_capacity", "gauge", "In-memory result cache capacity.")

@@ -122,6 +122,12 @@ func (s *Server) peerRequest(job runner.Job, fp string) (JobRequest, bool) {
 		NoDis:       cfg.CPU.Disambiguation == cpu.DisNone,
 		CollectFig4: cfg.CollectFig4,
 	}
+	if cfg.SampleMode == sim.SampleOn {
+		req.Sample = true
+		req.SamplePeriod = cfg.SamplePeriod
+		req.SampleLen = cfg.SampleLen
+		req.SampleWarmup = cfg.SampleWarmup
+	}
 	jobs, err := req.Jobs(s.base)
 	if err != nil || len(jobs) != 1 || jobs[0].Fingerprint() != fp {
 		return JobRequest{}, false

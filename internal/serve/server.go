@@ -122,6 +122,13 @@ type Server struct {
 	cellsMem, cellsDisk, cellsDedup, cellsSim, cellsPeer atomic.Uint64
 	cellsFailed, cellsRejected                           atomic.Uint64
 
+	// Sampled-tier accounting: cells served with an IPC estimate, the
+	// measurement intervals behind them, and the most recent relative
+	// 95% confidence half-width (stored as Float64bits).
+	cellsSampled     atomic.Uint64
+	sampledIntervals atomic.Uint64
+	sampledLastCI    atomic.Uint64
+
 	// Peer-protocol counters (cluster mode only; see PeerCounters).
 	peerFills, peerFallbacks, peerServed atomic.Uint64
 	peerLoopRejects, peerSkewRejects     atomic.Uint64
@@ -272,6 +279,7 @@ func (s *Server) cell(job runner.Job, tenant string) (cell runner.CellResult, ti
 	fp := job.Fingerprint()
 	if res, tier, ok := s.cache.Get(fp); ok {
 		s.countTier(tier)
+		s.noteSampled(res)
 		return runner.CellResult{Result: res, Cached: true}, tier, nil
 	}
 	var simDur time.Duration
@@ -314,8 +322,21 @@ func (s *Server) cell(job runner.Job, tenant string) (cell runner.CellResult, ti
 	s.countTier(tier)
 	if cell.Err != nil {
 		s.cellsFailed.Add(1)
+	} else {
+		s.noteSampled(cell.Result)
 	}
 	return cell, tier, nil
+}
+
+// noteSampled folds one served sampled-tier result into the counters.
+func (s *Server) noteSampled(res sim.Result) {
+	est := res.Sampled
+	if est == nil {
+		return
+	}
+	s.cellsSampled.Add(1)
+	s.sampledIntervals.Add(uint64(est.Intervals))
+	s.sampledLastCI.Store(math.Float64bits(est.CIRelPct))
 }
 
 func (s *Server) countTier(tier string) {
@@ -782,6 +803,16 @@ type CellCounters struct {
 	Rejected uint64 `json:"rejected"`
 }
 
+// SampledCounters is the sampled-tier section of /v1/stats: cells
+// served with an IPC estimate instead of an exact run.
+type SampledCounters struct {
+	Cells     uint64 `json:"cells"`
+	Intervals uint64 `json:"intervals"`
+	// LastCIRelPct is the relative 95% confidence half-width of the
+	// most recently served estimate, in percent.
+	LastCIRelPct float64 `json:"last_ci_rel_pct"`
+}
+
 // QueueStats describes the dispatcher.
 type QueueStats struct {
 	Workers  int    `json:"workers"`
@@ -808,18 +839,19 @@ type FaultStats struct {
 
 // ServerStats is the response body of GET /v1/stats.
 type ServerStats struct {
-	UptimeSec  float64        `json:"uptime_sec"`
-	Requests   uint64         `json:"requests"`
-	Degraded   bool           `json:"degraded"`
-	Cells      CellCounters   `json:"cells"`
-	Cache      CacheStats     `json:"cache"`
-	Queue      QueueStats     `json:"queue"`
-	Tenants    []TenantStats  `json:"tenants,omitempty"`
-	Faults     *FaultStats    `json:"faults,omitempty"`
-	Peer       *PeerCounters  `json:"peer,omitempty"`
-	Cluster    *cluster.Stats `json:"cluster,omitempty"`
-	Trace      trace.Stats    `json:"trace"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
+	UptimeSec  float64          `json:"uptime_sec"`
+	Requests   uint64           `json:"requests"`
+	Degraded   bool             `json:"degraded"`
+	Cells      CellCounters     `json:"cells"`
+	Sampled    *SampledCounters `json:"sampled,omitempty"`
+	Cache      CacheStats       `json:"cache"`
+	Queue      QueueStats       `json:"queue"`
+	Tenants    []TenantStats    `json:"tenants,omitempty"`
+	Faults     *FaultStats      `json:"faults,omitempty"`
+	Peer       *PeerCounters    `json:"peer,omitempty"`
+	Cluster    *cluster.Stats   `json:"cluster,omitempty"`
+	Trace      trace.Stats      `json:"trace"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
 }
 
 // Stats snapshots the server's counters.
@@ -853,6 +885,7 @@ func (s *Server) Stats() ServerStats {
 			Failed:   s.cellsFailed.Load(),
 			Rejected: s.cellsRejected.Load(),
 		},
+		Sampled:    s.sampledCounters(),
 		Cache:      s.cache.Stats(),
 		Queue:      s.queueStats(),
 		Tenants:    s.tenantStats(),
@@ -861,6 +894,21 @@ func (s *Server) Stats() ServerStats {
 		Cluster:    clusterStats,
 		Trace:      trace.Shared().Stats(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// sampledCounters snapshots the sampled tier; nil until the first
+// sampled cell is served, keeping exact-only deployments' stats
+// output unchanged.
+func (s *Server) sampledCounters() *SampledCounters {
+	cells := s.cellsSampled.Load()
+	if cells == 0 {
+		return nil
+	}
+	return &SampledCounters{
+		Cells:        cells,
+		Intervals:    s.sampledIntervals.Load(),
+		LastCIRelPct: math.Float64frombits(s.sampledLastCI.Load()),
 	}
 }
 

@@ -35,6 +35,13 @@ func NewMachine(w workload.Workload, v core.Variant, cfg Config) (*Machine, erro
 		return nil, &ConfigError{Field: "Variant",
 			Err: fmt.Errorf("unknown variant %d", int(v))}
 	}
+	if cfg.SampleMode != SampleOff {
+		// Sampled runs manage their own interval machines; they cannot
+		// be lockstepped (Validate already rejects Batch > 0, this
+		// covers direct Machine construction).
+		return nil, &ConfigError{Field: "SampleMode",
+			Err: fmt.Errorf("sampled simulation cannot run as a resumable Machine; use Run or RunChecked")}
+	}
 	m, err := build(w, v, cfg)
 	if err != nil {
 		return nil, err

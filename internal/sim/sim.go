@@ -5,12 +5,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/predict"
+	"repro/internal/sample"
 	"repro/internal/sbuf"
 	"repro/internal/workload"
 )
@@ -53,6 +55,20 @@ type Config struct {
 	// TraceDir is the trace directory TraceDisk loads from and saves
 	// to. Ignored in the other modes.
 	TraceDir string
+
+	// SampleMode turns on SMARTS-style sampled simulation: detailed
+	// measurement intervals every SamplePeriod instructions (SampleLen
+	// measured after a SampleWarmup detailed prefix), functional
+	// fast-forward between them, and an IPC estimate with confidence
+	// bounds in Result.Sampled. Sampling changes the statistics a run
+	// reports, so unlike Workers/Batch/TraceMode these four fields are
+	// result-affecting and participate in job fingerprints. Requires a
+	// trace mode other than TraceOff; zero parameter fields select the
+	// Default* constants in sample.go.
+	SampleMode   SampleMode
+	SamplePeriod uint64
+	SampleLen    uint64
+	SampleWarmup uint64
 }
 
 // Default returns the paper's baseline machine with a 500K-instruction
@@ -82,6 +98,13 @@ type Result struct {
 	TLBMissRate  float64
 
 	Hist *predict.DeltaHistogram
+
+	// Sampled carries the sampling estimate (IPC point estimate,
+	// confidence interval, work accounting) when the run used
+	// SampleOn. It is nil for exact runs and omitted from their JSON
+	// encoding entirely, keeping exact output byte-identical to
+	// pre-sampling builds.
+	Sampled *sample.Estimate `json:",omitempty"`
 }
 
 // IPC returns committed instructions per cycle.
@@ -154,6 +177,13 @@ func (m machine) result(w workload.Workload, v core.Variant, st cpu.Stats) Resul
 // Run panics on invalid configurations and simulated deadlocks;
 // RunChecked is the errors-as-values path.
 func Run(w workload.Workload, v core.Variant, cfg Config) Result {
+	if cfg.SampleMode != SampleOff {
+		r, err := runSampled(context.Background(), w, v, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
 	m, err := build(w, v, cfg)
 	if err != nil {
 		panic(err)
@@ -224,6 +254,9 @@ func (r Result) Summary() string {
 	if r.CPU.Jumps > 0 {
 		s += fmt.Sprintf(" skip=%.1f%%/%dj/%.1fc",
 			r.CPU.SkipFraction()*100, r.CPU.Jumps, r.CPU.AvgJumpLen())
+	}
+	if e := r.Sampled; e != nil {
+		s += fmt.Sprintf(" sampled[IPC=%.3f ci=%.1f%% n=%d]", e.IPC, e.CIRelPct, e.Intervals)
 	}
 	return s
 }

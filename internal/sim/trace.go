@@ -74,7 +74,19 @@ func TraceNeed(cfg Config) uint64 {
 	if margin < 0 {
 		margin = 0
 	}
-	return cfg.MaxInsts + uint64(margin) + 8
+	need := cfg.MaxInsts + uint64(margin) + 8
+	if cfg.SampleMode != SampleOff {
+		// The last measurement interval starts at a jittered offset
+		// within the final period stratum below MaxInsts and runs
+		// warmup+len instructions past it (offset + warmup + len never
+		// exceeds one period), plus the same in-flight margin.
+		period, _, _ := cfg.sampleSpec()
+		last := (cfg.MaxInsts - 1) / period * period
+		if n := last + period + uint64(margin) + 8; n > need {
+			need = n
+		}
+	}
+	return need
 }
 
 // source returns the instruction stream for one run: the live

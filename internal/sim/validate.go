@@ -61,6 +61,25 @@ func (cfg Config) Validate() error {
 		return &ConfigError{Field: "TraceDir",
 			Err: errors.New("disk trace mode requires a trace directory")}
 	}
+	if cfg.SampleMode != SampleOff {
+		if cfg.SampleMode != SampleOn {
+			return &ConfigError{Field: "SampleMode",
+				Err: fmt.Errorf("unknown sample mode %d (want off or on)", int(cfg.SampleMode))}
+		}
+		if cfg.TraceMode == TraceOff {
+			return &ConfigError{Field: "SampleMode",
+				Err: errors.New("sampled simulation needs a recorded stream; use trace mode memory or disk")}
+		}
+		if cfg.Batch > 0 {
+			return &ConfigError{Field: "SampleMode",
+				Err: errors.New("sampled simulation is incompatible with lockstep batching (Batch > 0)")}
+		}
+		period, length, warmup := cfg.sampleSpec()
+		if warmup+length > period {
+			return &ConfigError{Field: "SamplePeriod",
+				Err: fmt.Errorf("warmup %d + measured len %d exceed the %d-instruction period", warmup, length, period)}
+		}
+	}
 	return nil
 }
 
@@ -78,6 +97,9 @@ func RunChecked(ctx context.Context, w workload.Workload, v core.Variant, cfg Co
 	if !v.Known() {
 		return Result{}, &ConfigError{Field: "Variant",
 			Err: fmt.Errorf("unknown variant %d", int(v))}
+	}
+	if cfg.SampleMode != SampleOff {
+		return runSampled(ctx, w, v, cfg)
 	}
 	m, err := build(w, v, cfg)
 	if err != nil {

@@ -308,6 +308,18 @@ func (r *Replay) Next() (vm.DynInst, bool) {
 // Len returns the number of instructions in the recording.
 func (r *Replay) Len() int { return len(r.insts) }
 
+// From returns a new Replay over the same backing recording,
+// positioned pos records in (clamped to the recording length). The
+// sampled-simulation driver uses it to start detailed measurement
+// intervals mid-stream without copying the trace.
+func (r *Replay) From(pos uint64) *Replay {
+	p := pos
+	if max := uint64(len(r.insts)); p > max {
+		p = max
+	}
+	return &Replay{insts: r.insts, pos: int(p)}
+}
+
 // Rest exposes the recording's remaining records as a slice aliasing
 // the cache's backing array. Consumers that can index a slice directly
 // (the timing core's shared-replay cursor) read records in place — no
